@@ -1,0 +1,35 @@
+//! In-crate FFT throughput (the IC-generation substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g5ic::fft::{fft_inplace, Cpx, Grid3};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 16384] {
+        let data: Vec<Cpx> = (0..n).map(|k| Cpx::new((k as f64).sin(), 0.0)).collect();
+        g.bench_with_input(BenchmarkId::new("fft1d", n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft_inplace(black_box(&mut d), false);
+                black_box(d)
+            });
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("fft3d_64", |b| {
+        let mut grid = Grid3::zeros(64);
+        for i in 0..64 {
+            *grid.get_mut(i, i, i) = Cpx::real(1.0);
+        }
+        b.iter(|| {
+            let mut g2 = grid.clone();
+            g2.fft3(false);
+            black_box(g2)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Functional-simulation throughput of the G5 pipeline: bit-faithful
+//! LNS arithmetic vs the fast f64 path (both with identical timing
+//! accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use g5util::fixed::RangeScaler;
+use grape5::pipeline::{G5Pipeline, JWord};
+use grape5::{ArithMode, Grape5Config};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scaler = RangeScaler::new(-1.0, 1.0, 32);
+    let q = scaler.quantum();
+    let words: Vec<JWord> = (1..=4096i64)
+        .map(|k| {
+            let raw = [k * 1_000_003 % (1 << 30), (k * 37) % (1 << 29), k * k % (1 << 28)];
+            (raw, 1.0 + (k % 7) as f64)
+        })
+        .map(|(raw, m)| {
+            let cfg = Grape5Config::paper();
+            let p = G5Pipeline::new(&cfg, q, 0.0);
+            JWord { raw, m_lns: p.encode_mass(m), m }
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("grape_pipeline");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    for (name, mode) in [("lns", ArithMode::Lns), ("exact", ArithMode::Exact)] {
+        let cfg = Grape5Config { mode, ..Grape5Config::paper() };
+        let pipe = G5Pipeline::new(&cfg, q, 0.0);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for w in &words {
+                    acc += pipe.interact(black_box([123, -456, 789]), w).acc.x;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

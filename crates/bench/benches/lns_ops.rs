@@ -1,0 +1,46 @@
+//! Logarithmic-number-system primitive throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use g5util::lns::LnsConfig;
+use std::hint::black_box;
+
+fn bench_lns(c: &mut Criterion) {
+    let cfg = LnsConfig::GRAPE5;
+    let xs: Vec<f64> = (1..=1024).map(|k| k as f64 * 0.37 + 0.01).collect();
+    let encoded: Vec<_> = xs.iter().map(|&x| cfg.encode(x)).collect();
+
+    let mut g = c.benchmark_group("lns_ops");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(cfg.encode(black_box(x)));
+            }
+        })
+    });
+    g.bench_function("mul", |b| {
+        b.iter(|| {
+            for w in encoded.windows(2) {
+                black_box(w[0].mul(w[1]));
+            }
+        })
+    });
+    g.bench_function("add", |b| {
+        b.iter(|| {
+            for w in encoded.windows(2) {
+                black_box(w[0].add(w[1]));
+            }
+        })
+    });
+    g.bench_function("pow_neg_3_2", |b| {
+        b.iter(|| {
+            for &e in &encoded {
+                black_box(e.pow_neg_3_2());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lns);
+criterion_main!(benches);

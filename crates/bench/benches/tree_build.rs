@@ -1,0 +1,21 @@
+//! Octree construction throughput (host-side phase 1 of every step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use g5_bench::plummer;
+use g5tree::tree::Tree;
+use std::hint::black_box;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    for n in [10_000usize, 50_000, 200_000] {
+        let snap = plummer(n, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Tree::build(black_box(&snap.pos), black_box(&snap.mass)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_build);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Interaction-list construction throughput (host-side phase 2):
+//! modified (grouped) vs original traversal at the paper's theta.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g5_bench::plummer;
+use g5tree::traverse::Traversal;
+use g5tree::tree::Tree;
+use std::hint::black_box;
+
+fn bench_traverse(c: &mut Criterion) {
+    let snap = plummer(100_000, 2);
+    let tree = Tree::build(&snap.pos, &snap.mass);
+    let tr = Traversal::new(0.75);
+
+    let mut g = c.benchmark_group("tree_traverse");
+    g.sample_size(10);
+    for ng in [500usize, 2000, 8000] {
+        g.bench_with_input(BenchmarkId::new("modified", ng), &ng, |b, &ng| {
+            b.iter(|| black_box(tr.modified_tally(&tree, ng)));
+        });
+    }
+    g.bench_function("original", |b| b.iter(|| black_box(tr.original_tally(&tree))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_traverse);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Whole-force-computation comparison: direct O(N^2) vs the modified
+//! treecode, on the host (the E8 scaling experiment's micro version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g5_bench::plummer;
+use treegrape::{DirectHost, ForceBackend, TreeHost};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_vs_direct");
+    g.sample_size(10);
+    for n in [4096usize, 16384] {
+        let snap = plummer(n, 3);
+        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            let mut backend = DirectHost::new(0.01);
+            b.iter(|| black_box(backend.compute(&snap.pos, &snap.mass)));
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            let mut backend = TreeHost::modified(0.75, 512, 0.01);
+            b.iter(|| black_box(backend.compute(&snap.pos, &snap.mass)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! **Ablations — the design choices behind the paper's system.**
+//!
+//! Four sweeps, each isolating one design axis:
+//!
+//! 1. **Pipeline word length** (LNS fractional bits): the GRAPE-3 → 5
+//!    redesign; §2's claim that 0.3 % pairwise error "is more than
+//!    enough" is visible as the force error saturating at the tree
+//!    error long before the word gets as wide as f64.
+//! 2. **Gaussian-log table size**: how many ROM address bits the LNS
+//!    adder needs before quantization, not table resolution, dominates.
+//! 3. **Monopole vs quadrupole, BH vs min-distance MAC**: the host
+//!    treecode refinements GRAPE-5 *cannot* use (monopole-only
+//!    pipeline); quantifies what the hardware constraint costs at
+//!    equal θ.
+//! 4. **Tree leaf capacity**: build-vs-traverse trade in host cost.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_ablation -- [--n 3000]
+//! ```
+
+use g5_bench::{plummer, rule, Args};
+use g5tree::mac::MacKind;
+use g5tree::traverse::Traversal;
+use g5tree::tree::{Tree, TreeConfig};
+use g5util::lns::LnsConfig;
+use g5util::lns_table::GaussLogTable;
+use treegrape::accuracy::compare;
+use treegrape::{DirectGrape, DirectHost, ForceBackend};
+use grape5::Grape5Config;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 3000);
+    let eps = 0.01;
+    let snap = plummer(n, 41);
+    let exact = DirectHost::new(eps).compute(&snap.pos, &snap.mass);
+
+    // ------------------------------------------------------------------
+    println!("A1: pipeline word length (LNS fractional bits) vs whole-force error, N = {n}");
+    rule(64);
+    println!("{:>10} {:>14} {:>16}", "frac bits", "per-op err %", "force rms err %");
+    rule(64);
+    for bits in [4u32, 6, 8, 10, 12, 16] {
+        let lns = LnsConfig::new(bits, -512, 511);
+        let cfg = Grape5Config { lns, ..Grape5Config::paper() };
+        let fs = DirectGrape::new(cfg, eps).compute(&snap.pos, &snap.mass);
+        let e = compare(&fs, &exact);
+        println!(
+            "{bits:>10} {:>14.4} {:>16.4}",
+            lns.unit_relative_error() * 100.0,
+            e.rms * 100.0
+        );
+    }
+    println!("(GRAPE-3 ~ 6 bits, GRAPE-5 = 8 bits; the paper's tree error ~0.1 % makes");
+    println!(" anything beyond ~8 bits invisible in the total force — §2's argument)");
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("A2: Gaussian-log ROM size vs adder accuracy");
+    rule(56);
+    println!("{:>12} {:>10} {:>18}", "addr bits", "entries", "max |sb err|");
+    rule(56);
+    for addr in [4u32, 6, 8, 10, 12, 14] {
+        let t = GaussLogTable::new(addr, 24, 16.0);
+        println!("{addr:>12} {:>10} {:>18.3e}", t.len(), t.sb_max_error(1 << 16));
+    }
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("A3: host-treecode refinements GRAPE cannot use (theta = 0.9, N = {n})");
+    rule(76);
+    println!("{:<34} {:>14} {:>14}", "variant", "interactions", "force rms err %");
+    rule(76);
+    let theta = 0.9;
+    for (label, quad, kind) in [
+        ("monopole, Barnes-Hut MAC (paper)", false, MacKind::BarnesHut),
+        ("monopole, min-distance MAC", false, MacKind::MinDistance),
+        ("quadrupole, Barnes-Hut MAC", true, MacKind::BarnesHut),
+        ("quadrupole, min-distance MAC", true, MacKind::MinDistance),
+    ] {
+        let tree_config = TreeConfig { quadrupole: quad, ..TreeConfig::default() };
+        let tree = Tree::build_with(&snap.pos, &snap.mass, tree_config);
+        let mut tr = Traversal::new(theta);
+        tr.mac.kind = kind;
+        let tally = tr.modified_tally(&tree, 256);
+        // force evaluation with the same MAC kind
+        let mut out = vec![g5tree::eval::PointForce::ZERO; snap.len()];
+        let mut list = Vec::new();
+        for g in tr.find_groups(&tree, 256) {
+            tr.modified_list(&tree, g, &mut list);
+            g5tree::eval::eval_group(&tree, g, &list, eps, &mut out);
+        }
+        let fs = treegrape::backends::ForceSet {
+            acc: out.iter().map(|p| p.acc).collect(),
+            pot: out.iter().map(|p| p.pot).collect(),
+            tally,
+        };
+        let e = compare(&fs, &exact);
+        println!("{label:<34} {:>14} {:>14.4}", tally.interactions, e.rms * 100.0);
+    }
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("A4: tree leaf capacity vs host work (theta = 0.75, n_crit = 256)");
+    rule(70);
+    println!("{:>10} {:>10} {:>14} {:>14}", "leaf cap", "nodes", "list terms", "build ms");
+    rule(70);
+    for cap in [1usize, 4, 8, 16, 32] {
+        let cfg = TreeConfig { leaf_capacity: cap, ..TreeConfig::default() };
+        let t0 = std::time::Instant::now();
+        let tree = Tree::build_with(&snap.pos, &snap.mass, cfg);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let tally = Traversal::new(0.75).modified_tally(&tree, 256);
+        println!(
+            "{cap:>10} {:>10} {:>14} {:>14.2}",
+            tree.nodes().len(),
+            tally.terms,
+            build_ms
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! **E3 — the §2 accuracy claims.**
+//!
+//! Three measurements:
+//!
+//! 1. the **pairwise** relative force error of the LNS pipeline over a
+//!    random pair ensemble (paper: "about 0.3%");
+//! 2. the **whole-force** error of a direct GRAPE sum against the `f64`
+//!    direct sum (hardware error averages down over a long sum);
+//! 3. the error budget of the full system: tree-only, hardware-only,
+//!    and tree+hardware forces against the exact direct sum (paper:
+//!    "average error of the force in our simulation is around 0.1%,
+//!    dominated by the approximation made in the tree algorithm and not
+//!    by the accuracy of the hardware"; "practically the same when we
+//!    performed the same force calculation using standard 64-bit
+//!    floating point arithmetic").
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_accuracy -- \
+//!     [--n 4000] [--pairs 20000] [--theta 0.75] [--ncrit 256]
+//! ```
+
+use g5_bench::{plummer, rule, Args};
+use g5util::fixed::RangeScaler;
+use g5util::stats::{Histogram, Summary};
+use g5util::vec3::Vec3;
+use grape5::pipeline::{G5Pipeline, JWord};
+use grape5::{ArithMode, Grape5Config};
+use rand::{Rng, SeedableRng};
+use treegrape::accuracy::compare;
+use treegrape::{DirectGrape, DirectHost, ForceBackend, TreeGrape, TreeGrapeConfig, TreeHost};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 4000);
+    let pairs: usize = args.get("pairs", 20_000);
+    let theta: f64 = args.get("theta", 0.75);
+    let ncrit: usize = args.get("ncrit", 256);
+    let eps = 0.01;
+
+    // ------------------------------------------------------------------
+    // 1. pairwise pipeline error
+    // ------------------------------------------------------------------
+    println!("E3.1: pairwise force error of the G5 pipeline ({pairs} random pairs)");
+    let cfg = Grape5Config::paper();
+    let scaler = RangeScaler::new(-1.0, 1.0, cfg.coord_bits);
+    let pipe = G5Pipeline::new(&cfg, scaler.quantum(), 0.0);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+    let mut errs = Vec::with_capacity(pairs);
+    let mut hist = Histogram::new(0.0, 0.01, 20);
+    while errs.len() < pairs {
+        let raw = [
+            scaler.quantize(rng.random_range(-0.9..0.9)),
+            scaler.quantize(rng.random_range(-0.9..0.9)),
+            scaler.quantize(rng.random_range(-0.9..0.9)),
+        ];
+        if raw == [0, 0, 0] {
+            continue;
+        }
+        let m = rng.random_range(0.1..10.0);
+        let j = JWord { raw, m_lns: pipe.encode_mass(m), m };
+        let f = pipe.interact([0, 0, 0], &j);
+        let q = scaler.quantum();
+        let dx = Vec3::new(raw[0] as f64 * q, raw[1] as f64 * q, raw[2] as f64 * q);
+        let r2 = dx.norm2();
+        let fe = dx * (m / (r2 * r2.sqrt()));
+        let rel = (f.acc - fe).norm() / fe.norm();
+        hist.push(rel);
+        errs.push(rel);
+    }
+    let s = Summary::of(&errs);
+    println!(
+        "  rms = {:.4}%  mean = {:.4}%  max = {:.4}%   (paper: \"about 0.3%\")",
+        s.rms() * 100.0,
+        s.mean() * 100.0,
+        s.max() * 100.0
+    );
+    println!("  distribution of pairwise relative errors:");
+    print!("{}", hist.ascii(48));
+
+    // ------------------------------------------------------------------
+    // 2./3. whole-force error budget
+    // ------------------------------------------------------------------
+    println!();
+    println!("E3.2: whole-force error budget on a Plummer model, N = {n}, theta = {theta}, n_crit = {ncrit}");
+    let snap = plummer(n, 31);
+    let exact = DirectHost::new(eps).compute(&snap.pos, &snap.mass);
+
+    let hw_only = DirectGrape::new(Grape5Config::paper(), eps).compute(&snap.pos, &snap.mass);
+    let tree_only = TreeHost::modified(theta, ncrit, eps).compute(&snap.pos, &snap.mass);
+    let combined = TreeGrape::new(TreeGrapeConfig {
+        theta,
+        n_crit: ncrit,
+        eps,
+        grape: Grape5Config { mode: ArithMode::Lns, ..Grape5Config::paper() },
+        ..TreeGrapeConfig::paper(eps)
+    })
+    .compute(&snap.pos, &snap.mass);
+    let combined_f64 = TreeGrape::new(TreeGrapeConfig {
+        theta,
+        n_crit: ncrit,
+        eps,
+        grape: Grape5Config::paper_exact(),
+        ..TreeGrapeConfig::paper(eps)
+    })
+    .compute(&snap.pos, &snap.mass);
+
+    rule(76);
+    println!("{:<44} {:>9} {:>9} {:>9}", "force vs exact direct f64", "rms %", "median %", "p99 %");
+    rule(76);
+    for (label, fs) in [
+        ("hardware only (direct sum on LNS GRAPE)", &hw_only),
+        ("tree only (modified treecode, f64)", &tree_only),
+        ("tree + hardware (the paper's system)", &combined),
+        ("tree + GRAPE with 64-bit arithmetic", &combined_f64),
+    ] {
+        let r = compare(fs, &exact);
+        println!(
+            "{label:<44} {:>9.4} {:>9.4} {:>9.4}",
+            r.rms * 100.0,
+            r.median * 100.0,
+            r.p99 * 100.0
+        );
+    }
+    rule(76);
+    let r_tree = compare(&tree_only, &exact);
+    let r_hw = compare(&hw_only, &exact);
+    let r_comb = compare(&combined, &exact);
+    let r_c64 = compare(&combined_f64, &exact);
+    println!(
+        "tree error dominates hardware error: {} ({:.4}% vs {:.4}%)",
+        r_tree.rms > r_hw.rms,
+        r_tree.rms * 100.0,
+        r_hw.rms * 100.0
+    );
+    println!(
+        "LNS vs 64-bit system forces 'practically the same': rms {:.4}% vs {:.4}%",
+        r_comb.rms * 100.0,
+        r_c64.rms * 100.0
+    );
+}

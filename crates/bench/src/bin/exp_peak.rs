@@ -1,0 +1,59 @@
+//! **E5 — peak speed and pipeline efficiency (§2).**
+//!
+//! "The theoretical peak speed of the GRAPE-5 system is 109.44 Gflops.
+//! Total number of pipeline processors is 32. Each processor pipeline
+//! operates 38 operations in a clock cycle."
+//!
+//! This binary drives direct O(N²) summations through the simulated
+//! hardware and prices the counted work at the real clocks, showing how
+//! the sustained speed approaches the 109.44 Gflops peak as N (and thus
+//! the j-stream length amortizing latency and transfer) grows — the
+//! same saturation curve every GRAPE paper plots.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_peak
+//! ```
+
+use g5_bench::{plummer, rule, Args};
+use grape5::Grape5Config;
+use treegrape::{DirectGrape, ForceBackend};
+
+fn main() {
+    let args = Args::parse();
+    let n_max: usize = args.get("nmax", 65_536);
+    let hw = Grape5Config::paper();
+    println!(
+        "E5: pipeline saturation toward the theoretical peak ({:.2} Gflops = {} pipes x {} MHz x 38 ops)",
+        hw.peak_flops() / 1e9,
+        hw.total_pipes(),
+        hw.chip_clock_hz / 1e6
+    );
+
+    println!();
+    rule(86);
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "N", "interactions", "pipe s", "xfer s", "latency s", "Gflops", "% of peak"
+    );
+    rule(86);
+    let mut n = 1024usize;
+    while n <= n_max {
+        let snap = plummer(n, 23);
+        let mut backend = DirectGrape::new(Grape5Config::paper_exact(), 0.01);
+        let _ = backend.compute(&snap.pos, &snap.mass);
+        let report = backend.grape_accounting().unwrap().report(&hw);
+        println!(
+            "{n:>8} {:>14.3e} {:>12.4} {:>12.4} {:>12.4} {:>12.2} {:>9.1}%",
+            report.interactions as f64,
+            report.pipeline_s,
+            report.transfer_s,
+            report.latency_s,
+            report.gflops(),
+            report.efficiency(&hw) * 100.0
+        );
+        n *= 2;
+    }
+    rule(86);
+    println!("pipeline-only limit: 38 ops x 32 pipes x 90 MHz = 109.44 Gflops;");
+    println!("the interface words (7 per i-particle) and per-call latency set the saturation N.");
+}

@@ -1,0 +1,223 @@
+//! **E1 + E6 — the §5 headline table and §4 cost accounting.**
+//!
+//! Runs the paper's system (modified treecode on GRAPE-5) on a
+//! standard-CDM sphere at laptop scale, measures interaction counts and
+//! hardware work, projects them onto the DS10 + GRAPE-5 clocks, and
+//! prints the §5 quantities next to the published values:
+//! total interactions, average list length, wall-clock, raw Gflops,
+//! original-algorithm-corrected effective Gflops, and $/Mflops.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_performance -- \
+//!     [--n 200000] [--steps 4] [--theta 0.75] [--ncrit 2000] [--paper-scale]
+//! ```
+//!
+//! `--paper-scale` additionally rescales the measured per-step counts
+//! to N = 2,159,038 / 999 steps using the N log N interaction-count law
+//! before projecting, reproducing the full-run numbers.
+
+use g5_bench::{cdm, fmt_count, fmt_secs, rule, Args};
+use g5tree::traverse::Traversal;
+use g5tree::tree::Tree;
+use g5util::counters::InteractionTally;
+use grape5::{ClockAccounting, CostModel, Grape5Config};
+use treegrape::perf::{HostModel, PaperProjection, RunMeasurement};
+use treegrape::{Simulation, TreeGrape, TreeGrapeConfig};
+
+fn main() {
+    let args = Args::parse();
+    let n_target: usize = args.get("n", 120_000);
+    let steps: u64 = args.get("steps", 4);
+    // theta = 0.6 inferred from the paper: it reproduces both the
+    // ~0.1 % force error of section 2 and the original-algorithm
+    // per-target list length (4.69e12 / (N*999) = 2173) far better than
+    // the conventional 0.75
+    let theta: f64 = args.get("theta", 0.6);
+    let n_crit: usize = args.get("ncrit", 2000);
+    let paper_scale = args.flag("paper-scale");
+
+    println!("E1: generating standard-CDM sphere (target {n_target} particles)...");
+    let ic = cdm(n_target, 1999);
+    let n = ic.snapshot.len();
+    let (t_init, _) = ic.units.run_span();
+    // shared timesteps uniform in scale factor, 999-step convention:
+    // we run only the first `steps` of the 999-entry schedule
+    let schedule = ic.units.a_uniform_schedule(999);
+    let eps = 0.005; // ~0.25 Mpc softening in sphere-radius units
+
+    println!("  N = {n}, z_init = {}, eps = {eps}", ic.cosmo.z_init);
+
+    let cfg = TreeGrapeConfig { theta, n_crit, eps, ..TreeGrapeConfig::paper(eps) };
+    let backend = TreeGrape::new(cfg);
+    let wall = std::time::Instant::now();
+    let mut sim = Simulation::new(ic.snapshot, backend, t_init);
+    sim.run_schedule(&schedule[..steps as usize]);
+    let measured_wall_s = wall.elapsed().as_secs_f64();
+    let evals = steps + 1; // init + one per step
+
+    let modified = sim.tally();
+    let grape = sim.backend().accounting();
+
+    // §5's correction: estimate the original-algorithm interaction count
+    // on snapshots with the same accuracy parameter.
+    println!("  estimating original-algorithm interaction count on the final snapshot...");
+    let tree = Tree::build(&sim.state.pos, &sim.state.mass);
+    let orig_one = Traversal::new(theta).original_tally(&tree);
+    let original_interactions = orig_one.interactions * evals;
+
+    let mut m = RunMeasurement {
+        n,
+        steps: evals,
+        theta,
+        n_crit,
+        modified,
+        original_interactions,
+        grape,
+        measured_wall_s,
+    };
+
+    if !paper_scale {
+        // default: print BOTH the as-measured projection and the
+        // paper-scale projection; --paper-scale prints only the latter
+        print_table(&m, "as measured");
+    }
+    m = rescale_to_paper(&m);
+    println!();
+    println!("  rescaled to N = {} / {} steps via the N-list-length law", m.n, m.steps);
+    print_table(&m, "paper scale");
+    println!(
+        "(actual wall-clock of this simulated run on this machine: {})",
+        fmt_secs(measured_wall_s)
+    );
+}
+
+fn print_table(m: &RunMeasurement, label: &str) {
+    let projection =
+        PaperProjection::project(m, &HostModel::ds10(), &Grape5Config::paper(), &CostModel::paper());
+    let paper = PaperProjection::paper_reference();
+
+    println!();
+    println!("E1 — performance accounting, {label} ({} evaluations of N = {})", m.steps, m.n);
+    rule(78);
+    println!("{:<38} {:>18} {:>18}", "quantity", "measured/projected", "paper (SC'99)");
+    rule(78);
+    row("particles N", &fmt_count(projection.n as u64), &fmt_count(paper.n as u64));
+    row("force evaluations", &fmt_count(projection.steps), &fmt_count(paper.steps));
+    row(
+        "interactions (modified tree)",
+        &format!("{:.3e}", projection.interactions as f64),
+        &format!("{:.3e}", paper.interactions as f64),
+    );
+    row(
+        "avg interaction-list length",
+        &format!("{:.0}", projection.avg_list_len),
+        &format!("{:.0}", paper.avg_list_len),
+    );
+    row(
+        "interactions (original tree)",
+        &format!("{:.3e}", projection.original_interactions as f64),
+        &format!("{:.3e}", paper.original_interactions as f64),
+    );
+    row(
+        "orig/modified interaction ratio",
+        &format!(
+            "{:.3}",
+            projection.original_interactions as f64 / projection.interactions as f64
+        ),
+        &format!("{:.3}", paper.original_interactions as f64 / paper.interactions as f64),
+    );
+    row("modeled wall-clock", &fmt_secs(projection.wall_s), &fmt_secs(paper.wall_s));
+    row(
+        "  host / step",
+        &fmt_secs(projection.step.host_s),
+        &format!("~{}", fmt_secs(paper.step.host_s)),
+    );
+    row(
+        "  GRAPE pipeline / step",
+        &fmt_secs(projection.step.pipeline_s),
+        &format!("~{}", fmt_secs(paper.step.pipeline_s)),
+    );
+    row(
+        "  GRAPE transfer / step",
+        &fmt_secs(projection.step.transfer_s),
+        &format!("~{}", fmt_secs(paper.step.transfer_s)),
+    );
+    row(
+        "raw sustained speed",
+        &format!("{:.1} Gflops", projection.raw_gflops),
+        &format!("{:.1} Gflops", paper.raw_gflops),
+    );
+    row(
+        "effective sustained speed",
+        &format!("{:.2} Gflops", projection.effective_gflops),
+        &format!("{:.2} Gflops", paper.effective_gflops),
+    );
+    row(
+        "system cost",
+        &format!("${:.0}", projection.price.total_usd),
+        &format!("${:.0}", paper.price.total_usd),
+    );
+    row(
+        "price/performance",
+        &format!("${:.1}/Mflops", projection.price.usd_per_mflops),
+        &format!("${:.1}/Mflops", paper.price.usd_per_mflops),
+    );
+    rule(78);
+}
+
+fn row(label: &str, a: &str, b: &str) {
+    println!("{label:<38} {a:>18} {b:>18}");
+}
+
+/// Scale a measured run to the paper's N and step count. Interactions
+/// per particle-step grow ≈ like the list length, which grows
+/// logarithmically in N at fixed n_crit and θ; we scale per-particle
+/// list length by the measured-list-to-paper-list model
+/// `len(N) ≈ a + b·log2(N)` fitted through the measured point with the
+/// paper's slope, and scale host terms proportionally.
+fn rescale_to_paper(m: &RunMeasurement) -> RunMeasurement {
+    const PAPER_N: usize = 2_159_038;
+    const PAPER_STEPS: u64 = 999;
+    let evals = m.steps;
+    let len_now = m.modified.mean_len_per_target(m.n as u64 * evals);
+    // log-growth of the cell part of the list; the direct part (n_crit)
+    // does not grow. Empirical slope from tree-theory: ~len ∝ log N for
+    // the cell terms.
+    let cell_part = (len_now - m.n_crit as f64).max(0.0);
+    // cell terms per target scale as log2(N / n_crit): the walk depth
+    // between the group level and the root
+    let growth = ((PAPER_N as f64 / m.n_crit as f64).log2()
+        / (m.n as f64 / m.n_crit as f64).log2())
+    .max(1.0);
+    let len_paper = m.n_crit as f64 + cell_part * growth;
+    let int_per_step = len_paper * PAPER_N as f64;
+    let scale_int = int_per_step * PAPER_STEPS as f64 / m.modified.interactions as f64;
+    let scale_lists =
+        (PAPER_N as f64 / m.n as f64) * (PAPER_STEPS as f64 / evals as f64);
+
+    let modified = InteractionTally {
+        interactions: (m.modified.interactions as f64 * scale_int) as u64,
+        terms: (m.modified.terms as f64 * scale_int) as u64,
+        lists: (m.modified.lists as f64 * scale_lists) as u64,
+    };
+    let grape = ClockAccounting {
+        pipeline_cycles: (m.grape.pipeline_cycles as f64 * scale_int) as u64,
+        iface_words: (m.grape.iface_words as f64 * scale_int) as u64,
+        calls: (m.grape.calls as f64 * scale_lists) as u64,
+        interactions: modified.interactions,
+    };
+    let orig_per_target = m.original_interactions as f64 / (m.n as u64 * evals) as f64;
+    // original lists are almost all cell terms; their depth factor is
+    // log2 N (walks go leaf-to-root)
+    let growth_orig = ((PAPER_N as f64).log2() / (m.n as f64).log2()).max(1.0);
+    let original_interactions =
+        (orig_per_target * growth_orig * PAPER_N as f64 * PAPER_STEPS as f64) as u64;
+    RunMeasurement {
+        n: PAPER_N,
+        steps: PAPER_STEPS,
+        modified,
+        original_interactions,
+        grape,
+        ..*m
+    }
+}

@@ -1,0 +1,68 @@
+//! **E8 — O(N log N) vs O(N²) scaling (§1's motivation).**
+//!
+//! "The calculation cost of the astrophysical N-body simulation rapidly
+//! increases for large N, because it is proportional to N² if we use a
+//! straightforward approach. [...] Hierarchical tree algorithm is one
+//! of such fast algorithms which reduce the calculation cost from
+//! O(N²) to O(N log N)."
+//!
+//! Sweeps N, measures interaction counts and wall-clock of direct
+//! summation vs the modified treecode (both in `f64` on this machine),
+//! and fits the growth exponents.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_scaling -- [--nmax 131072]
+//! ```
+
+use g5_bench::{fmt_secs, plummer, rule, Args};
+use treegrape::{DirectHost, ForceBackend, TreeHost};
+
+fn main() {
+    let args = Args::parse();
+    let n_max: usize = args.get("nmax", 131_072);
+    let theta: f64 = args.get("theta", 0.75);
+    let eps = 0.01;
+
+    println!("E8: direct O(N^2) vs treecode O(N log N), theta = {theta}");
+    println!();
+    rule(92);
+    println!(
+        "{:>8} {:>14} {:>12} {:>14} {:>12} {:>10}",
+        "N", "direct int", "direct time", "tree int", "tree time", "speedup"
+    );
+    rule(92);
+
+    let mut rows: Vec<(usize, u64, f64, u64, f64)> = Vec::new();
+    let mut n = 4096usize;
+    while n <= n_max {
+        let snap = plummer(n, 9);
+        let t0 = std::time::Instant::now();
+        let fd = DirectHost::new(eps).compute(&snap.pos, &snap.mass);
+        let td = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let ft = TreeHost::modified(theta, 512, eps).compute(&snap.pos, &snap.mass);
+        let tt = t1.elapsed().as_secs_f64();
+        println!(
+            "{n:>8} {:>14.3e} {:>12} {:>14.3e} {:>12} {:>9.1}x",
+            fd.tally.interactions as f64,
+            fmt_secs(td),
+            ft.tally.interactions as f64,
+            fmt_secs(tt),
+            td / tt
+        );
+        rows.push((n, fd.tally.interactions, td, ft.tally.interactions, tt));
+        n *= 2;
+    }
+    rule(92);
+
+    // growth exponents between the extreme rows: slope of log(cost)/log(N)
+    if rows.len() >= 2 {
+        let (n0, d0, _, t0, _) = rows[0];
+        let (n1, d1, _, t1, _) = rows[rows.len() - 1];
+        let ln = (n1 as f64 / n0 as f64).ln();
+        let exp_direct = (d1 as f64 / d0 as f64).ln() / ln;
+        let exp_tree = (t1 as f64 / t0 as f64).ln() / ln;
+        println!("interaction-count growth exponents: direct N^{exp_direct:.2}, tree N^{exp_tree:.2}");
+        println!("(expected: direct exactly 2; tree slightly above 1 from the log N list growth)");
+    }
+}

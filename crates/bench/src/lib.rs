@@ -1,0 +1,127 @@
+//! Shared plumbing for the experiment binaries: a tiny `--key value`
+//! argument parser, workload constructors, and table printing.
+//!
+//! Each binary in `src/bin/` regenerates one evaluated item of the
+//! paper; see `DESIGN.md` §5 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+use g5ic::{plummer_sphere, CosmologicalIc, Snapshot, ZeldovichConfig};
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` command-line parser.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args`, treating `--key value` pairs and bare
+    /// `--flag`s (stored as `"true"`).
+    pub fn parse() -> Args {
+        let mut map = HashMap::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    map.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    map.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("ignoring stray argument {a:?}");
+                i += 1;
+            }
+        }
+        Args { map }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.map.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                panic!("could not parse --{key} {v:?}");
+            }),
+        }
+    }
+
+    /// Flag lookup.
+    pub fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+/// A deterministic Plummer model (clustered workload) of `n` particles.
+pub fn plummer(n: usize, seed: u64) -> Snapshot {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    plummer_sphere(n, &mut rng)
+}
+
+/// A standard-CDM sphere realization with at least `n_target` particles.
+pub fn cdm(n_target: usize, seed: u64) -> CosmologicalIc {
+    CosmologicalIc::generate(&ZeldovichConfig::for_target_particles(n_target, seed))
+}
+
+/// Print a horizontal rule sized to a table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format a big count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Seconds, human-formatted.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.2} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_groups_digits() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(29_000_000_000_000), "29,000,000,000,000");
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.005), "5.00 ms");
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(90.0), "1.5 min");
+        assert_eq!(fmt_secs(30141.0), "8.37 h");
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = plummer(100, 5);
+        let b = plummer(100, 5);
+        assert_eq!(a.pos, b.pos);
+    }
+}

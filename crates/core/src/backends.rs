@@ -1,0 +1,488 @@
+//! Interchangeable force backends.
+//!
+//! Every backend maps a particle snapshot to per-particle acceleration
+//! and (positive) potential, and reports how many pairwise interactions
+//! it evaluated — the quantity the paper's Gflops accounting is built
+//! on. The four backends reproduce the paper's comparison axes:
+//!
+//! | backend | algorithm | arithmetic | role |
+//! |---|---|---|---|
+//! | [`DirectHost`] | O(N²) | `f64` | exact reference |
+//! | [`DirectGrape`] | O(N²) | GRAPE-5 | hardware-error baseline, peak-speed runs |
+//! | [`TreeHost`] | tree (modified or original) | `f64` | algorithm-error reference |
+//! | [`TreeGrape`] | modified tree | GRAPE-5 | **the paper's system** |
+
+use g5tree::eval::{self, PointForce};
+use g5tree::traverse::Traversal;
+use g5tree::tree::{Tree, TreeConfig};
+use g5util::counters::InteractionTally;
+use g5util::vec3::Vec3;
+use grape5::{ClockAccounting, Grape5, Grape5Config};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-particle output of one force computation.
+#[derive(Debug, Clone, Default)]
+pub struct ForceSet {
+    /// Accelerations, in input order.
+    pub acc: Vec<Vec3>,
+    /// Positive potentials `Σ m_j/r`, in input order.
+    pub pot: Vec<f64>,
+    /// Pairwise-interaction statistics of this evaluation.
+    pub tally: InteractionTally,
+}
+
+impl ForceSet {
+    fn zeros(n: usize) -> ForceSet {
+        ForceSet { acc: vec![Vec3::ZERO; n], pot: vec![0.0; n], tally: InteractionTally::default() }
+    }
+
+    fn from_point_forces(f: Vec<PointForce>, tally: InteractionTally) -> ForceSet {
+        ForceSet {
+            acc: f.iter().map(|p| p.acc).collect(),
+            pot: f.iter().map(|p| p.pot).collect(),
+            tally,
+        }
+    }
+}
+
+/// A gravitational force calculator.
+pub trait ForceBackend {
+    /// Compute accelerations and potentials for the snapshot.
+    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// GRAPE-side hardware accounting since construction/reset, if this
+    /// backend drives the hardware.
+    fn grape_accounting(&self) -> Option<ClockAccounting> {
+        None
+    }
+}
+
+// ----------------------------------------------------------------------
+// Direct summation on the host
+// ----------------------------------------------------------------------
+
+/// Exact O(N²) summation in `f64` on the host.
+#[derive(Debug, Clone)]
+pub struct DirectHost {
+    /// Softening length ε.
+    pub eps: f64,
+}
+
+impl DirectHost {
+    /// Create with softening ε.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps >= 0.0, "negative softening");
+        DirectHost { eps }
+    }
+}
+
+impl ForceBackend for DirectHost {
+    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        let f = eval::direct_forces(pos, mass, self.eps);
+        let n = pos.len() as u64;
+        let tally = InteractionTally { interactions: n * n, terms: n * n, lists: n };
+        ForceSet::from_point_forces(f, tally)
+    }
+
+    fn name(&self) -> &'static str {
+        "direct-host"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Direct summation on GRAPE
+// ----------------------------------------------------------------------
+
+/// O(N²) summation through the simulated GRAPE-5 — every particle is a
+/// j-particle for every i-particle. This is how the hardware's peak
+/// throughput is demonstrated (E5) and how its ≈ 0.3 % pairwise error
+/// enters a whole-system force.
+pub struct DirectGrape {
+    g5: Grape5,
+    eps: f64,
+    /// i-particles are sent in chunks of this size per call.
+    pub i_chunk: usize,
+}
+
+impl DirectGrape {
+    /// Open a GRAPE with the given configuration and softening.
+    pub fn new(cfg: Grape5Config, eps: f64) -> Self {
+        assert!(eps >= 0.0, "negative softening");
+        let mut g5 = Grape5::open(cfg);
+        g5.set_eps(eps);
+        DirectGrape { g5, eps, i_chunk: 2048 }
+    }
+
+    /// Access the underlying device (e.g. for accounting resets).
+    pub fn grape_mut(&mut self) -> &mut Grape5 {
+        &mut self.g5
+    }
+}
+
+impl ForceBackend for DirectGrape {
+    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        let (lo, hi) = bounding_window(pos);
+        self.g5.set_range(lo, hi);
+        self.g5.set_eps(self.eps);
+
+        let n = pos.len();
+        let mut out = ForceSet::zeros(n);
+        // j fits memory: load once, stream i chunks; otherwise chunk j too.
+        if n <= self.g5.jmem_capacity() {
+            self.g5.set_j_particles(pos, mass);
+            for start in (0..n).step_by(self.i_chunk) {
+                let end = (start + self.i_chunk).min(n);
+                let forces = self.g5.force_on(&pos[start..end]);
+                for (k, f) in forces.into_iter().enumerate() {
+                    out.acc[start + k] = f.acc;
+                    out.pot[start + k] = f.pot;
+                }
+            }
+        } else {
+            for start in (0..n).step_by(self.i_chunk) {
+                let end = (start + self.i_chunk).min(n);
+                let forces = self.g5.force_on_chunked(pos, mass, &pos[start..end]);
+                for (k, f) in forces.into_iter().enumerate() {
+                    out.acc[start + k] = f.acc;
+                    out.pot[start + k] = f.pot;
+                }
+            }
+        }
+        out.tally = InteractionTally {
+            interactions: (n as u64) * (n as u64),
+            terms: (n as u64) * (n as u64),
+            lists: n as u64,
+        };
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "direct-grape"
+    }
+
+    fn grape_accounting(&self) -> Option<ClockAccounting> {
+        Some(self.g5.accounting())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Treecode on the host
+// ----------------------------------------------------------------------
+
+/// Which traversal the host treecode uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeAlgorithm {
+    /// Barnes & Hut 1986: one list per particle.
+    Original,
+    /// Barnes 1990 (the paper's §3): one shared list per group.
+    Modified,
+}
+
+/// Treecode evaluated in `f64` on the host.
+#[derive(Debug, Clone)]
+pub struct TreeHost {
+    /// Opening-angle accuracy parameter θ.
+    pub theta: f64,
+    /// Group size n_crit (modified algorithm only).
+    pub n_crit: usize,
+    /// Softening length ε.
+    pub eps: f64,
+    /// Traversal variant.
+    pub algorithm: TreeAlgorithm,
+    /// Octree build parameters.
+    pub tree_config: TreeConfig,
+}
+
+impl TreeHost {
+    /// Modified-algorithm host treecode (the paper's default host path).
+    pub fn modified(theta: f64, n_crit: usize, eps: f64) -> Self {
+        TreeHost { theta, n_crit, eps, algorithm: TreeAlgorithm::Modified, tree_config: TreeConfig::default() }
+    }
+
+    /// Original-algorithm host treecode.
+    pub fn original(theta: f64, eps: f64) -> Self {
+        TreeHost { theta, n_crit: 1, eps, algorithm: TreeAlgorithm::Original, tree_config: TreeConfig::default() }
+    }
+}
+
+impl ForceBackend for TreeHost {
+    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        let tree = Tree::build_with(pos, mass, self.tree_config);
+        let tr = Traversal::new(self.theta);
+        match self.algorithm {
+            TreeAlgorithm::Original => {
+                let f = eval::tree_forces_original(&tree, self.theta, self.eps);
+                let tally = tr.original_tally(&tree);
+                ForceSet::from_point_forces(f, tally)
+            }
+            TreeAlgorithm::Modified => {
+                let f = eval::tree_forces_modified(&tree, self.theta, self.n_crit, self.eps);
+                let tally = tr.modified_tally(&tree, self.n_crit);
+                ForceSet::from_point_forces(f, tally)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.algorithm {
+            TreeAlgorithm::Original => "tree-host-original",
+            TreeAlgorithm::Modified => "tree-host-modified",
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The paper's system: modified treecode on GRAPE-5
+// ----------------------------------------------------------------------
+
+/// Configuration of the [`TreeGrape`] backend.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeGrapeConfig {
+    /// Opening-angle accuracy parameter θ (paper: ≈ 0.75).
+    pub theta: f64,
+    /// Group size n_crit = n_g (paper's optimum: ≈ 2000).
+    pub n_crit: usize,
+    /// Softening length ε.
+    pub eps: f64,
+    /// The simulated hardware.
+    pub grape: Grape5Config,
+    /// Octree build parameters.
+    pub tree_config: TreeConfig,
+}
+
+impl TreeGrapeConfig {
+    /// The paper's operating point on the paper's hardware, with `f64`
+    /// pipeline arithmetic for speed (use [`Grape5Config::paper`] in
+    /// `grape` for bit-faithful runs).
+    pub fn paper(eps: f64) -> Self {
+        TreeGrapeConfig {
+            theta: 0.75,
+            n_crit: 2000,
+            eps,
+            grape: Grape5Config::paper_exact(),
+            tree_config: TreeConfig::default(),
+        }
+    }
+}
+
+/// Barnes' modified treecode with force evaluation on GRAPE-5 — the
+/// system the paper benchmarks.
+///
+/// Per step: build the octree on the host, partition into groups of
+/// ≤ n_crit particles, walk the tree once per group to produce the
+/// shared interaction list, load the list into GRAPE j-memory, and let
+/// the pipelines evaluate all `members × list_len` pairwise terms.
+pub struct TreeGrape {
+    /// Operating parameters.
+    pub cfg: TreeGrapeConfig,
+    g5: Grape5,
+}
+
+impl TreeGrape {
+    /// Open the simulated hardware with the given configuration.
+    pub fn new(cfg: TreeGrapeConfig) -> Self {
+        let mut g5 = Grape5::open(cfg.grape);
+        g5.set_eps(cfg.eps);
+        TreeGrape { cfg, g5 }
+    }
+
+    /// Access the underlying device (accounting, range inspection).
+    pub fn grape_mut(&mut self) -> &mut Grape5 {
+        &mut self.g5
+    }
+
+    /// GRAPE accounting snapshot.
+    pub fn accounting(&self) -> ClockAccounting {
+        self.g5.accounting()
+    }
+}
+
+impl ForceBackend for TreeGrape {
+    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        let tree = Tree::build_with(pos, mass, self.cfg.tree_config);
+        let tr = Traversal::new(self.cfg.theta);
+        let groups = tr.find_groups(&tree, self.cfg.n_crit);
+
+        let (lo, hi) = bounding_window(pos);
+        self.g5.set_range(lo, hi);
+        self.g5.set_eps(self.cfg.eps);
+
+        let mut out = ForceSet::zeros(pos.len());
+        let mut tally = InteractionTally::default();
+
+        // Resolve all lists in parallel on the host (that is the paper's
+        // host-side tree-traverse phase), then stream them through the
+        // device serially (one physical GRAPE).
+        let resolved: Vec<(Vec<Vec3>, Vec<f64>, Vec<usize>, Vec<Vec3>)> = groups
+            .par_iter()
+            .map_init(Vec::new, |list, &g| {
+                tr.modified_list(&tree, g, list);
+                let mut jpos = Vec::with_capacity(list.len());
+                let mut jmass = Vec::with_capacity(list.len());
+                for &term in list.iter() {
+                    let (p, m) = term.resolve(&tree);
+                    jpos.push(p);
+                    jmass.push(m);
+                }
+                let node = &tree.nodes()[g.node as usize];
+                let targets: Vec<usize> =
+                    node.range().map(|k| tree.original_index(k)).collect();
+                let xi: Vec<Vec3> = node.range().map(|k| tree.pos()[k]).collect();
+                (jpos, jmass, targets, xi)
+            })
+            .collect();
+
+        for (jpos, jmass, targets, xi) in resolved {
+            let forces = if jpos.len() <= self.g5.jmem_capacity() {
+                self.g5.set_j_particles(&jpos, &jmass);
+                self.g5.force_on(&xi)
+            } else {
+                self.g5.force_on_chunked(&jpos, &jmass, &xi)
+            };
+            tally.interactions += jpos.len() as u64 * targets.len() as u64;
+            tally.terms += jpos.len() as u64;
+            tally.lists += 1;
+            for (t, f) in targets.iter().zip(forces) {
+                out.acc[*t] = f.acc;
+                out.pot[*t] = f.pot;
+            }
+        }
+        out.tally = tally;
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "tree-grape"
+    }
+
+    fn grape_accounting(&self) -> Option<ClockAccounting> {
+        Some(self.g5.accounting())
+    }
+}
+
+/// A padded scalar window covering every coordinate — what the host
+/// library passes to `g5_set_range` each step as the system evolves.
+fn bounding_window(pos: &[Vec3]) -> (f64, f64) {
+    let (lo, hi) = pos
+        .par_iter()
+        .map(|p| (p.min_component(), p.max_component()))
+        .reduce(|| (f64::INFINITY, f64::NEG_INFINITY), |a, b| (a.0.min(b.0), a.1.max(b.1)));
+    let pad = ((hi - lo) * 0.01).max(1e-12);
+    (lo - pad, hi + pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g5ic::plummer_sphere;
+    use g5tree::eval::rms_relative_error;
+    use rand::SeedableRng;
+
+    fn plummer(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let s = plummer_sphere(n, &mut rng);
+        (s.pos, s.mass)
+    }
+
+    fn to_point(fs: &ForceSet) -> Vec<PointForce> {
+        fs.acc.iter().zip(&fs.pot).map(|(&a, &p)| PointForce { acc: a, pot: p }).collect()
+    }
+
+    #[test]
+    fn direct_host_matches_eval_direct() {
+        let (pos, mass) = plummer(200, 1);
+        let mut b = DirectHost::new(0.01);
+        let fs = b.compute(&pos, &mass);
+        assert_eq!(fs.tally.interactions, 200 * 200);
+        let reference = eval::direct_forces(&pos, &mass, 0.01);
+        for (a, r) in fs.acc.iter().zip(&reference) {
+            assert_eq!(*a, r.acc);
+        }
+    }
+
+    #[test]
+    fn direct_grape_exact_mode_close_to_host() {
+        let (pos, mass) = plummer(300, 2);
+        let mut host = DirectHost::new(0.01);
+        let mut grape = DirectGrape::new(Grape5Config::paper_exact(), 0.01);
+        let fh = host.compute(&pos, &mass);
+        let fg = grape.compute(&pos, &mass);
+        // only position quantization separates them: tiny error
+        let e = rms_relative_error(&to_point(&fg), &to_point(&fh));
+        assert!(e < 1e-5, "exact-mode GRAPE rms err {e}");
+        assert!(grape.grape_accounting().unwrap().interactions >= 300 * 300);
+    }
+
+    #[test]
+    fn direct_grape_lns_mode_has_hardware_error() {
+        let (pos, mass) = plummer(300, 3);
+        let mut host = DirectHost::new(0.01);
+        let mut grape = DirectGrape::new(Grape5Config::paper(), 0.01);
+        let fh = host.compute(&pos, &mass);
+        let fg = grape.compute(&pos, &mass);
+        let e = rms_relative_error(&to_point(&fg), &to_point(&fh));
+        // whole-force error is *below* the 0.3% pairwise error thanks to
+        // random error cancellation over the sum, but clearly nonzero
+        assert!(e > 1e-5 && e < 0.01, "LNS-mode GRAPE rms err {e}");
+    }
+
+    #[test]
+    fn tree_host_modified_close_to_direct() {
+        let (pos, mass) = plummer(1500, 4);
+        let mut direct = DirectHost::new(0.01);
+        let mut tree = TreeHost::modified(0.6, 64, 0.01);
+        let fd = direct.compute(&pos, &mass);
+        let ft = tree.compute(&pos, &mass);
+        let e = rms_relative_error(&to_point(&ft), &to_point(&fd));
+        assert!(e < 0.005, "tree-host rms err {e}");
+        assert!(ft.tally.interactions < fd.tally.interactions);
+    }
+
+    #[test]
+    fn tree_grape_matches_tree_host_in_exact_mode() {
+        let (pos, mass) = plummer(1000, 5);
+        let mut th = TreeHost::modified(0.75, 100, 0.02);
+        let cfg = TreeGrapeConfig {
+            theta: 0.75,
+            n_crit: 100,
+            eps: 0.02,
+            grape: Grape5Config::paper_exact(),
+            tree_config: TreeConfig::default(),
+        };
+        let mut tg = TreeGrape::new(cfg);
+        let fh = th.compute(&pos, &mass);
+        let fg = tg.compute(&pos, &mass);
+        // identical lists, identical tallies
+        assert_eq!(fh.tally, fg.tally);
+        let e = rms_relative_error(&to_point(&fg), &to_point(&fh));
+        assert!(e < 1e-4, "tree-grape vs tree-host rms err {e}");
+    }
+
+    #[test]
+    fn tree_grape_accounting_populated() {
+        let (pos, mass) = plummer(500, 6);
+        let mut tg = TreeGrape::new(TreeGrapeConfig {
+            n_crit: 64,
+            ..TreeGrapeConfig::paper(0.01)
+        });
+        let fs = tg.compute(&pos, &mass);
+        let acc = tg.accounting();
+        assert_eq!(acc.interactions, fs.tally.interactions);
+        assert!(acc.pipeline_cycles > 0);
+        assert!(acc.iface_words > 0);
+        assert_eq!(acc.calls, fs.tally.lists);
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(DirectHost::new(0.0).name(), "direct-host");
+        assert_eq!(TreeHost::original(0.5, 0.0).name(), "tree-host-original");
+        assert_eq!(TreeHost::modified(0.5, 8, 0.0).name(), "tree-host-modified");
+    }
+}

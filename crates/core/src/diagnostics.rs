@@ -1,0 +1,152 @@
+//! Conserved-quantity and structure diagnostics.
+
+use g5ic::Snapshot;
+use g5util::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A bundle of diagnostics measured from one snapshot (plus its
+/// per-particle potentials, if energies are wanted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Kinetic energy `½ Σ m v²`.
+    pub kinetic: f64,
+    /// Potential energy `−½ Σ m·pot` (pot is the positive `Σ m_j/r`).
+    pub potential: f64,
+    /// `T + U`.
+    pub total_energy: f64,
+    /// Virial ratio `2T/|U|` (NaN when U = 0).
+    pub virial_ratio: f64,
+    /// Total momentum.
+    pub momentum: Vec3,
+    /// Total angular momentum about the origin.
+    pub angular_momentum: Vec3,
+    /// Mass-weighted center of mass.
+    pub center_of_mass: Vec3,
+}
+
+impl Diagnostics {
+    /// Measure a snapshot. `pot` must be the per-particle positive
+    /// potentials in the same order (pass `&[]` to skip energies).
+    pub fn measure(state: &Snapshot, pot: &[f64]) -> Diagnostics {
+        assert!(
+            pot.is_empty() || pot.len() == state.len(),
+            "potential array length mismatch"
+        );
+        let kinetic: f64 = state
+            .vel
+            .iter()
+            .zip(&state.mass)
+            .map(|(v, &m)| 0.5 * m * v.norm2())
+            .sum();
+        let potential: f64 = if pot.is_empty() {
+            0.0
+        } else {
+            -0.5 * state.mass.iter().zip(pot).map(|(&m, &p)| m * p).sum::<f64>()
+        };
+        let angular_momentum = state
+            .pos
+            .iter()
+            .zip(&state.vel)
+            .zip(&state.mass)
+            .map(|((&x, &v), &m)| x.cross(v) * m)
+            .sum();
+        Diagnostics {
+            kinetic,
+            potential,
+            total_energy: kinetic + potential,
+            virial_ratio: if potential == 0.0 { f64::NAN } else { 2.0 * kinetic / potential.abs() },
+            momentum: state.momentum(),
+            angular_momentum,
+            center_of_mass: state.center_of_mass(),
+        }
+    }
+}
+
+/// Radii enclosing the given mass fractions, about the center of mass
+/// (Lagrangian radii) — the standard collapse/clustering tracker.
+pub fn lagrangian_radii(state: &Snapshot, fractions: &[f64]) -> Vec<f64> {
+    assert!(!state.is_empty(), "empty snapshot");
+    let com = state.center_of_mass();
+    let mut rm: Vec<(f64, f64)> = state
+        .pos
+        .iter()
+        .zip(&state.mass)
+        .map(|(&p, &m)| ((p - com).norm(), m))
+        .collect();
+    rm.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let total: f64 = state.total_mass();
+    let mut out = Vec::with_capacity(fractions.len());
+    for &f in fractions {
+        assert!((0.0..=1.0).contains(&f), "mass fraction {f} outside [0,1]");
+        let target = f * total;
+        let mut acc = 0.0;
+        let mut radius = rm.last().map(|x| x.0).unwrap_or(0.0);
+        for &(r, m) in &rm {
+            acc += m;
+            if acc >= target {
+                radius = r;
+                break;
+            }
+        }
+        out.push(radius);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_body() -> (Snapshot, Vec<f64>) {
+        let state = Snapshot {
+            pos: vec![Vec3::new(0.5, 0.0, 0.0), Vec3::new(-0.5, 0.0, 0.0)],
+            vel: vec![Vec3::new(0.0, 0.5, 0.0), Vec3::new(0.0, -0.5, 0.0)],
+            mass: vec![0.5, 0.5],
+        };
+        // pot_i = m_j / r = 0.5
+        (state, vec![0.5, 0.5])
+    }
+
+    #[test]
+    fn circular_binary_diagnostics() {
+        let (state, pot) = two_body();
+        let d = Diagnostics::measure(&state, &pot);
+        assert!((d.kinetic - 0.125).abs() < 1e-15); // 2 × ½·0.5·0.25
+        assert!((d.potential + 0.25).abs() < 1e-15); // −m₁m₂/r = −0.25
+        assert!((d.total_energy + 0.125).abs() < 1e-15);
+        // circular orbit is virialized: 2T/|U| = 1
+        assert!((d.virial_ratio - 1.0).abs() < 1e-12);
+        assert!(d.momentum.norm() < 1e-15);
+        // L_z = 2 × 0.5·0.5·0.5 = 0.25
+        assert!((d.angular_momentum - Vec3::new(0.0, 0.0, 0.25)).norm() < 1e-15);
+        assert!(d.center_of_mass.norm() < 1e-15);
+    }
+
+    #[test]
+    fn empty_potential_skips_energy() {
+        let (state, _) = two_body();
+        let d = Diagnostics::measure(&state, &[]);
+        assert_eq!(d.potential, 0.0);
+        assert!(d.virial_ratio.is_nan());
+    }
+
+    #[test]
+    fn lagrangian_radii_ordering() {
+        let state = Snapshot {
+            pos: (1..=10).map(|k| Vec3::new(k as f64, 0.0, 0.0)).collect(),
+            vel: vec![Vec3::ZERO; 10],
+            mass: vec![1.0; 10],
+        };
+        let r = lagrangian_radii(&state, &[0.1, 0.5, 0.9]);
+        assert!(r[0] <= r[1] && r[1] <= r[2]);
+        // COM at x=5.5; half-mass radius encloses 5 particles
+        assert!((r[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_fraction_rejected() {
+        let (state, _) = two_body();
+        lagrangian_radii(&state, &[1.5]);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # treegrape — the paper's system: a treecode running on GRAPE-5
+//!
+//! This crate assembles the substrates ([`grape5`], [`g5tree`],
+//! [`g5ic`]) into the system the paper reports: Barnes' modified tree
+//! algorithm producing shared interaction lists on the host, the
+//! GRAPE-5 pipelines evaluating every pairwise term in those lists, and
+//! a leapfrog integrator advancing a cosmological (or any other)
+//! particle load.
+//!
+//! * [`backends`] — interchangeable force backends: `DirectHost`
+//!   (O(N²) on the host, the exact reference), `DirectGrape` (O(N²)
+//!   through the simulated hardware), `TreeHost` (modified or original
+//!   treecode in `f64`), and `TreeGrape` (the paper's configuration).
+//! * [`integrator`] — shared-timestep leapfrog (kick–drift–kick), the
+//!   scheme used for the paper's 999-step run.
+//! * [`diagnostics`] — energy / momentum / Lagrangian-radii bookkeeping.
+//! * [`perf`] — the performance accounting of §5: a calibrated host
+//!   cost model of the COMPAQ AlphaServer DS10, combined with the
+//!   GRAPE clock model into per-step wall-clock, Gflops (raw and
+//!   corrected-to-original-algorithm) and $/Mflops.
+//! * [`accuracy`] — force-error measurement utilities for §2/§3.
+//! * [`clustering`] — two-point correlation function and radial
+//!   profiles, quantifying the Figure 4 structure.
+//! * [`halos`] — friends-of-friends halo finder (Davis et al. 1985)
+//!   turning the z = 0 snapshot into a halo catalog.
+//! * [`render`] — the Figure 4 slab projection (PGM / ASCII).
+//! * [`snapshot_io`] — compact binary snapshot save/load.
+
+pub mod accuracy;
+pub mod backends;
+pub mod clustering;
+pub mod diagnostics;
+pub mod halos;
+pub mod integrator;
+pub mod perf;
+pub mod render;
+pub mod snapshot_io;
+
+pub use backends::{
+    DirectGrape, DirectHost, ForceBackend, ForceSet, TreeGrape, TreeGrapeConfig, TreeHost,
+};
+pub use diagnostics::Diagnostics;
+pub use integrator::Simulation;
+pub use perf::{HostModel, PaperProjection, StepBreakdown};

@@ -1,0 +1,231 @@
+//! Snapshot rendering — the Figure 4 analog.
+//!
+//! Figure 4 of the paper plots the particles of a
+//! 45 Mpc × 45 Mpc × 2.5 Mpc slab of the z = 0 snapshot. This module
+//! bins a slab of particles onto a 2-D grid and renders it as a PGM
+//! image (log-scaled surface density) or terminal ASCII art.
+
+use g5util::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Axis-aligned slab selection + projection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlabSpec {
+    /// Center of the slab.
+    pub center: Vec3,
+    /// Half-extent of the projected square (x/y of the image).
+    pub half_width: f64,
+    /// Half-thickness along the projection axis.
+    pub half_depth: f64,
+    /// Projection axis: 0 = x, 1 = y, 2 = z (image shows the other two).
+    pub axis: usize,
+    /// Image pixels per side.
+    pub pixels: usize,
+}
+
+impl SlabSpec {
+    /// The paper's Figure 4 slab: 45 × 45 × 2.5 Mpc, projected along z,
+    /// in simulation units where the comoving sphere radius 1 ↔ 50 Mpc.
+    pub fn figure4(pixels: usize) -> SlabSpec {
+        SlabSpec {
+            center: Vec3::ZERO,
+            half_width: 22.5 / 50.0,
+            half_depth: 1.25 / 50.0,
+            axis: 2,
+            pixels,
+        }
+    }
+}
+
+/// A binned surface-density map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityMap {
+    /// Pixels per side.
+    pub pixels: usize,
+    /// Particle counts, row-major (row 0 at the top of the image).
+    pub counts: Vec<u32>,
+    /// Particles that fell inside the slab.
+    pub selected: usize,
+}
+
+/// Bin a snapshot's particles through a slab spec.
+pub fn project_slab(pos: &[Vec3], spec: &SlabSpec) -> DensityMap {
+    assert!(spec.axis < 3, "axis must be 0..3");
+    assert!(spec.pixels > 0, "zero pixels");
+    assert!(spec.half_width > 0.0 && spec.half_depth > 0.0, "degenerate slab");
+    let (u_axis, v_axis) = match spec.axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    let mut counts = vec![0u32; spec.pixels * spec.pixels];
+    let mut selected = 0usize;
+    let scale = spec.pixels as f64 / (2.0 * spec.half_width);
+    for p in pos {
+        let d = *p - spec.center;
+        if d[spec.axis].abs() > spec.half_depth {
+            continue;
+        }
+        let u = (d[u_axis] + spec.half_width) * scale;
+        let v = (d[v_axis] + spec.half_width) * scale;
+        if u < 0.0 || v < 0.0 {
+            continue;
+        }
+        let (iu, iv) = (u as usize, v as usize);
+        if iu >= spec.pixels || iv >= spec.pixels {
+            continue;
+        }
+        // image rows grow downward; v grows upward
+        counts[(spec.pixels - 1 - iv) * spec.pixels + iu] += 1;
+        selected += 1;
+    }
+    DensityMap { pixels: spec.pixels, counts, selected }
+}
+
+impl DensityMap {
+    /// Maximum pixel count.
+    pub fn max_count(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Render as an 8-bit binary PGM with log scaling (empty pixels
+    /// black, the densest pixel white).
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let maxc = self.max_count().max(1) as f64;
+        let lmax = (1.0 + maxc).ln();
+        let mut out = Vec::with_capacity(self.counts.len() + 64);
+        out.extend_from_slice(format!("P5\n{} {}\n255\n", self.pixels, self.pixels).as_bytes());
+        for &c in &self.counts {
+            let g = ((1.0 + c as f64).ln() / lmax * 255.0) as u8;
+            out.push(g);
+        }
+        out
+    }
+
+    /// Write the PGM to a file.
+    pub fn write_pgm(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_pgm())
+    }
+
+    /// Render as terminal ASCII art (one character per pixel; requires
+    /// a modest pixel count).
+    pub fn ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let maxc = self.max_count().max(1) as f64;
+        let lmax = (1.0 + maxc).ln();
+        let mut s = String::with_capacity((self.pixels + 1) * self.pixels);
+        for row in 0..self.pixels {
+            for col in 0..self.pixels {
+                let c = self.counts[row * self.pixels + col];
+                let level = ((1.0 + c as f64).ln() / lmax * (RAMP.len() - 1) as f64) as usize;
+                s.push(RAMP[level.min(RAMP.len() - 1)] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_respects_slab_bounds() {
+        let pos = vec![
+            Vec3::new(0.0, 0.0, 0.0),    // in
+            Vec3::new(0.0, 0.0, 0.5),    // out: too deep
+            Vec3::new(0.9, 0.0, 0.0),    // out: beyond width
+            Vec3::new(-0.3, 0.3, 0.01),  // in
+        ];
+        let spec = SlabSpec {
+            center: Vec3::ZERO,
+            half_width: 0.5,
+            half_depth: 0.05,
+            axis: 2,
+            pixels: 10,
+        };
+        let map = project_slab(&pos, &spec);
+        assert_eq!(map.selected, 2);
+        assert_eq!(map.counts.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn central_particle_lands_in_central_pixel() {
+        let spec = SlabSpec {
+            center: Vec3::ZERO,
+            half_width: 1.0,
+            half_depth: 1.0,
+            axis: 2,
+            pixels: 9,
+        };
+        let map = project_slab(&[Vec3::ZERO], &spec);
+        assert_eq!(map.counts[4 * 9 + 4], 1);
+    }
+
+    #[test]
+    fn axis_selection() {
+        // particle offset along x only; projecting along x ignores it
+        let p = vec![Vec3::new(0.04, 0.0, 0.0)];
+        let spec =
+            SlabSpec { center: Vec3::ZERO, half_width: 1.0, half_depth: 0.05, axis: 0, pixels: 3 };
+        let map = project_slab(&p, &spec);
+        assert_eq!(map.selected, 1);
+        assert_eq!(map.counts[1 * 3 + 1], 1); // central pixel of (y,z)
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let spec = SlabSpec {
+            center: Vec3::ZERO,
+            half_width: 1.0,
+            half_depth: 1.0,
+            axis: 2,
+            pixels: 16,
+        };
+        let map = project_slab(&[Vec3::ZERO], &spec);
+        let pgm = map.to_pgm();
+        assert!(pgm.starts_with(b"P5\n16 16\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n16 16\n255\n".len() + 256);
+    }
+
+    #[test]
+    fn ascii_renders_one_row_per_pixel_row() {
+        let spec = SlabSpec {
+            center: Vec3::ZERO,
+            half_width: 1.0,
+            half_depth: 1.0,
+            axis: 2,
+            pixels: 5,
+        };
+        let map = project_slab(&[Vec3::ZERO, Vec3::new(0.5, 0.5, 0.0)], &spec);
+        let art = map.ascii();
+        assert_eq!(art.lines().count(), 5);
+        assert!(art.contains('@'), "densest pixel must use the top ramp character");
+    }
+
+    #[test]
+    fn figure4_spec_dimensions() {
+        let s = SlabSpec::figure4(512);
+        // 45 Mpc wide, 2.5 Mpc thick, in units of the 50 Mpc radius
+        assert!((s.half_width - 0.45).abs() < 1e-12);
+        assert!((s.half_depth - 0.025).abs() < 1e-12);
+        assert_eq!(s.axis, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate slab")]
+    fn degenerate_slab_rejected() {
+        let spec = SlabSpec {
+            center: Vec3::ZERO,
+            half_width: 0.0,
+            half_depth: 1.0,
+            axis: 2,
+            pixels: 4,
+        };
+        project_slab(&[], &spec);
+    }
+}

@@ -1,0 +1,149 @@
+//! Compact binary snapshot I/O.
+//!
+//! Format `G5SNAP1\n`: magic, little-endian `u64` particle count and
+//! `f64` simulation time, then positions, velocities and masses as
+//! contiguous `f64` arrays. Simple, versioned, endian-explicit — enough
+//! for checkpointing the experiment runs without an external
+//! serialization dependency.
+
+use g5ic::Snapshot;
+use g5util::vec3::Vec3;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"G5SNAP1\n";
+
+/// Save a snapshot and its simulation time.
+pub fn save(path: &Path, snap: &Snapshot, time: f64) -> io::Result<()> {
+    snap.validate();
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(snap.len() as u64).to_le_bytes())?;
+    w.write_all(&time.to_le_bytes())?;
+    for p in &snap.pos {
+        write_vec3(&mut w, *p)?;
+    }
+    for v in &snap.vel {
+        write_vec3(&mut w, *v)?;
+    }
+    for &m in &snap.mass {
+        w.write_all(&m.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load a snapshot; returns `(snapshot, time)`.
+pub fn load(path: &Path) -> io::Result<(Snapshot, f64)> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let time = read_f64(&mut r)?;
+    // sanity bound: refuse absurd counts rather than OOM on a bad file
+    if n == 0 || n > 1 << 31 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible particle count"));
+    }
+    let mut snap = Snapshot {
+        pos: Vec::with_capacity(n),
+        vel: Vec::with_capacity(n),
+        mass: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        snap.pos.push(read_vec3(&mut r)?);
+    }
+    for _ in 0..n {
+        snap.vel.push(read_vec3(&mut r)?);
+    }
+    for _ in 0..n {
+        snap.mass.push(read_f64(&mut r)?);
+    }
+    Ok((snap, time))
+}
+
+fn write_vec3<W: Write>(w: &mut W, v: Vec3) -> io::Result<()> {
+    w.write_all(&v.x.to_le_bytes())?;
+    w.write_all(&v.y.to_le_bytes())?;
+    w.write_all(&v.z.to_le_bytes())
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_vec3<R: Read>(r: &mut R) -> io::Result<Vec3> {
+    Ok(Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("g5snap_test_{}_{name}", std::process::id()))
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            pos: vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.5, 0.0, 9.9)],
+            vel: vec![Vec3::new(0.1, 0.2, 0.3), Vec3::ZERO],
+            mass: vec![0.25, 0.75],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let path = tmp("roundtrip");
+        let snap = sample();
+        save(&path, &snap, 12.5).unwrap();
+        let (back, time) = load(&path).unwrap();
+        assert_eq!(back.pos, snap.pos);
+        assert_eq!(back.vel, snap.vel);
+        assert_eq!(back.mass, snap.mass);
+        assert_eq!(time, 12.5);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTASNAPxxxxxxxxxxxxxxxx").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = tmp("truncated");
+        let snap = sample();
+        save(&path, &snap, 0.0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn implausible_count_rejected() {
+        let path = tmp("hugecount");
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&u64::MAX.to_le_bytes());
+        data.extend_from_slice(&0.0f64.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+}

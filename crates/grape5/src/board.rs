@@ -1,0 +1,261 @@
+//! The GRAPE-5 processor board: 8 G5 chips (16 pipelines) and a
+//! j-particle memory.
+//!
+//! A board evaluates forces **from** every particle in its j-memory
+//! **on** an arbitrary set of i-particles. The 16 pipelines serve 16
+//! i-particles concurrently while j-particles stream from memory one
+//! per cycle, so a call with `ni` i-particles and `nj` j-particles
+//! costs `ceil(ni/16) × (nj + pipeline_latency)` chip cycles.
+//!
+//! Per-pipeline force accumulation happens on the board in wide
+//! fixed-point registers (`acc_format`), scaled by a host-declared
+//! force scale; only the final sums cross the interface.
+
+use crate::config::Grape5Config;
+use crate::pipeline::{Force, G5Pipeline, JWord};
+use g5util::fixed::{Fixed, FixedFormat};
+use g5util::vec3::Vec3;
+use rayon::prelude::*;
+
+/// One processor board.
+#[derive(Debug, Clone)]
+pub struct ProcessorBoard {
+    jmem: Vec<JWord>,
+    capacity: usize,
+    pipes: usize,
+    latency: u64,
+    acc_format: FixedFormat,
+    vmp: bool,
+}
+
+impl ProcessorBoard {
+    /// Build an empty board per the system configuration.
+    pub fn new(cfg: &Grape5Config) -> Self {
+        ProcessorBoard {
+            jmem: Vec::new(),
+            capacity: cfg.jmem_capacity,
+            pipes: cfg.pipes_per_board(),
+            latency: cfg.pipeline_latency_cycles,
+            acc_format: cfg.acc_format,
+            vmp: cfg.vmp,
+        }
+    }
+
+    /// Particles currently in j-memory.
+    #[inline]
+    pub fn nj(&self) -> usize {
+        self.jmem.len()
+    }
+
+    /// j-memory capacity in particles.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Load the j-particle memory, replacing its contents.
+    ///
+    /// # Panics
+    /// If `words` exceeds the memory capacity — the host library layer
+    /// is responsible for chunking larger j-sets into multiple passes.
+    pub fn load_j(&mut self, words: &[JWord]) {
+        assert!(
+            words.len() <= self.capacity,
+            "j-set of {} exceeds board memory capacity {}",
+            words.len(),
+            self.capacity
+        );
+        self.jmem.clear();
+        self.jmem.extend_from_slice(words);
+    }
+
+    /// Chip cycles needed to evaluate `ni` i-particles against the
+    /// current j-memory contents.
+    #[inline]
+    pub fn cycles_for(&self, ni: usize) -> u64 {
+        if ni == 0 || self.jmem.is_empty() {
+            return 0;
+        }
+        let nj = self.jmem.len() as u64;
+        if self.vmp && ni < self.pipes {
+            // virtual pipelines: idle pipes take j-subsets, partials
+            // combined on-board; work is spread over all pipes
+            (ni as u64 * nj).div_ceil(self.pipes as u64) + self.latency
+        } else {
+            let chunks = ni.div_ceil(self.pipes) as u64;
+            chunks * (nj + self.latency)
+        }
+    }
+
+    /// Evaluate the partial force from this board's j-memory on each
+    /// i-particle (raw grid coordinates), returning the per-particle
+    /// force read back over the interface.
+    ///
+    /// `force_scale` is the host-declared unit of the fixed-point
+    /// accumulators: accumulated values saturate at
+    /// `acc_format.max_value() × force_scale`.
+    pub fn compute(&self, pipe: &G5Pipeline, xi: &[[i64; 3]], force_scale: f64) -> Vec<Force> {
+        assert!(force_scale > 0.0, "non-positive force scale");
+        let fmt = self.acc_format;
+        xi.par_iter()
+            .map(|&x| {
+                let mut ax = Fixed::zero(fmt);
+                let mut ay = Fixed::zero(fmt);
+                let mut az = Fixed::zero(fmt);
+                let mut ap = Fixed::zero(fmt);
+                for j in &self.jmem {
+                    let f = pipe.interact(x, j);
+                    ax = ax.accumulate(f.acc.x / force_scale);
+                    ay = ay.accumulate(f.acc.y / force_scale);
+                    az = az.accumulate(f.acc.z / force_scale);
+                    ap = ap.accumulate(f.pot / force_scale);
+                }
+                Force {
+                    acc: Vec3::new(
+                        ax.to_f64() * force_scale,
+                        ay.to_f64() * force_scale,
+                        az.to_f64() * force_scale,
+                    ),
+                    pot: ap.to_f64() * force_scale,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArithMode;
+
+    fn setup(mode: ArithMode) -> (ProcessorBoard, G5Pipeline) {
+        let cfg = Grape5Config { mode, ..Grape5Config::paper() };
+        let board = ProcessorBoard::new(&cfg);
+        let pipe = G5Pipeline::new(&cfg, 1.0 / (1u64 << 24) as f64, 0.0);
+        (board, pipe)
+    }
+
+    fn jw(pipe: &G5Pipeline, raw: [i64; 3], m: f64) -> JWord {
+        JWord { raw, m_lns: pipe.encode_mass(m), m }
+    }
+
+    #[test]
+    fn empty_board_returns_zero_forces() {
+        let (board, pipe) = setup(ArithMode::Exact);
+        let out = board.compute(&pipe, &[[0, 0, 0], [1, 2, 3]], 1.0);
+        assert_eq!(out, vec![Force::ZERO, Force::ZERO]);
+        assert_eq!(board.cycles_for(2), 0);
+    }
+
+    #[test]
+    fn cycle_model_matches_schedule() {
+        let cfg = Grape5Config::paper(); // 16 pipes/board, latency 56
+        let mut board = ProcessorBoard::new(&cfg);
+        let pipe = G5Pipeline::new(&cfg, 1e-6, 0.0);
+        let words: Vec<JWord> = (0..100).map(|k| jw(&pipe, [k, 0, 0], 1.0)).collect();
+        board.load_j(&words);
+        // 16 i fit in one pass: 100 + 56 cycles
+        assert_eq!(board.cycles_for(16), 156);
+        // 17 i need two passes
+        assert_eq!(board.cycles_for(17), 312);
+        assert_eq!(board.cycles_for(0), 0);
+    }
+
+    #[test]
+    fn vmp_spreads_small_i_sets_over_all_pipes() {
+        let cfg = Grape5Config { vmp: true, ..Grape5Config::paper() };
+        let mut board = ProcessorBoard::new(&cfg);
+        let pipe = G5Pipeline::new(&cfg, 1e-6, 0.0);
+        let words: Vec<JWord> = (0..1600).map(|k| jw(&pipe, [k, 0, 0], 1.0)).collect();
+        board.load_j(&words);
+        // 1 i-particle over 16 pipes: 1600/16 = 100 cycles + latency
+        assert_eq!(board.cycles_for(1), 100 + cfg.pipeline_latency_cycles);
+        // at ni = pipes the schedules coincide
+        assert_eq!(board.cycles_for(16), 1600 + cfg.pipeline_latency_cycles);
+        // without VMP the lone i-particle pays the full stream
+        let plain = ProcessorBoard::new(&Grape5Config::paper());
+        let mut plain = plain;
+        plain.load_j(&words);
+        assert_eq!(plain.cycles_for(1), 1600 + cfg.pipeline_latency_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds board memory capacity")]
+    fn overfull_jmem_panics() {
+        let cfg = Grape5Config { jmem_capacity: 2, ..Grape5Config::paper() };
+        let mut board = ProcessorBoard::new(&cfg);
+        let pipe = G5Pipeline::new(&cfg, 1e-6, 0.0);
+        let words: Vec<JWord> = (0..3).map(|k| jw(&pipe, [k, 0, 0], 1.0)).collect();
+        board.load_j(&words);
+    }
+
+    #[test]
+    fn exact_mode_matches_direct_sum() {
+        let (mut board, pipe) = setup(ArithMode::Exact);
+        let q = pipe.quantum();
+        let raws = [[1_000_000i64, 0, 0], [0, 2_000_000, 0], [-500_000, -500_000, 777]];
+        let masses = [1.0, 2.5, 0.5];
+        let words: Vec<JWord> =
+            raws.iter().zip(&masses).map(|(&r, &m)| jw(&pipe, r, m)).collect();
+        board.load_j(&words);
+        let xi = [[10_000i64, 20_000, -30_000]];
+        let out = board.compute(&pipe, &xi, 1.0);
+
+        let mut expect = Force::ZERO;
+        for (r, &m) in raws.iter().zip(&masses) {
+            let dx = Vec3::new(
+                (r[0] - xi[0][0]) as f64 * q,
+                (r[1] - xi[0][1]) as f64 * q,
+                (r[2] - xi[0][2]) as f64 * q,
+            );
+            let r2 = dx.norm2();
+            expect.acc += dx * (m / (r2 * r2.sqrt()));
+            expect.pot += m / r2.sqrt();
+        }
+        assert!((out[0].acc - expect.acc).norm() / expect.acc.norm() < 1e-8);
+        assert!((out[0].pot - expect.pot).abs() / expect.pot < 1e-8);
+    }
+
+    #[test]
+    fn lns_mode_is_close_to_exact_mode() {
+        let (mut bl, pl) = setup(ArithMode::Lns);
+        let (mut be, pe) = setup(ArithMode::Exact);
+        let words: Vec<JWord> = (1..200)
+            .map(|k| {
+                let r = [k * 37_501, (k % 13) * 91_001 - 500_000, k * k % 800_000];
+                jw(&pl, r, 1.0 + (k % 5) as f64)
+            })
+            .collect();
+        bl.load_j(&words);
+        be.load_j(&words);
+        let xi = [[123i64, -456, 789]];
+        let fl = bl.compute(&pl, &xi, 1.0);
+        let fe = be.compute(&pe, &xi, 1.0);
+        let rel = (fl[0].acc - fe[0].acc).norm() / fe[0].acc.norm();
+        assert!(rel < 0.01, "board LNS vs exact rel err {rel}");
+        assert!(rel > 0.0);
+    }
+
+    #[test]
+    fn accumulator_saturates_at_force_scale_range() {
+        // force_scale tiny => accumulator clamps rather than wrapping
+        let cfg =
+            Grape5Config { mode: ArithMode::Exact, acc_format: FixedFormat::new(16, 8), ..Grape5Config::paper() };
+        let mut board = ProcessorBoard::new(&cfg);
+        let pipe = G5Pipeline::new(&cfg, 1e-3, 0.0);
+        let words: Vec<JWord> = (1..50).map(|k| jw(&pipe, [k, 0, 0], 1e6)).collect();
+        board.load_j(&words);
+        let out = board.compute(&pipe, &[[0, 0, 0]], 1.0);
+        let max = FixedFormat::new(16, 8).max_value();
+        assert!(out[0].acc.x <= max + 1e-9, "saturated value {} > {}", out[0].acc.x, max);
+    }
+
+    #[test]
+    fn zero_distance_j_contributes_nothing() {
+        let (mut board, pipe) = setup(ArithMode::Exact);
+        let words = vec![jw(&pipe, [5, 5, 5], 3.0)];
+        board.load_j(&words);
+        let out = board.compute(&pipe, &[[5, 5, 5]], 1.0);
+        assert_eq!(out[0], Force::ZERO);
+    }
+}

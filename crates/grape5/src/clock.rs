@@ -1,0 +1,177 @@
+//! Cycle and transfer accounting — the timing half of the simulator.
+//!
+//! Owning no GRAPE-5 hardware, we regenerate the paper's wall-clock and
+//! Gflops numbers from *counted work*: every force call records how
+//! many pipeline cycles the board schedule needs (boards run in
+//! parallel, so the per-call figure is the slowest board's count) and
+//! how many 32-bit words cross one host interface (each board has its
+//! own interface board, so again the per-call maximum). The
+//! [`ClockReport`] then prices that work at the real clocks: 90 MHz
+//! pipelines, 15 MHz interface words, plus a per-call driver latency.
+//!
+//! Pipeline time and transfer time are charged **serially** — the
+//! paper-era library did not double-buffer j-memory loads against
+//! pipeline runs — which makes the model conservative.
+
+use crate::config::Grape5Config;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated hardware work since the last reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockAccounting {
+    /// Pipeline cycles of the critical (slowest) board, summed over calls.
+    pub pipeline_cycles: u64,
+    /// 32-bit words through the busiest host interface, summed over calls.
+    pub iface_words: u64,
+    /// Number of force-calculation calls.
+    pub calls: u64,
+    /// Total pairwise interactions evaluated (all boards).
+    pub interactions: u64,
+}
+
+impl ClockAccounting {
+    /// Fresh, zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one force call.
+    #[inline]
+    pub fn record_call(&mut self, cycles: u64, words: u64, interactions: u64) {
+        self.pipeline_cycles += cycles;
+        self.iface_words += words;
+        self.calls += 1;
+        self.interactions += interactions;
+    }
+
+    /// Combine with another accounting (e.g. from a parallel partition).
+    pub fn merged(self, o: ClockAccounting) -> ClockAccounting {
+        ClockAccounting {
+            pipeline_cycles: self.pipeline_cycles + o.pipeline_cycles,
+            iface_words: self.iface_words + o.iface_words,
+            calls: self.calls + o.calls,
+            interactions: self.interactions + o.interactions,
+        }
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        *self = ClockAccounting::default();
+    }
+
+    /// Price the recorded work at the configured clocks.
+    pub fn report(&self, cfg: &Grape5Config) -> ClockReport {
+        let pipeline_s = self.pipeline_cycles as f64 / cfg.chip_clock_hz;
+        let transfer_s = self.iface_words as f64 / cfg.iface_word_hz;
+        let latency_s = self.calls as f64 * cfg.call_latency_s;
+        ClockReport {
+            pipeline_s,
+            transfer_s,
+            latency_s,
+            interactions: self.interactions,
+            calls: self.calls,
+        }
+    }
+}
+
+/// Modeled wall-clock breakdown of GRAPE-side work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockReport {
+    /// Time the pipelines are busy.
+    pub pipeline_s: f64,
+    /// Time moving words across the host interface.
+    pub transfer_s: f64,
+    /// Accumulated per-call driver latency.
+    pub latency_s: f64,
+    /// Total pairwise interactions.
+    pub interactions: u64,
+    /// Number of force calls.
+    pub calls: u64,
+}
+
+impl ClockReport {
+    /// Total modeled GRAPE-side wall-clock.
+    #[inline]
+    pub fn total_s(&self) -> f64 {
+        self.pipeline_s + self.transfer_s + self.latency_s
+    }
+
+    /// Sustained speed in Gflops under the 38-op convention, over the
+    /// GRAPE-side time alone.
+    pub fn gflops(&self) -> f64 {
+        if self.total_s() == 0.0 {
+            0.0
+        } else {
+            self.interactions as f64 * 38.0 / self.total_s() / 1e9
+        }
+    }
+
+    /// Fraction of theoretical pipeline peak achieved.
+    pub fn efficiency(&self, cfg: &Grape5Config) -> f64 {
+        if self.total_s() == 0.0 {
+            0.0
+        } else {
+            (self.interactions as f64 / self.total_s()) / cfg.peak_interactions_per_s()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_report() {
+        let cfg = Grape5Config::paper();
+        let mut acc = ClockAccounting::new();
+        // one call: 9e6 cycles at 90 MHz = 0.1 s; 1.5e6 words at 15 MHz = 0.1 s
+        acc.record_call(9_000_000, 1_500_000, 288_000_000);
+        let r = acc.report(&cfg);
+        assert!((r.pipeline_s - 0.1).abs() < 1e-12);
+        assert!((r.transfer_s - 0.1).abs() < 1e-12);
+        assert!((r.latency_s - cfg.call_latency_s).abs() < 1e-15);
+        assert_eq!(r.interactions, 288_000_000);
+        assert!(r.total_s() > 0.2);
+    }
+
+    #[test]
+    fn peak_efficiency_when_only_pipeline_time() {
+        let cfg = Grape5Config::paper();
+        // 90e6 cycles = 1 s of pipeline with all 32 pipes busy
+        let mut acc = ClockAccounting::new();
+        acc.record_call(90_000_000, 0, (32.0 * 90.0e6) as u64);
+        let mut r = acc.report(&cfg);
+        r.latency_s = 0.0; // isolate the pipeline term
+        assert!((r.efficiency(&cfg) - 1.0).abs() < 1e-9);
+        assert!((r.gflops() - 109.44).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ClockAccounting::new();
+        a.record_call(10, 20, 30);
+        let mut b = ClockAccounting::new();
+        b.record_call(1, 2, 3);
+        let m = a.merged(b);
+        assert_eq!(m.pipeline_cycles, 11);
+        assert_eq!(m.iface_words, 22);
+        assert_eq!(m.calls, 2);
+        assert_eq!(m.interactions, 33);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = ClockAccounting::new().report(&Grape5Config::paper());
+        assert_eq!(r.total_s(), 0.0);
+        assert_eq!(r.gflops(), 0.0);
+        assert_eq!(r.efficiency(&Grape5Config::paper()), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut a = ClockAccounting::new();
+        a.record_call(1, 1, 1);
+        a.reset();
+        assert_eq!(a, ClockAccounting::default());
+    }
+}

@@ -1,0 +1,97 @@
+//! The price/performance accounting of §4–§5.
+//!
+//! The Gordon Bell price/performance metric is dollars per sustained
+//! Mflops. The paper's bill of materials: two GRAPE-5 boards at
+//! 1.65 M JPY each (commercial price), 1.4 M JPY for the COMPAQ
+//! AlphaServer DS10 host (512 MB + C++ compiler), total 4.7 M JPY,
+//! converted at 115 JPY/$ to ≈ $40,900.
+
+use serde::{Deserialize, Serialize};
+
+/// Bill of materials and exchange rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one GRAPE-5 processor board, in JPY (paper: 1.65 M).
+    pub board_jpy: f64,
+    /// Number of boards purchased (paper: 2).
+    pub boards: usize,
+    /// Host computer incl. memory and compiler, in JPY (paper: 1.4 M).
+    pub host_jpy: f64,
+    /// Exchange rate, JPY per USD (paper: 115).
+    pub jpy_per_usd: f64,
+}
+
+impl CostModel {
+    /// The paper's exact bill of materials (§4).
+    pub fn paper() -> Self {
+        CostModel { board_jpy: 1.65e6, boards: 2, host_jpy: 1.4e6, jpy_per_usd: 115.0 }
+    }
+
+    /// Total system cost in JPY.
+    #[inline]
+    pub fn total_jpy(&self) -> f64 {
+        self.board_jpy * self.boards as f64 + self.host_jpy
+    }
+
+    /// Total system cost in USD.
+    #[inline]
+    pub fn total_usd(&self) -> f64 {
+        self.total_jpy() / self.jpy_per_usd
+    }
+
+    /// Price/performance for a sustained speed.
+    pub fn price_performance(&self, sustained_flops: f64) -> PricePerformance {
+        assert!(sustained_flops > 0.0, "non-positive sustained speed");
+        PricePerformance {
+            total_usd: self.total_usd(),
+            sustained_flops,
+            usd_per_mflops: self.total_usd() / (sustained_flops / 1e6),
+        }
+    }
+}
+
+/// The headline metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricePerformance {
+    /// System cost in USD.
+    pub total_usd: f64,
+    /// Sustained (effective) speed in flops.
+    pub sustained_flops: f64,
+    /// Dollars per sustained Mflops — the Gordon Bell number.
+    pub usd_per_mflops: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total_cost() {
+        let c = CostModel::paper();
+        assert!((c.total_jpy() - 4.7e6).abs() < 1.0);
+        // "about 40,900 dollars"
+        assert!((c.total_usd() - 40_869.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn headline_seven_dollars_per_mflops() {
+        // 5.92 Gflops effective sustained speed => $6.90/Mflops, which
+        // the paper rounds to $7.0/Mflops.
+        let pp = CostModel::paper().price_performance(5.92e9);
+        assert!((pp.usd_per_mflops - 6.904).abs() < 0.01, "got {}", pp.usd_per_mflops);
+        assert!((pp.usd_per_mflops - 7.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn raw_speed_price_performance() {
+        // at the uncorrected 36.4 Gflops the figure would be ~$1.1/Mflops
+        let pp = CostModel::paper().price_performance(36.4e9);
+        assert!((pp.usd_per_mflops - 1.12).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn rejects_zero_speed() {
+        CostModel::paper().price_performance(0.0);
+    }
+}

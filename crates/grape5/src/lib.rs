@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # grape5 — a functional + timing simulator of the GRAPE-5 system
+//!
+//! GRAPE-5 ("GRAvity PipE 5") is the special-purpose computer the paper
+//! runs on: 2 processor boards, each carrying 8 custom G5 chips (2
+//! force pipelines per chip, 90 MHz) and a j-particle memory, attached
+//! through host-interface boards to a workstation. The pipelines
+//! evaluate softened pairwise gravity
+//!
+//! ```text
+//! a_i = Σ_j m_j (x_j − x_i) / (|x_j − x_i|² + ε²)^(3/2)
+//! p_i = Σ_j m_j / (|x_j − x_i|² + ε²)^(1/2)
+//! ```
+//!
+//! in reduced-precision hardware arithmetic: positions quantized to
+//! fixed point over a host-declared window, intermediates in a
+//! logarithmic number system (≈ 0.3 % pairwise force error), partial
+//! forces accumulated in wide fixed point.
+//!
+//! This crate reproduces the system at two coupled levels:
+//!
+//! * **functional** — [`pipeline::G5Pipeline`] computes forces with the
+//!   same quantizations the hardware applies, so error statistics match
+//!   §2 of the paper; an `Exact` mode keeps only the position
+//!   quantization and runs at `f64` speed for long simulations.
+//! * **timing** — [`clock::ClockAccounting`] counts pipeline cycles and
+//!   interface words exactly as the board schedule implies, and
+//!   converts them to modeled wall-clock on the real 90 MHz / 15 MHz
+//!   parts, which is how the paper-scale Gflops numbers are
+//!   regenerated without owning the hardware.
+//!
+//! The structure mirrors Figure 1 of the paper: [`board::ProcessorBoard`]
+//! (8 chips + j-memory) → [`system::Grape5`] (2 boards + host
+//! interface) → host code in the `treegrape` crate.
+
+pub mod board;
+pub mod clock;
+pub mod config;
+pub mod cost;
+pub mod cutoff;
+pub mod pipeline;
+pub mod system;
+
+pub use clock::{ClockAccounting, ClockReport};
+pub use config::{ArithMode, Grape5Config};
+pub use cost::{CostModel, PricePerformance};
+pub use cutoff::CutoffTable;
+pub use pipeline::{Force, G5Pipeline};
+pub use system::Grape5;

@@ -1,0 +1,316 @@
+//! The G5 force pipeline.
+//!
+//! One pipeline evaluates, per clock cycle, one pairwise interaction
+//!
+//! ```text
+//! f_ij = m_j · dx / (r² + ε²)^(3/2),      p_ij = m_j / (r² + ε²)^(1/2)
+//! ```
+//!
+//! with `dx = x_j − x_i` formed **exactly** in fixed point (both
+//! coordinates sit on the same `set_range` grid, so their difference is
+//! an integer number of quanta) and everything downstream of the
+//! squarer carried in the logarithmic number system. The reproduction
+//! applies a rounding to the LNS grid after each table/functional unit,
+//! which is precisely the error model of the real chip at
+//! full-resolution tables.
+//!
+//! The pipeline also implements the chip's **zero-distance guard**: an
+//! interaction with `dx = dy = dz = 0` contributes nothing, which is
+//! what lets the treecode include a particle in its own group's
+//! interaction list.
+
+use crate::config::{ArithMode, Grape5Config};
+use crate::cutoff::CutoffTable;
+use g5util::lns::{Lns, LnsConfig};
+use g5util::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Per-particle pipeline output: acceleration contribution and (positive)
+/// potential sum `Σ m_j / r`. The host applies the −G convention.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Force {
+    /// Acceleration contribution (force per unit i-mass).
+    pub acc: Vec3,
+    /// Positive potential `Σ m_j (r²+ε²)^(−1/2)`.
+    pub pot: f64,
+}
+
+impl Force {
+    /// The zero contribution.
+    pub const ZERO: Force = Force { acc: Vec3::ZERO, pot: 0.0 };
+
+    /// Component-wise sum.
+    #[inline]
+    pub fn merged(self, o: Force) -> Force {
+        Force { acc: self.acc + o.acc, pot: self.pot + o.pot }
+    }
+}
+
+/// A j-particle as stored in board memory: raw fixed-point coordinates
+/// plus the mass in both LNS and `f64` form (the memory feeds whichever
+/// arithmetic path is active).
+#[derive(Debug, Clone, Copy)]
+pub struct JWord {
+    /// Fixed-point grid coordinates (quantized by the range scaler).
+    pub raw: [i64; 3],
+    /// Mass in the pipeline's logarithmic format.
+    pub m_lns: Lns,
+    /// Mass in `f64`, for the fast exact mode.
+    pub m: f64,
+}
+
+/// The functional model of one G5 pipeline.
+///
+/// Stateless apart from the softening, scale and cutoff registers, so a
+/// single instance can be shared by every simulated pipeline in the
+/// system.
+#[derive(Debug, Clone)]
+pub struct G5Pipeline {
+    lns: LnsConfig,
+    mode: ArithMode,
+    /// Size of one coordinate quantum in simulation units.
+    quantum: f64,
+    /// ε² in simulation units, plus its LNS encoding.
+    eps2: f64,
+    eps2_lns: Lns,
+    /// Optional hardware cutoff table (P³M/TreePM short-range support).
+    cutoff: Option<CutoffTable>,
+}
+
+impl G5Pipeline {
+    /// Build a pipeline for a given configuration, coordinate quantum
+    /// and softening.
+    pub fn new(cfg: &Grape5Config, quantum: f64, eps: f64) -> Self {
+        assert!(quantum > 0.0, "non-positive coordinate quantum");
+        assert!(eps >= 0.0, "negative softening");
+        let eps2 = eps * eps;
+        G5Pipeline {
+            lns: cfg.lns,
+            mode: cfg.mode,
+            quantum,
+            eps2,
+            eps2_lns: cfg.lns.encode(eps2),
+            cutoff: None,
+        }
+    }
+
+    /// Load (or clear) the cutoff table — `g5_set_cutoff_table` in the
+    /// real library's P³M mode.
+    pub fn with_cutoff(mut self, cutoff: Option<CutoffTable>) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// The loaded cutoff table, if any.
+    pub fn cutoff(&self) -> Option<&CutoffTable> {
+        self.cutoff.as_ref()
+    }
+
+    /// The coordinate quantum this pipeline was configured with.
+    #[inline]
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// Encode a mass for j-memory.
+    #[inline]
+    pub fn encode_mass(&self, m: f64) -> Lns {
+        self.lns.encode(m)
+    }
+
+    /// Evaluate one pairwise interaction between an i-particle at raw
+    /// grid position `xi` and a j-word.
+    #[inline]
+    pub fn interact(&self, xi: [i64; 3], j: &JWord) -> Force {
+        let d = [j.raw[0] - xi[0], j.raw[1] - xi[1], j.raw[2] - xi[2]];
+        if d == [0, 0, 0] {
+            return Force::ZERO; // zero-distance guard
+        }
+        match self.mode {
+            ArithMode::Exact => self.interact_exact(d, j.m),
+            ArithMode::Lns => self.interact_lns(d, j.m_lns),
+        }
+    }
+
+    /// `f64` path: position quantization only.
+    #[inline]
+    fn interact_exact(&self, d: [i64; 3], m: f64) -> Force {
+        let dx = Vec3::new(
+            d[0] as f64 * self.quantum,
+            d[1] as f64 * self.quantum,
+            d[2] as f64 * self.quantum,
+        );
+        let r2_raw = dx.norm2();
+        let r2 = r2_raw + self.eps2;
+        let rinv = 1.0 / r2.sqrt();
+        let rinv3 = rinv / r2;
+        let (gf, gp) = match &self.cutoff {
+            None => (1.0, 1.0),
+            Some(t) => (t.force_factor(r2_raw), t.pot_factor(r2_raw)),
+        };
+        Force { acc: dx * (m * rinv3 * gf), pot: m * rinv * gp }
+    }
+
+    /// Bit-faithful LNS path: one rounding to the log grid after each
+    /// functional unit, exactly like the hardware tables.
+    fn interact_lns(&self, d: [i64; 3], m: Lns) -> Force {
+        let c = self.lns;
+        // dx enters the LNS converter after the exact fixed-point subtract
+        let dx = c.encode(d[0] as f64 * self.quantum);
+        let dy = c.encode(d[1] as f64 * self.quantum);
+        let dz = c.encode(d[2] as f64 * self.quantum);
+        // squarers are exact in LNS (log doubling)
+        let r2 = dx.square().add(dy.square()).add(dz.square());
+        let r2e = r2.add(self.eps2_lns);
+        // combined sqrt + reciprocal-cube unit
+        let rinv3 = r2e.pow_neg_3_2();
+        let rinv = r2e.powi_rational(-1, 2);
+        // hardware cutoff unit: table addressed by the LNS r^2, factors
+        // re-encoded into the log format before the multipliers
+        let (gf, gp) = match &self.cutoff {
+            None => (None, None),
+            Some(t) => {
+                let r2_val = r2.to_f64();
+                (
+                    Some(c.encode(t.force_factor(r2_val))),
+                    Some(c.encode(t.pot_factor(r2_val))),
+                )
+            }
+        };
+        let mut mf = m.mul(rinv3);
+        if let Some(g) = gf {
+            mf = mf.mul(g);
+        }
+        let mut mp = m.mul(rinv);
+        if let Some(g) = gp {
+            mp = mp.mul(g);
+        }
+        Force {
+            acc: Vec3::new(
+                dx.mul(mf).to_f64(),
+                dy.mul(mf).to_f64(),
+                dz.mul(mf).to_f64(),
+            ),
+            pot: mp.to_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g5util::fixed::RangeScaler;
+
+    fn pipe(mode: ArithMode, quantum: f64, eps: f64) -> G5Pipeline {
+        let cfg = Grape5Config { mode, ..Grape5Config::paper() };
+        G5Pipeline::new(&cfg, quantum, eps)
+    }
+
+    fn jword(p: &G5Pipeline, raw: [i64; 3], m: f64) -> JWord {
+        JWord { raw, m_lns: p.encode_mass(m), m }
+    }
+
+    #[test]
+    fn zero_distance_guard() {
+        for mode in [ArithMode::Exact, ArithMode::Lns] {
+            let p = pipe(mode, 1e-6, 0.0);
+            let j = jword(&p, [42, -7, 3], 1.0);
+            assert_eq!(p.interact([42, -7, 3], &j), Force::ZERO);
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_f64_formula() {
+        let q = 1.0 / 1024.0;
+        let p = pipe(ArithMode::Exact, q, 0.01);
+        let j = jword(&p, [1024, 0, 0], 2.0); // x_j = 1.0
+        let f = p.interact([0, 0, 0], &j);
+        let r2: f64 = 1.0 + 0.0001;
+        let expect_ax = 2.0 / (r2 * r2.sqrt());
+        assert!((f.acc.x - expect_ax).abs() < 1e-12);
+        assert_eq!(f.acc.y, 0.0);
+        assert!((f.pot - 2.0 / r2.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lns_mode_relative_error_is_small_but_nonzero() {
+        let q = 1.0 / (1 << 20) as f64;
+        let pl = pipe(ArithMode::Lns, q, 0.0);
+        let pe = pipe(ArithMode::Exact, q, 0.0);
+        let j_l = jword(&pl, [123_456, -654_321, 777_777], 1.5);
+        let f_l = pl.interact([1000, 2000, -3000], &j_l);
+        let f_e = pe.interact([1000, 2000, -3000], &j_l);
+        let rel = (f_l.acc - f_e.acc).norm() / f_e.acc.norm();
+        assert!(rel > 0.0, "LNS path must differ from exact");
+        assert!(rel < 0.01, "rel={rel} exceeds 1 %");
+    }
+
+    #[test]
+    fn pairwise_error_rms_is_about_0_3_percent() {
+        // §2 of the paper: "calculates a pair-wise force with a relative
+        // error of about 0.3%". Sample random geometries and check the
+        // RMS relative force error lands in that band.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let scaler = RangeScaler::new(-1.0, 1.0, 32);
+        let q = scaler.quantum();
+        let pl = pipe(ArithMode::Lns, q, 0.0);
+        let mut sum_sq = 0.0;
+        let n = 4000;
+        for _ in 0..n {
+            let xi = [0i64, 0, 0];
+            let raw = [
+                scaler.quantize(rng.random_range(-0.9..0.9)),
+                scaler.quantize(rng.random_range(-0.9..0.9)),
+                scaler.quantize(rng.random_range(-0.9..0.9)),
+            ];
+            if raw == [0, 0, 0] {
+                continue;
+            }
+            let m = rng.random_range(0.1..10.0);
+            let j = JWord { raw, m_lns: pl.encode_mass(m), m };
+            let f = pl.interact(xi, &j);
+            // reference: exact f64 on the same quantized geometry
+            let dx = Vec3::new(raw[0] as f64 * q, raw[1] as f64 * q, raw[2] as f64 * q);
+            let r2 = dx.norm2();
+            let fe = dx * (m / (r2 * r2.sqrt()));
+            sum_sq += (f.acc - fe).norm2() / fe.norm2();
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        assert!(
+            (0.001..0.006).contains(&rms),
+            "pairwise RMS force error {rms:.5} outside the 0.1–0.6 % band"
+        );
+    }
+
+    #[test]
+    fn force_is_antisymmetric_under_swap_in_exact_mode() {
+        let q = 1e-5;
+        let p = pipe(ArithMode::Exact, q, 0.0);
+        let a = [100, 200, 300];
+        let b = [-400, 50, 0];
+        let m = 1.0;
+        let fab = p.interact(a, &jword(&p, b, m));
+        let fba = p.interact(b, &jword(&p, a, m));
+        assert!((fab.acc + fba.acc).norm() < 1e-15);
+    }
+
+    #[test]
+    fn merged_forces_add() {
+        let f1 = Force { acc: Vec3::new(1.0, 2.0, 3.0), pot: 4.0 };
+        let f2 = Force { acc: Vec3::new(-1.0, 0.5, 0.0), pot: 1.0 };
+        let m = f1.merged(f2);
+        assert_eq!(m.acc, Vec3::new(0.0, 2.5, 3.0));
+        assert_eq!(m.pot, 5.0);
+    }
+
+    #[test]
+    fn softening_regularizes_close_pairs() {
+        let q = 1e-6;
+        let p = pipe(ArithMode::Exact, q, 0.1);
+        // one quantum apart: without softening the force would be ~1e12
+        let j = jword(&p, [1, 0, 0], 1.0);
+        let f = p.interact([0, 0, 0], &j);
+        assert!(f.acc.norm() < 1.0 / (0.1f64.powi(2)), "softening must bound the force");
+    }
+}

@@ -1,0 +1,447 @@
+//! The GRAPE-5 system: processor boards + host interfaces, exposed
+//! through an API shaped like the real `g5_*` host library.
+//!
+//! Usage mirrors the hardware's programming model:
+//!
+//! ```
+//! use grape5::{Grape5, Grape5Config};
+//! use g5util::Vec3;
+//!
+//! let mut g5 = Grape5::open(Grape5Config::paper_exact());
+//! g5.set_range(-10.0, 10.0);      // coordinate window (g5_set_range)
+//! g5.set_eps(0.01);               // softening       (g5_set_eps_to_all)
+//! let pos = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)];
+//! let mass = [1.0, 1.0];
+//! g5.set_j_particles(&pos, &mass); // load j-memory   (g5_set_xmj / g5_set_n)
+//! let f = g5.force_on(&pos);       // g5_calculate_force_on_x
+//! assert!(f[0].acc.x < 0.0 && f[1].acc.x > 0.0); // mutual attraction
+//! ```
+//!
+//! With several boards the j-set is split across boards; every board
+//! computes the partial force from its share on the same i-particles
+//! and the host sums the partials in double precision — the scheme the
+//! paper's host library uses, which is why peak throughput is
+//! `32 pipelines × 90 MHz`.
+
+use crate::board::ProcessorBoard;
+use crate::clock::ClockAccounting;
+use crate::config::Grape5Config;
+use crate::cutoff::CutoffTable;
+use crate::pipeline::{Force, G5Pipeline, JWord};
+use g5util::fixed::RangeScaler;
+use g5util::vec3::Vec3;
+
+/// Interface words per j-particle (x, y, z, m).
+const WORDS_PER_J: u64 = 4;
+/// Interface words sent per i-particle (x, y, z).
+const WORDS_PER_I: u64 = 3;
+/// Interface words read back per i-particle (ax, ay, az, pot).
+const WORDS_PER_F: u64 = 4;
+
+/// An open GRAPE-5 system.
+#[derive(Debug, Clone)]
+pub struct Grape5 {
+    cfg: Grape5Config,
+    boards: Vec<ProcessorBoard>,
+    scaler: RangeScaler,
+    pipeline: G5Pipeline,
+    eps: f64,
+    cutoff: Option<CutoffTable>,
+    force_scale: f64,
+    clock: ClockAccounting,
+    nj_total: usize,
+}
+
+impl Grape5 {
+    /// Power on a system with the given configuration.
+    ///
+    /// The coordinate window defaults to `[-1, 1)`; call
+    /// [`set_range`](Self::set_range) before loading particles that
+    /// live elsewhere.
+    pub fn open(cfg: Grape5Config) -> Self {
+        cfg.validate();
+        let boards = (0..cfg.boards).map(|_| ProcessorBoard::new(&cfg)).collect();
+        let scaler = RangeScaler::new(-1.0, 1.0, cfg.coord_bits);
+        let pipeline = G5Pipeline::new(&cfg, scaler.quantum(), 0.0);
+        Grape5 {
+            cfg,
+            boards,
+            scaler,
+            pipeline,
+            eps: 0.0,
+            cutoff: None,
+            force_scale: 1.0,
+            clock: ClockAccounting::new(),
+            nj_total: 0,
+        }
+    }
+
+    fn rebuild_pipeline(&mut self) {
+        self.pipeline = G5Pipeline::new(&self.cfg, self.scaler.quantum(), self.eps)
+            .with_cutoff(self.cutoff.clone());
+    }
+
+    /// The configuration this system was opened with.
+    pub fn config(&self) -> &Grape5Config {
+        &self.cfg
+    }
+
+    /// Declare the coordinate window (`g5_set_range`). Invalidate any
+    /// loaded j-set: particles must be reloaded on the new grid.
+    pub fn set_range(&mut self, min: f64, max: f64) {
+        self.scaler = RangeScaler::new(min, max, self.cfg.coord_bits);
+        self.rebuild_pipeline();
+        for b in &mut self.boards {
+            b.load_j(&[]);
+        }
+        self.nj_total = 0;
+    }
+
+    /// Current coordinate window.
+    pub fn range(&self) -> (f64, f64) {
+        (self.scaler.min(), self.scaler.max())
+    }
+
+    /// Size of one coordinate quantum in simulation units.
+    pub fn quantum(&self) -> f64 {
+        self.scaler.quantum()
+    }
+
+    /// Set the softening length ε shared by all interactions
+    /// (`g5_set_eps_to_all`).
+    pub fn set_eps(&mut self, eps: f64) {
+        assert!(eps >= 0.0, "negative softening");
+        self.eps = eps;
+        self.rebuild_pipeline();
+    }
+
+    /// Load (or clear) the hardware cutoff table — the P³M/TreePM mode
+    /// of the real library. The table survives range and softening
+    /// changes until explicitly cleared.
+    pub fn set_cutoff(&mut self, cutoff: Option<CutoffTable>) {
+        self.cutoff = cutoff;
+        self.rebuild_pipeline();
+    }
+
+    /// The loaded cutoff table, if any.
+    pub fn cutoff(&self) -> Option<&CutoffTable> {
+        self.cutoff.as_ref()
+    }
+
+    /// Current softening length.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Declare the unit of the on-board force accumulators. Accumulated
+    /// components saturate at `acc_format.max_value() × scale`.
+    pub fn set_force_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "non-positive force scale");
+        self.force_scale = scale;
+    }
+
+    /// Total j-memory capacity across boards, in particles.
+    pub fn jmem_capacity(&self) -> usize {
+        self.cfg.jmem_capacity * self.cfg.boards
+    }
+
+    /// Number of j-particles currently loaded.
+    pub fn nj(&self) -> usize {
+        self.nj_total
+    }
+
+    /// Load the j-particle set (`g5_set_n` + `g5_set_xmj`), splitting it
+    /// evenly across boards and charging the interface transfer.
+    ///
+    /// # Panics
+    /// If the set exceeds [`jmem_capacity`](Self::jmem_capacity); chunk
+    /// larger sets with [`force_on_chunked`](Self::force_on_chunked).
+    pub fn set_j_particles(&mut self, pos: &[Vec3], mass: &[f64]) {
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        assert!(
+            pos.len() <= self.jmem_capacity(),
+            "j-set of {} exceeds total j-memory {}",
+            pos.len(),
+            self.jmem_capacity()
+        );
+        let words: Vec<JWord> = pos
+            .iter()
+            .zip(mass)
+            .map(|(p, &m)| JWord {
+                raw: [
+                    self.scaler.quantize(p.x),
+                    self.scaler.quantize(p.y),
+                    self.scaler.quantize(p.z),
+                ],
+                m_lns: self.pipeline.encode_mass(m),
+                m,
+            })
+            .collect();
+        // Even split: board b takes the b-th contiguous share.
+        let nb = self.boards.len();
+        let per = words.len().div_ceil(nb.max(1));
+        let mut max_words_one_iface = 0u64;
+        for (b, chunk) in self.boards.iter_mut().zip(words.chunks(per.max(1))) {
+            b.load_j(chunk);
+            max_words_one_iface = max_words_one_iface.max(chunk.len() as u64 * WORDS_PER_J);
+        }
+        // boards whose chunk is empty after a short set
+        if words.is_empty() {
+            for b in &mut self.boards {
+                b.load_j(&[]);
+            }
+        }
+        self.nj_total = words.len();
+        // j-load moves through per-board interfaces in parallel: charge
+        // the busiest one, no pipeline cycles, no call latency.
+        self.clock.record_call(0, max_words_one_iface, 0);
+        self.clock.calls -= 1; // transfers piggyback on the next force call
+    }
+
+    /// Compute forces on `xi` from the loaded j-set
+    /// (`g5_calculate_force_on_x`).
+    pub fn force_on(&mut self, xi: &[Vec3]) -> Vec<Force> {
+        let raw: Vec<[i64; 3]> = xi
+            .iter()
+            .map(|p| {
+                [
+                    self.scaler.quantize(p.x),
+                    self.scaler.quantize(p.y),
+                    self.scaler.quantize(p.z),
+                ]
+            })
+            .collect();
+
+        let mut total: Vec<Force> = vec![Force::ZERO; xi.len()];
+        let mut max_cycles = 0u64;
+        for b in &self.boards {
+            if b.nj() == 0 {
+                continue;
+            }
+            let partial = b.compute(&self.pipeline, &raw, self.force_scale);
+            for (t, p) in total.iter_mut().zip(partial) {
+                *t = t.merged(p);
+            }
+            max_cycles = max_cycles.max(b.cycles_for(xi.len()));
+        }
+        let words = xi.len() as u64 * (WORDS_PER_I + WORDS_PER_F);
+        let interactions = xi.len() as u64 * self.nj_total as u64;
+        self.clock.record_call(max_cycles, words, interactions);
+        total
+    }
+
+    /// Convenience: compute forces on `xi` from an arbitrarily large
+    /// j-set, chunking it through j-memory in as many passes as needed
+    /// and summing partials on the host.
+    pub fn force_on_chunked(&mut self, jpos: &[Vec3], jmass: &[f64], xi: &[Vec3]) -> Vec<Force> {
+        assert_eq!(jpos.len(), jmass.len(), "position/mass length mismatch");
+        let cap = self.jmem_capacity();
+        let mut total: Vec<Force> = vec![Force::ZERO; xi.len()];
+        let mut start = 0;
+        while start < jpos.len() {
+            let end = (start + cap).min(jpos.len());
+            self.set_j_particles(&jpos[start..end], &jmass[start..end]);
+            for (t, p) in total.iter_mut().zip(self.force_on(xi)) {
+                *t = t.merged(p);
+            }
+            start = end;
+        }
+        total
+    }
+
+    /// Snapshot of the hardware-work accounting.
+    pub fn accounting(&self) -> ClockAccounting {
+        self.clock
+    }
+
+    /// Zero the hardware-work accounting.
+    pub fn reset_accounting(&mut self) {
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArithMode;
+
+    fn two_body_system(mode: ArithMode) -> (Grape5, Vec<Vec3>, Vec<f64>) {
+        let cfg = Grape5Config { mode, ..Grape5Config::paper() };
+        let mut g5 = Grape5::open(cfg);
+        g5.set_range(-4.0, 4.0);
+        g5.set_eps(0.0);
+        let pos = vec![Vec3::new(1.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)];
+        let mass = vec![2.0, 3.0];
+        (g5, pos, mass)
+    }
+
+    #[test]
+    fn two_body_forces_exact_mode() {
+        let (mut g5, pos, mass) = two_body_system(ArithMode::Exact);
+        g5.set_j_particles(&pos, &mass);
+        let f = g5.force_on(&pos);
+        // a_0 = m_1 (x_1 - x_0)/|..|^3 = 3 * (-2)/8 = -0.75
+        assert!((f[0].acc.x + 0.75).abs() < 1e-6);
+        // a_1 = m_0 (x_0 - x_1)/8 = 2 * 2 / 8 = 0.5
+        assert!((f[1].acc.x - 0.5).abs() < 1e-6);
+        // potentials: p_0 = m_1/2, p_1 = m_0/2
+        assert!((f[0].pot - 1.5).abs() < 1e-6);
+        assert!((f[1].pot - 1.0).abs() < 1e-6);
+        // Newton's third law for the force (mass-weighted)
+        assert!((mass[0] * f[0].acc.x + mass[1] * f[1].acc.x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_body_forces_lns_mode_within_hardware_error() {
+        let (mut g5, pos, mass) = two_body_system(ArithMode::Lns);
+        g5.set_j_particles(&pos, &mass);
+        let f = g5.force_on(&pos);
+        assert!((f[0].acc.x + 0.75).abs() < 0.75 * 0.01);
+        assert!((f[1].acc.x - 0.5).abs() < 0.5 * 0.01);
+    }
+
+    #[test]
+    fn accounting_counts_cycles_words_interactions() {
+        let (mut g5, pos, mass) = two_body_system(ArithMode::Exact);
+        g5.set_j_particles(&pos, &mass);
+        let _ = g5.force_on(&pos);
+        let a = g5.accounting();
+        assert_eq!(a.calls, 1);
+        assert_eq!(a.interactions, 4); // 2 i × 2 j
+        // 2 boards, 1 j each: slowest board streams 1 j + latency
+        assert_eq!(a.pipeline_cycles, 1 + Grape5Config::paper().pipeline_latency_cycles);
+        // words: j-load max(4,4)=4, i send 2×3, f read 2×4
+        assert_eq!(a.iface_words, 4 + 6 + 8);
+        g5.reset_accounting();
+        assert_eq!(g5.accounting(), ClockAccounting::new());
+    }
+
+    #[test]
+    fn chunked_equals_single_pass() {
+        let cfg = Grape5Config { mode: ArithMode::Exact, ..Grape5Config::paper() };
+        let mut big = Grape5::open(cfg);
+        let cfg_small =
+            Grape5Config { mode: ArithMode::Exact, jmem_capacity: 3, ..Grape5Config::paper() };
+        let mut small = Grape5::open(cfg_small);
+        for g in [&mut big, &mut small] {
+            g.set_range(-2.0, 2.0);
+            g.set_eps(0.05);
+        }
+        let jpos: Vec<Vec3> = (0..20)
+            .map(|k| Vec3::new((k as f64 * 0.09) - 0.9, (k % 7) as f64 * 0.1, 0.3))
+            .collect();
+        let jm: Vec<f64> = (0..20).map(|k| 1.0 + (k % 3) as f64).collect();
+        let xi = vec![Vec3::new(0.11, -0.2, 0.0), Vec3::new(-0.5, 0.6, 1.0)];
+
+        let fa = big.force_on_chunked(&jpos, &jm, &xi);
+        let fb = small.force_on_chunked(&jpos, &jm, &xi);
+        for (a, b) in fa.iter().zip(&fb) {
+            assert!((a.acc - b.acc).norm() < 1e-9);
+            assert!((a.pot - b.pot).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn range_change_invalidates_j_set() {
+        let (mut g5, pos, mass) = two_body_system(ArithMode::Exact);
+        g5.set_j_particles(&pos, &mass);
+        assert_eq!(g5.nj(), 2);
+        g5.set_range(-8.0, 8.0);
+        assert_eq!(g5.nj(), 0);
+        let f = g5.force_on(&pos);
+        assert_eq!(f[0], Force::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_positions_saturate_not_crash() {
+        let (mut g5, _, _) = two_body_system(ArithMode::Exact);
+        let far = vec![Vec3::new(1e9, -1e9, 0.0)];
+        g5.set_j_particles(&far, &[1.0]);
+        let f = g5.force_on(&[Vec3::ZERO]);
+        assert!(f[0].acc.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total j-memory")]
+    fn oversize_j_set_rejected() {
+        let cfg = Grape5Config {
+            mode: ArithMode::Exact,
+            jmem_capacity: 1,
+            boards: 1,
+            ..Grape5Config::paper()
+        };
+        let mut g5 = Grape5::open(cfg);
+        let pos = vec![Vec3::ZERO, Vec3::ONE];
+        g5.set_j_particles(&pos, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn cutoff_suppresses_far_interactions() {
+        use crate::cutoff::CutoffTable;
+        let (mut g5, _, _) = two_body_system(ArithMode::Exact);
+        // cutoff at r = 1.5: the pair at separation 2 must vanish
+        g5.set_cutoff(Some(CutoffTable::treepm(0.3, 1.5, 10, 20)));
+        let pos = vec![Vec3::new(1.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)];
+        let mass = vec![1.0, 1.0];
+        g5.set_j_particles(&pos, &mass);
+        let f = g5.force_on(&pos);
+        assert_eq!(f[0], Force::ZERO);
+        // a close pair still interacts, with a sub-Newtonian factor
+        let close = vec![Vec3::new(0.05, 0.0, 0.0), Vec3::new(-0.05, 0.0, 0.0)];
+        g5.set_j_particles(&close, &mass);
+        let fc = g5.force_on(&close);
+        assert!(fc[0].acc.x < 0.0, "close pair must still attract");
+        let newton = 1.0 / (0.1f64 * 0.1);
+        assert!(fc[0].acc.x.abs() <= newton);
+        // clearing the table restores plain gravity
+        g5.set_cutoff(None);
+        g5.set_j_particles(&close, &mass);
+        let fn_ = g5.force_on(&close);
+        assert!((fn_[0].acc.x.abs() - newton).abs() / newton < 1e-5);
+    }
+
+    #[test]
+    fn cutoff_survives_range_and_eps_changes() {
+        use crate::cutoff::CutoffTable;
+        let (mut g5, pos, mass) = two_body_system(ArithMode::Exact);
+        g5.set_cutoff(Some(CutoffTable::treepm(0.3, 1.5, 8, 16)));
+        g5.set_range(-8.0, 8.0);
+        g5.set_eps(0.01);
+        assert!(g5.cutoff().is_some());
+        g5.set_j_particles(&pos, &mass);
+        let f = g5.force_on(&pos);
+        assert_eq!(f[0], Force::ZERO, "separation 2 > cutoff 1.5 must vanish");
+    }
+
+    #[test]
+    fn cutoff_lns_mode_matches_exact_mode_shape() {
+        use crate::cutoff::CutoffTable;
+        let mut exact = two_body_system(ArithMode::Exact).0;
+        let mut lns = two_body_system(ArithMode::Lns).0;
+        let pos = vec![Vec3::new(0.2, 0.1, 0.0), Vec3::new(-0.2, -0.1, 0.0)];
+        let mass = vec![1.0, 2.0];
+        for g in [&mut exact, &mut lns] {
+            g.set_cutoff(Some(CutoffTable::treepm(0.25, 1.0, 10, 20)));
+            g.set_j_particles(&pos, &mass);
+        }
+        let fe = exact.force_on(&pos);
+        let fl = lns.force_on(&pos);
+        let rel = (fe[0].acc - fl[0].acc).norm() / fe[0].acc.norm();
+        assert!(rel < 0.02, "LNS cutoff path off by {rel}");
+    }
+
+    #[test]
+    fn boards_split_j_work() {
+        // 2 boards, 10 j: each board streams 5 j per i-chunk
+        let cfg = Grape5Config { mode: ArithMode::Exact, ..Grape5Config::paper() };
+        let mut g5 = Grape5::open(cfg);
+        g5.set_range(-2.0, 2.0);
+        let jpos: Vec<Vec3> = (0..10).map(|k| Vec3::new(k as f64 * 0.1, 0.1, 0.2)).collect();
+        let jm = vec![1.0; 10];
+        g5.set_j_particles(&jpos, &jm);
+        let _ = g5.force_on(&[Vec3::ZERO]);
+        let a = g5.accounting();
+        assert_eq!(a.pipeline_cycles, 5 + cfg.pipeline_latency_cycles);
+        assert_eq!(a.interactions, 10);
+    }
+}

@@ -1,0 +1,166 @@
+//! Device-level tests of the GRAPE-5 simulator: multi-call sessions,
+//! register persistence, accounting arithmetic, and physical sanity of
+//! the hardware force against closed-form references.
+
+use g5util::vec3::Vec3;
+use grape5::{ArithMode, ClockAccounting, Grape5, Grape5Config};
+use rand::{Rng, SeedableRng};
+
+fn open_exact() -> Grape5 {
+    let mut g5 = Grape5::open(Grape5Config::paper_exact());
+    g5.set_range(-4.0, 4.0);
+    g5
+}
+
+#[test]
+fn repeated_j_loads_replace_not_append() {
+    let mut g5 = open_exact();
+    let a = vec![Vec3::new(1.0, 0.0, 0.0)];
+    let b = vec![Vec3::new(-1.0, 0.0, 0.0)];
+    g5.set_j_particles(&a, &[1.0]);
+    g5.set_j_particles(&b, &[1.0]);
+    assert_eq!(g5.nj(), 1);
+    let f = g5.force_on(&[Vec3::ZERO]);
+    // only b remains: force points in -x
+    assert!(f[0].acc.x < 0.0);
+}
+
+#[test]
+fn force_scale_does_not_change_results_in_range() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let pos: Vec<Vec3> = (0..50)
+        .map(|_| Vec3::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+        .collect();
+    let mass = vec![0.02; 50];
+    let mut a = open_exact();
+    let mut b = open_exact();
+    b.set_force_scale(1e-3);
+    a.set_j_particles(&pos, &mass);
+    b.set_j_particles(&pos, &mass);
+    let fa = a.force_on(&pos);
+    let fb = b.force_on(&pos);
+    for (x, y) in fa.iter().zip(&fb) {
+        // scale changes quantization granularity, not the value
+        assert!((x.acc - y.acc).norm() < 1e-6 + 1e-4 * x.acc.norm());
+    }
+}
+
+#[test]
+fn superposition_of_j_sets() {
+    // force from the union equals the sum of forces from two halves
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let pos: Vec<Vec3> = (0..64)
+        .map(|_| Vec3::new(rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)))
+        .collect();
+    let mass = vec![0.5; 64];
+    let xi = [Vec3::new(3.0, 3.0, 3.0)];
+
+    let mut g5 = open_exact();
+    g5.set_eps(0.1);
+    g5.set_j_particles(&pos, &mass);
+    let whole = g5.force_on(&xi);
+
+    g5.set_j_particles(&pos[..32], &mass[..32]);
+    let h1 = g5.force_on(&xi);
+    g5.set_j_particles(&pos[32..], &mass[32..]);
+    let h2 = g5.force_on(&xi);
+
+    assert!((whole[0].acc - (h1[0].acc + h2[0].acc)).norm() < 1e-9);
+    assert!((whole[0].pot - (h1[0].pot + h2[0].pot)).abs() < 1e-9);
+}
+
+#[test]
+fn kepler_acceleration_magnitude() {
+    // a point mass M at distance r: |a| = M/r^2 across a range of radii
+    let mut g5 = open_exact();
+    g5.set_range(-64.0, 64.0);
+    g5.set_j_particles(&[Vec3::ZERO], &[5.0]);
+    for r in [0.5, 1.0, 2.0, 10.0, 30.0] {
+        let f = g5.force_on(&[Vec3::new(r, 0.0, 0.0)]);
+        let expect = 5.0 / (r * r);
+        assert!(
+            (f[0].acc.norm() - expect).abs() / expect < 1e-5,
+            "r={r}: {} vs {expect}",
+            f[0].acc.norm()
+        );
+    }
+}
+
+#[test]
+fn lns_mode_kepler_within_hardware_tolerance() {
+    let mut g5 = Grape5::open(Grape5Config::paper());
+    g5.set_range(-64.0, 64.0);
+    g5.set_j_particles(&[Vec3::ZERO], &[5.0]);
+    for r in [0.7, 3.0, 21.0] {
+        let f = g5.force_on(&[Vec3::new(r, 0.0, 0.0)]);
+        let expect = 5.0 / (r * r);
+        let rel = (f[0].acc.norm() - expect).abs() / expect;
+        assert!(rel < 0.01, "r={r}: rel {rel}");
+    }
+}
+
+#[test]
+fn accounting_accumulates_across_calls_and_resets() {
+    let mut g5 = open_exact();
+    let pos = vec![Vec3::new(0.5, 0.0, 0.0); 10];
+    let mass = vec![1.0; 10];
+    g5.set_j_particles(&pos, &mass);
+    let xi = vec![Vec3::ZERO; 7];
+    let _ = g5.force_on(&xi);
+    let _ = g5.force_on(&xi);
+    let acc = g5.accounting();
+    assert_eq!(acc.calls, 2);
+    assert_eq!(acc.interactions, 2 * 7 * 10);
+    g5.reset_accounting();
+    assert_eq!(g5.accounting(), ClockAccounting::new());
+}
+
+#[test]
+fn empty_i_set_is_harmless() {
+    let mut g5 = open_exact();
+    g5.set_j_particles(&[Vec3::ZERO], &[1.0]);
+    let f = g5.force_on(&[]);
+    assert!(f.is_empty());
+}
+
+#[test]
+fn empty_j_set_gives_zero_forces() {
+    let mut g5 = open_exact();
+    g5.set_j_particles(&[], &[]);
+    let f = g5.force_on(&[Vec3::ZERO, Vec3::ONE]);
+    assert!(f.iter().all(|x| x.acc == Vec3::ZERO && x.pot == 0.0));
+}
+
+#[test]
+fn single_board_half_cycles_per_call() {
+    // same j-set: one board streams all nj, two boards stream nj/2
+    let mk = |boards: usize| {
+        let cfg = Grape5Config {
+            boards,
+            mode: ArithMode::Exact,
+            ..Grape5Config::paper()
+        };
+        let mut g5 = Grape5::open(cfg);
+        g5.set_range(-2.0, 2.0);
+        let pos: Vec<Vec3> = (0..100).map(|k| Vec3::new(k as f64 * 0.01, 0.1, 0.0)).collect();
+        let mass = vec![1.0; 100];
+        g5.set_j_particles(&pos, &mass);
+        let _ = g5.force_on(&[Vec3::ZERO]);
+        g5.accounting().pipeline_cycles
+    };
+    let one = mk(1);
+    let two = mk(2);
+    let lat = Grape5Config::paper().pipeline_latency_cycles;
+    assert_eq!(one, 100 + lat);
+    assert_eq!(two, 50 + lat);
+}
+
+#[test]
+fn quantum_shrinks_with_window() {
+    let mut g5 = open_exact();
+    g5.set_range(-1.0, 1.0);
+    let q1 = g5.quantum();
+    g5.set_range(-1024.0, 1024.0);
+    let q2 = g5.quantum();
+    assert!((q2 / q1 - 1024.0).abs() < 1e-9);
+}

@@ -1,0 +1,258 @@
+//! Einstein–de Sitter background cosmology, the BBKS CDM transfer
+//! function, and the unit system tying the simulation to the paper's
+//! physical setup.
+//!
+//! The paper's "standard cold dark matter scenario" is Ω = 1 CDM
+//! (Einstein–de Sitter). In EdS the background is analytic:
+//! `a ∝ t^(2/3)`, `H = H₀ (1+z)^(3/2)`, and the linear growth factor is
+//! simply `D ∝ a`.
+//!
+//! **Simulation units** (see [`SimUnits`]): G = 1, total sphere mass
+//! M = 1, comoving sphere radius R = 1 (↔ 50 Mpc). The mean density
+//! inside the sphere must equal the EdS critical density, which fixes
+//! `H₀ = √(2 M / R³) = √2` — no free parameters remain.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the standard-CDM power spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CosmoParams {
+    /// Dimensionless Hubble parameter h (SCDM convention: 0.5).
+    pub h: f64,
+    /// BBKS shape parameter Γ = Ω h (SCDM: 0.5).
+    pub gamma: f64,
+    /// Top-hat density fluctuation amplitude at 8 Mpc/h, at z = 0.
+    pub sigma8: f64,
+    /// Comoving radius of the simulated sphere in Mpc (paper: 50).
+    pub sphere_radius_mpc: f64,
+    /// Initial redshift (paper: 24).
+    pub z_init: f64,
+}
+
+impl Default for CosmoParams {
+    fn default() -> Self {
+        CosmoParams::paper()
+    }
+}
+
+impl CosmoParams {
+    /// The paper's setup: SCDM (h = 0.5, Γ = 0.5, σ₈ = 1), a 50 Mpc
+    /// sphere started at z = 24.
+    pub fn paper() -> Self {
+        CosmoParams { h: 0.5, gamma: 0.5, sigma8: 1.0, sphere_radius_mpc: 50.0, z_init: 24.0 }
+    }
+
+    /// BBKS (Bardeen, Bond, Kaiser & Szalay 1986) CDM transfer function
+    /// at comoving wavenumber `k` in h/Mpc.
+    pub fn transfer(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            return 1.0;
+        }
+        let q = k / self.gamma;
+        let l = (1.0 + 2.34 * q).ln() / (2.34 * q);
+        let poly = 1.0
+            + 3.89 * q
+            + (16.1 * q).powi(2)
+            + (5.46 * q).powi(3)
+            + (6.71 * q).powi(4);
+        l * poly.powf(-0.25)
+    }
+
+    /// Unnormalized z = 0 power spectrum `P(k) ∝ k T(k)²` (n = 1
+    /// Harrison–Zel'dovich primordial slope), `k` in h/Mpc.
+    pub fn power_unnormalized(&self, k: f64) -> f64 {
+        let t = self.transfer(k);
+        k * t * t
+    }
+
+    /// σ²(R) for the unnormalized spectrum with a top-hat window of
+    /// comoving radius `r` Mpc/h (log-trapezoid quadrature).
+    pub fn sigma2_unnormalized(&self, r: f64) -> f64 {
+        assert!(r > 0.0, "non-positive window radius");
+        let (lnk_min, lnk_max, steps) = ((1e-4f64).ln(), (1e3f64).ln(), 2000);
+        let dlnk = (lnk_max - lnk_min) / steps as f64;
+        let mut sum = 0.0;
+        for s in 0..=steps {
+            let lnk = lnk_min + s as f64 * dlnk;
+            let k = lnk.exp();
+            let x = k * r;
+            let w = if x < 1e-4 {
+                1.0
+            } else {
+                3.0 * (x.sin() - x * x.cos()) / (x * x * x)
+            };
+            let integrand = k * k * k * self.power_unnormalized(k) * w * w;
+            let weight = if s == 0 || s == steps { 0.5 } else { 1.0 };
+            sum += weight * integrand * dlnk;
+        }
+        sum / (2.0 * std::f64::consts::PI * std::f64::consts::PI)
+    }
+
+    /// Normalization constant A such that `P(k) = A k T(k)²` gives the
+    /// requested σ₈ at z = 0.
+    pub fn power_norm(&self) -> f64 {
+        let s2 = self.sigma2_unnormalized(8.0);
+        self.sigma8 * self.sigma8 / s2
+    }
+
+    /// Normalized z = 0 power spectrum, `k` in h/Mpc, P in (Mpc/h)³.
+    pub fn power(&self, k: f64) -> f64 {
+        self.power_norm() * self.power_unnormalized(k)
+    }
+}
+
+/// The EdS background in simulation units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimUnits {
+    /// Hubble constant at z = 0 in simulation units (√2 by closure).
+    pub h0: f64,
+    /// Initial redshift.
+    pub z_init: f64,
+}
+
+impl SimUnits {
+    /// Derive the unit system from the sphere setup: G = 1, M = 1,
+    /// comoving R = 1 ⇒ `H₀ = √2`.
+    pub fn new(z_init: f64) -> SimUnits {
+        assert!(z_init > 0.0, "initial redshift must be positive");
+        SimUnits { h0: std::f64::consts::SQRT_2, z_init }
+    }
+
+    /// Scale factor at redshift z (a = 1 at z = 0).
+    #[inline]
+    pub fn a(&self, z: f64) -> f64 {
+        1.0 / (1.0 + z)
+    }
+
+    /// Hubble rate at redshift z: `H = H₀ (1+z)^(3/2)`.
+    #[inline]
+    pub fn hubble(&self, z: f64) -> f64 {
+        self.h0 * (1.0 + z).powf(1.5)
+    }
+
+    /// Cosmic time at redshift z: `t = (2/3) / H(z)`.
+    #[inline]
+    pub fn time(&self, z: f64) -> f64 {
+        2.0 / (3.0 * self.hubble(z))
+    }
+
+    /// Linear growth factor, normalized to D = 1 at z = 0 (EdS: D = a).
+    #[inline]
+    pub fn growth(&self, z: f64) -> f64 {
+        self.a(z)
+    }
+
+    /// Time span of the paper's run: from z_init to z = 0.
+    pub fn run_span(&self) -> (f64, f64) {
+        (self.time(self.z_init), self.time(0.0))
+    }
+
+    /// A shared-timestep schedule of `steps` absolute times from z_init
+    /// to z = 0, uniform in the scale factor a — the standard choice
+    /// for cosmological treecodes (constant Δt would make the first
+    /// step several initial dynamical times long). In EdS,
+    /// `t(a) = t₀ a^{3/2}`.
+    pub fn a_uniform_schedule(&self, steps: u64) -> Vec<f64> {
+        assert!(steps > 0, "zero steps");
+        let t0 = self.time(0.0);
+        let a_i = self.a(self.z_init);
+        (1..=steps)
+            .map(|k| {
+                let a = a_i + (1.0 - a_i) * k as f64 / steps as f64;
+                t0 * a.powf(1.5)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_limits() {
+        let c = CosmoParams::paper();
+        // k -> 0: T -> 1
+        assert!((c.transfer(1e-6) - 1.0).abs() < 1e-3);
+        // large k: strongly suppressed, monotone decline
+        assert!(c.transfer(10.0) < 1e-3);
+        assert!(c.transfer(0.1) > c.transfer(1.0));
+    }
+
+    #[test]
+    fn power_spectrum_turns_over() {
+        let c = CosmoParams::paper();
+        // P(k) rises as k at small k, falls at large k: peak in between
+        let p_small = c.power_unnormalized(1e-3);
+        let p_peak = c.power_unnormalized(0.05);
+        let p_large = c.power_unnormalized(5.0);
+        assert!(p_peak > p_small);
+        assert!(p_peak > p_large);
+    }
+
+    #[test]
+    fn sigma8_normalization_roundtrip() {
+        let c = CosmoParams::paper();
+        let a = c.power_norm();
+        let s2 = c.sigma2_unnormalized(8.0);
+        assert!((a * s2 - 1.0).abs() < 1e-12, "normalized sigma8 must be 1");
+    }
+
+    #[test]
+    fn sigma_decreases_with_smoothing_scale() {
+        let c = CosmoParams::paper();
+        assert!(c.sigma2_unnormalized(4.0) > c.sigma2_unnormalized(8.0));
+        assert!(c.sigma2_unnormalized(8.0) > c.sigma2_unnormalized(16.0));
+    }
+
+    #[test]
+    fn eds_background() {
+        let u = SimUnits::new(24.0);
+        assert!((u.h0 - 2.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(u.a(0.0), 1.0);
+        assert!((u.a(24.0) - 0.04).abs() < 1e-15);
+        // H(z) = H0 (1+z)^1.5
+        assert!((u.hubble(24.0) / u.h0 - 25.0f64.powf(1.5)).abs() < 1e-12);
+        // t0/ti = (1+z)^1.5 = 125
+        let (ti, t0) = u.run_span();
+        assert!((t0 / ti - 125.0).abs() < 1e-9);
+        // growth D = a in EdS
+        assert_eq!(u.growth(24.0), u.a(24.0));
+    }
+
+    #[test]
+    fn closure_density_fixes_h0() {
+        // rho_mean = 3 H^2 / (8 pi G); with M = R = G = 1:
+        // 3/(4 pi) = 3 H0^2/(8 pi)  =>  H0^2 = 2
+        let u = SimUnits::new(24.0);
+        let rho_mean = 1.0 / (4.0 / 3.0 * std::f64::consts::PI);
+        let rho_crit = 3.0 * u.h0 * u.h0 / (8.0 * std::f64::consts::PI);
+        assert!((rho_mean - rho_crit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_uniform_schedule_properties() {
+        let u = SimUnits::new(24.0);
+        let sched = u.a_uniform_schedule(100);
+        assert_eq!(sched.len(), 100);
+        // strictly increasing, starting after t_init, ending at t_0
+        let (t_i, t_0) = u.run_span();
+        assert!(sched[0] > t_i);
+        assert!((sched[99] - t_0).abs() < 1e-12);
+        for w in sched.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // early steps are much shorter than late steps
+        let first = sched[0] - t_i;
+        let last = sched[99] - sched[98];
+        assert!(last / first > 3.0, "late/early step ratio {}", last / first);
+        // the first step is a modest fraction of the initial dynamical time
+        assert!(first < t_i, "first step {first} vs t_i {t_i}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_z_init_rejected() {
+        SimUnits::new(0.0);
+    }
+}

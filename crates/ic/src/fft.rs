@@ -1,0 +1,411 @@
+//! Minimal complex FFT — the numerical substrate of the Gaussian
+//! random-field realization.
+//!
+//! Iterative in-place radix-2 Cooley–Tukey for power-of-two lengths,
+//! plus a 3-D transform over a cubic grid (transform each axis in
+//! turn). No external FFT crate is used; grids of 64³–128³ transform in
+//! milliseconds, far from any bottleneck of the IC pipeline.
+//!
+//! Conventions: forward transform `X_k = Σ_n x_n e^{-2πikn/N}` without
+//! scaling; the inverse applies `1/N` per axis, so
+//! `ifft(fft(x)) == x`.
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A complex number (kept local to avoid an external dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// Zero.
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Cpx {
+        Cpx { re, im }
+    }
+
+    /// A real number.
+    #[inline]
+    pub const fn real(re: f64) -> Cpx {
+        Cpx { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Cpx {
+        Cpx { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Cpx {
+        Cpx { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Cpx {
+        Cpx { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Cpx {
+    #[inline]
+    fn add_assign(&mut self, o: Cpx) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+}
+
+/// In-place 1-D FFT. `inverse` selects the inverse transform (with the
+/// `1/N` scaling applied).
+///
+/// # Panics
+/// If the length is not a power of two.
+pub fn fft_inplace(data: &mut [Cpx], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // butterflies
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Cpx::cis(ang);
+        let mut start = 0;
+        while start < n {
+            let mut w = Cpx::real(1.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f64;
+        for v in data {
+            *v = v.scale(s);
+        }
+    }
+}
+
+/// A cubic complex grid with 3-D FFT support.
+#[derive(Debug, Clone)]
+pub struct Grid3 {
+    n: usize,
+    data: Vec<Cpx>,
+}
+
+impl Grid3 {
+    /// An `n³` grid of zeros; `n` must be a power of two.
+    pub fn zeros(n: usize) -> Grid3 {
+        assert!(n.is_power_of_two(), "grid side {n} is not a power of two");
+        Grid3 { n, data: vec![Cpx::ZERO; n * n * n] }
+    }
+
+    /// Grid side length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Linear index of `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n && k < self.n);
+        (i * self.n + j) * self.n + k
+    }
+
+    /// Immutable cell access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Cpx {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Mutable cell access.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize, k: usize) -> &mut Cpx {
+        let idx = self.idx(i, j, k);
+        &mut self.data[idx]
+    }
+
+    /// Raw storage (k fastest).
+    pub fn data(&self) -> &[Cpx] {
+        &self.data
+    }
+
+    /// 3-D FFT along all axes.
+    pub fn fft3(&mut self, inverse: bool) {
+        let n = self.n;
+        let mut line = vec![Cpx::ZERO; n];
+        // axis 2 (k) — contiguous
+        for i in 0..n {
+            for j in 0..n {
+                let base = self.idx(i, j, 0);
+                fft_inplace(&mut self.data[base..base + n], inverse);
+            }
+        }
+        // axis 1 (j)
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    line[j] = self.get(i, j, k);
+                }
+                fft_inplace(&mut line, inverse);
+                for j in 0..n {
+                    *self.get_mut(i, j, k) = line[j];
+                }
+            }
+        }
+        // axis 0 (i)
+        for j in 0..n {
+            for k in 0..n {
+                for i in 0..n {
+                    line[i] = self.get(i, j, k);
+                }
+                fft_inplace(&mut line, inverse);
+                for i in 0..n {
+                    *self.get_mut(i, j, k) = line[i];
+                }
+            }
+        }
+    }
+
+    /// The signed frequency index of grid index `i` (0, 1, …, n/2−1,
+    /// −n/2, …, −1) — standard FFT frequency layout.
+    #[inline]
+    pub fn freq(&self, i: usize) -> i64 {
+        if i < self.n / 2 {
+            i as i64
+        } else {
+            i as i64 - self.n as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Cpx, b: Cpx, tol: f64) {
+        assert!((a - b).abs() < tol, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Cpx::ZERO; 8];
+        x[0] = Cpx::real(1.0);
+        fft_inplace(&mut x, false);
+        for v in &x {
+            assert_close(*v, Cpx::real(1.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut x = vec![Cpx::real(1.0); 16];
+        fft_inplace(&mut x, false);
+        assert_close(x[0], Cpx::real(16.0), 1e-12);
+        for v in &x[1..] {
+            assert_close(*v, Cpx::ZERO, 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_mode_lands_in_single_bin() {
+        let n = 32;
+        let mode = 5;
+        let mut x: Vec<Cpx> = (0..n)
+            .map(|t| Cpx::cis(std::f64::consts::TAU * mode as f64 * t as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut x, false);
+        for (k, v) in x.iter().enumerate() {
+            if k == mode {
+                assert_close(*v, Cpx::real(n as f64), 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leak at bin {k}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Cpx> =
+            (0..64).map(|t| Cpx::new((t as f64).sin(), (t as f64 * 0.7).cos())).collect();
+        let mut y = x.clone();
+        fft_inplace(&mut y, false);
+        fft_inplace(&mut y, true);
+        for (a, b) in x.iter().zip(&y) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let x: Vec<Cpx> = (0..128).map(|t| Cpx::new((t as f64 * 0.3).sin(), 0.0)).collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm2()).sum();
+        let mut y = x.clone();
+        fft_inplace(&mut y, false);
+        let freq_energy: f64 = y.iter().map(|v| v.norm2()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Cpx::ZERO; 12];
+        fft_inplace(&mut x, false);
+    }
+
+    #[test]
+    fn grid3_roundtrip() {
+        let mut g = Grid3::zeros(8);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    *g.get_mut(i, j, k) =
+                        Cpx::new((i * 64 + j * 8 + k) as f64 * 0.01, (i + j + k) as f64 * 0.1);
+                }
+            }
+        }
+        let orig = g.clone();
+        g.fft3(false);
+        g.fft3(true);
+        for (a, b) in g.data().iter().zip(orig.data()) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid3_plane_wave_single_bin() {
+        let n = 8;
+        let mut g = Grid3::zeros(n);
+        let (kx, ky, kz) = (2usize, 3usize, 1usize);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let phase = std::f64::consts::TAU
+                        * (kx * i + ky * j + kz * k) as f64
+                        / n as f64;
+                    *g.get_mut(i, j, k) = Cpx::cis(phase);
+                }
+            }
+        }
+        g.fft3(false);
+        let expect = (n * n * n) as f64;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let v = g.get(i, j, k);
+                    if (i, j, k) == (kx, ky, kz) {
+                        assert_close(v, Cpx::real(expect), 1e-6);
+                    } else {
+                        assert!(v.abs() < 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freq_layout() {
+        let g = Grid3::zeros(8);
+        assert_eq!(g.freq(0), 0);
+        assert_eq!(g.freq(3), 3);
+        assert_eq!(g.freq(4), -4);
+        assert_eq!(g.freq(7), -1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn fft_is_linear(a in proptest::collection::vec(-5.0f64..5.0, 16),
+                         b in proptest::collection::vec(-5.0f64..5.0, 16)) {
+            let xa: Vec<Cpx> = a.iter().map(|&v| Cpx::real(v)).collect();
+            let xb: Vec<Cpx> = b.iter().map(|&v| Cpx::real(v)).collect();
+            let mut fa = xa.clone();
+            let mut fb = xb.clone();
+            let mut fsum: Vec<Cpx> = xa.iter().zip(&xb).map(|(&p, &q)| p + q).collect();
+            fft_inplace(&mut fa, false);
+            fft_inplace(&mut fb, false);
+            fft_inplace(&mut fsum, false);
+            for ((s, p), q) in fsum.iter().zip(&fa).zip(&fb) {
+                prop_assert!((*s - (*p + *q)).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn real_input_has_hermitian_spectrum(a in proptest::collection::vec(-5.0f64..5.0, 32)) {
+            let mut x: Vec<Cpx> = a.iter().map(|&v| Cpx::real(v)).collect();
+            fft_inplace(&mut x, false);
+            for k in 1..32 {
+                prop_assert!((x[k] - x[32 - k].conj()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Hernquist (1990) sphere — the standard one-parameter galaxy/bulge
+//! model with an analytic density–potential pair:
+//!
+//! ```text
+//! ρ(r) = M a / (2π r (r+a)³),     M(r) = M r² / (r+a)²
+//! ```
+//!
+//! Positions follow from inverting the cumulative mass exactly.
+//! Velocities are drawn isotropically from a Gaussian with the analytic
+//! Jeans-equation dispersion σ²(r) (Hernquist 1990, eq. 10) — the
+//! standard "Jeans model" approximation, accurate enough that the model
+//! stays within a few percent of virial equilibrium, which the tests
+//! enforce. Units: G = M = a = 1.
+
+use crate::Snapshot;
+use g5util::vec3::Vec3;
+use rand::Rng;
+
+/// Analytic cumulative mass fraction at radius `r` (a = M = 1).
+pub fn mass_within(r: f64) -> f64 {
+    let x = r / (r + 1.0);
+    x * x
+}
+
+/// Analytic radial velocity dispersion σ²(r) from the isotropic Jeans
+/// equation (Hernquist 1990, eq. 10), G = M = a = 1.
+pub fn sigma2(r: f64) -> f64 {
+    if r <= 0.0 {
+        return 0.0;
+    }
+    let rp = r + 1.0;
+    let term = 12.0 * r * rp.powi(3) * ((rp) / r).ln()
+        - r / rp * (25.0 + 52.0 * r + 42.0 * r * r + 12.0 * r.powi(3));
+    (term / 12.0).max(0.0)
+}
+
+/// Sample an `n`-particle Hernquist sphere, truncated at `r_max` scale
+/// lengths, shifted to the center-of-mass frame.
+pub fn hernquist_sphere<R: Rng + ?Sized>(n: usize, r_max: f64, rng: &mut R) -> Snapshot {
+    assert!(n > 0, "zero particles requested");
+    assert!(r_max > 1.0, "truncation radius must exceed the scale length");
+    let m = 1.0 / n as f64;
+    let f_max = mass_within(r_max);
+    let mut pos = Vec::with_capacity(n);
+    let mut vel = Vec::with_capacity(n);
+    for _ in 0..n {
+        // invert M(r): r = sqrt(f) / (1 - sqrt(f)), f uniform in (0, f_max)
+        let f: f64 = rng.random_range(0.0..f_max);
+        let s = f.sqrt();
+        let r = (s / (1.0 - s)).min(r_max);
+        pos.push(r * random_unit(rng));
+        let sigma = sigma2(r).sqrt();
+        vel.push(Vec3::new(
+            sigma * gaussian(rng),
+            sigma * gaussian(rng),
+            sigma * gaussian(rng),
+        ));
+    }
+    let mut snap = Snapshot { pos, vel, mass: vec![m; n] };
+    let com = snap.center_of_mass();
+    let vcom = snap.momentum() / snap.total_mass();
+    for p in &mut snap.pos {
+        *p -= com;
+    }
+    for v in &mut snap.vel {
+        *v -= vcom;
+    }
+    snap
+}
+
+fn random_unit<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    let u: f64 = rng.random_range(-1.0..1.0);
+    let phi: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let s = (1.0 - u * u).sqrt();
+    Vec3::new(s * phi.cos(), s * phi.sin(), u)
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model(n: usize, seed: u64) -> Snapshot {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        hernquist_sphere(n, 50.0, &mut rng)
+    }
+
+    #[test]
+    fn cumulative_mass_analytics() {
+        assert_eq!(mass_within(0.0), 0.0);
+        assert!((mass_within(1.0) - 0.25).abs() < 1e-15); // M(a) = 1/4
+        assert!(mass_within(1e9) > 0.999_999);
+    }
+
+    #[test]
+    fn half_mass_radius() {
+        // M(r) = 1/2 at r = a (1 + sqrt 2) ≈ 2.414
+        let s = model(30_000, 1);
+        let mut r: Vec<f64> = s.pos.iter().map(|p| p.norm()).collect();
+        r.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        // truncation at 50a removes ~4 % of the mass; the half-mass
+        // radius of the truncated model is slightly smaller
+        let rh = r[r.len() / 2];
+        assert!((rh - 2.3).abs() < 0.25, "half-mass radius {rh}");
+    }
+
+    #[test]
+    fn density_profile_slopes() {
+        // rho ~ r^-1 inside a, r^-4 outside: the mass in [0.01, 0.1]a
+        // vastly exceeds the r^3-scaling of a uniform core
+        let s = model(100_000, 2);
+        let count = |lo: f64, hi: f64| {
+            s.pos.iter().filter(|p| {
+                let r = p.norm();
+                r >= lo && r < hi
+            })
+            .count() as f64
+        };
+        // M(0.1)-M(0.01) vs M(1)-M(0.1): analytic ratio
+        let expect = (mass_within(0.1) - mass_within(0.01)) / (mass_within(1.0) - mass_within(0.1));
+        let got = count(0.01, 0.1) / count(0.1, 1.0);
+        assert!((got / expect - 1.0).abs() < 0.15, "shell ratio {got} vs {expect}");
+    }
+
+    #[test]
+    fn sigma2_peaks_near_scale_radius() {
+        // dispersion rises from 0, peaks around ~0.2-0.5a, falls outward
+        assert!(sigma2(1e-4) < sigma2(0.3));
+        assert!(sigma2(0.3) > sigma2(5.0));
+        assert!(sigma2(5.0) > sigma2(50.0));
+        // known value: sigma_r(a) = 0.295, sigma^2(a) = 0.0868 for G=M=a=1
+        assert!((sigma2(1.0) - 0.0868).abs() < 0.002, "sigma2(1) = {}", sigma2(1.0));
+    }
+
+    #[test]
+    fn near_virial_equilibrium() {
+        let s = model(30_000, 3);
+        let t: f64 = 0.5 * s.vel.iter().zip(&s.mass).map(|(v, &m)| m * v.norm2()).sum::<f64>();
+        // analytic |W| for the untruncated model: GM^2/(6a)
+        let w = 1.0 / 6.0;
+        let ratio = 2.0 * t / w;
+        assert!((0.8..1.2).contains(&ratio), "virial ratio {ratio}");
+    }
+
+    #[test]
+    fn com_frame() {
+        let s = model(5000, 4);
+        assert!(s.center_of_mass().norm() < 1e-10);
+        assert!(s.momentum().norm() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation radius")]
+    fn bad_truncation_rejected() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        hernquist_sphere(10, 0.5, &mut rng);
+    }
+}

@@ -1,0 +1,133 @@
+//! Plummer (1911) sphere generator — the standard equilibrium test
+//! model for collisionless N-body codes (Aarseth, Hénon & Wielen 1974
+//! sampling).
+//!
+//! Units: G = M = 1, Plummer scale length a = 1; virial equilibrium
+//! with total energy E = −3π/64.
+
+use crate::Snapshot;
+use g5util::vec3::Vec3;
+use rand::Rng;
+
+/// Sample an isotropic Plummer sphere of `n` equal-mass particles.
+///
+/// Positions are truncated at 10 scale lengths (standard practice: the
+/// outermost mass fraction is re-drawn) and the snapshot is shifted to
+/// the center-of-mass frame in both position and velocity.
+pub fn plummer_sphere<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Snapshot {
+    assert!(n > 0, "zero particles requested");
+    let m = 1.0 / n as f64;
+    let mut pos = Vec::with_capacity(n);
+    let mut vel = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // radius from the cumulative mass profile M(r) = r^3 (1+r^2)^{-3/2}
+        let r = loop {
+            let x: f64 = rng.random_range(0.0..1.0);
+            let r = (x.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
+            if r < 10.0 {
+                break r;
+            }
+        };
+        pos.push(r * random_unit(rng));
+
+        // speed by von Neumann rejection on g(q) = q^2 (1 - q^2)^{7/2}
+        let q = loop {
+            let q: f64 = rng.random_range(0.0..1.0);
+            let g: f64 = rng.random_range(0.0..0.1);
+            if g < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        let vesc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+        vel.push(q * vesc * random_unit(rng));
+    }
+
+    let mut snap = Snapshot { pos, vel, mass: vec![m; n] };
+    // remove bulk drift
+    let com = snap.center_of_mass();
+    let vcom = snap.momentum() / snap.total_mass();
+    for p in &mut snap.pos {
+        *p -= com;
+    }
+    for v in &mut snap.vel {
+        *v -= vcom;
+    }
+    snap
+}
+
+/// A uniformly random direction.
+fn random_unit<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    let u: f64 = rng.random_range(-1.0..1.0);
+    let phi: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let s = (1.0 - u * u).sqrt();
+    Vec3::new(s * phi.cos(), s * phi.sin(), u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model(n: usize, seed: u64) -> Snapshot {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        plummer_sphere(n, &mut rng)
+    }
+
+    #[test]
+    fn basic_properties() {
+        let s = model(5000, 1);
+        s.validate();
+        assert_eq!(s.len(), 5000);
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        assert!(s.center_of_mass().norm() < 1e-10);
+        assert!(s.momentum().norm() < 1e-10);
+    }
+
+    #[test]
+    fn half_mass_radius_matches_plummer() {
+        // analytic half-mass radius: r_h = (2^(2/3)-1)^(-1/2) a ≈ 1.305
+        let s = model(20_000, 2);
+        let mut r: Vec<f64> = s.pos.iter().map(|p| p.norm()).collect();
+        r.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let rh = r[r.len() / 2];
+        assert!((rh - 1.305).abs() < 0.05, "half-mass radius {rh}");
+    }
+
+    #[test]
+    fn virial_ratio_near_equilibrium() {
+        // 2T/|W| ≈ 1 for an equilibrium model; the analytic Plummer
+        // potential energy is W = −3π/32 (total energy E = −3π/64);
+        // truncation at 10a shifts both slightly.
+        let s = model(20_000, 3);
+        let t: f64 =
+            0.5 * s.vel.iter().zip(&s.mass).map(|(v, &m)| m * v.norm2()).sum::<f64>();
+        let w_analytic = 3.0 * std::f64::consts::PI / 32.0;
+        let ratio = 2.0 * t / w_analytic;
+        assert!((0.85..1.15).contains(&ratio), "virial ratio {ratio}");
+    }
+
+    #[test]
+    fn all_radii_truncated() {
+        let s = model(3000, 4);
+        // truncation at 10a (plus tiny COM shift slack)
+        assert!(s.pos.iter().all(|p| p.norm() < 10.5));
+    }
+
+    #[test]
+    fn speeds_below_escape_velocity() {
+        let s = model(3000, 5);
+        for (p, v) in s.pos.iter().zip(&s.vel) {
+            let vesc = std::f64::consts::SQRT_2 * (1.0 + p.norm2()).powf(-0.25);
+            // COM-frame shift can nudge speeds slightly past the local bound
+            assert!(v.norm() <= vesc * 1.2, "unbound particle");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero particles")]
+    fn zero_rejected() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        plummer_sphere(0, &mut rng);
+    }
+}

@@ -1,0 +1,88 @@
+//! Simple sphere models: uniform random spheres (with optional rigid
+//! Hubble-like expansion) and cold (zero-velocity) spheres for collapse
+//! tests.
+
+use crate::Snapshot;
+use g5util::vec3::Vec3;
+use rand::Rng;
+
+/// `n` equal-mass particles uniformly distributed in a sphere of the
+/// given radius, with velocity `v = h_factor * x` (a rigid Hubble
+/// flow; pass 0 for a static sphere). Total mass 1.
+pub fn uniform_sphere<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    h_factor: f64,
+    rng: &mut R,
+) -> Snapshot {
+    assert!(n > 0, "zero particles requested");
+    assert!(radius > 0.0, "non-positive radius");
+    let m = 1.0 / n as f64;
+    let mut pos = Vec::with_capacity(n);
+    for _ in 0..n {
+        // rejection-sample the unit ball
+        let p = loop {
+            let c = Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            );
+            if c.norm2() <= 1.0 {
+                break c;
+            }
+        };
+        pos.push(p * radius);
+    }
+    let vel = pos.iter().map(|&p| p * h_factor).collect();
+    Snapshot { pos, vel, mass: vec![m; n] }
+}
+
+/// A cold (zero-velocity) uniform sphere — the classic collapse test:
+/// free-fall time `t_ff = π/2 · √(R³/2GM) = (π/2)·√(R³/2)` in G = M = 1
+/// units.
+pub fn cold_sphere<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Snapshot {
+    uniform_sphere(n, radius, 0.0, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sphere_statistics() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let s = uniform_sphere(20_000, 2.0, 0.0, &mut rng);
+        s.validate();
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        assert!(s.pos.iter().all(|p| p.norm() <= 2.0));
+        // mean radius of a uniform ball of radius R is 3R/4
+        let mean_r: f64 = s.pos.iter().map(|p| p.norm()).sum::<f64>() / s.len() as f64;
+        assert!((mean_r - 1.5).abs() < 0.02, "mean radius {mean_r}");
+        // COM near origin
+        assert!(s.center_of_mass().norm() < 0.05);
+    }
+
+    #[test]
+    fn hubble_flow_velocities() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let s = uniform_sphere(100, 1.0, 2.5, &mut rng);
+        for (p, v) in s.pos.iter().zip(&s.vel) {
+            assert!((*v - *p * 2.5).norm() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cold_sphere_is_at_rest() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let s = cold_sphere(50, 1.0, &mut rng);
+        assert!(s.vel.iter().all(|v| *v == Vec3::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive radius")]
+    fn zero_radius_rejected() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        uniform_sphere(10, 0.0, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,302 @@
+//! Zel'dovich-approximation realization of a standard-CDM density
+//! field in a sphere — the reproduction's substitute for the COSMICS
+//! package (§5 of the paper).
+//!
+//! Pipeline:
+//!
+//! 1. fill a cubic grid with unit white Gaussian noise and forward-FFT
+//!    it (this yields Hermitian mode amplitudes for free);
+//! 2. scale each mode by `√(P(k) N³ / V)` so the inverse transform is a
+//!    realization of the density contrast δ with the BBKS spectrum,
+//!    normalized to σ₈ at z = 0;
+//! 3. convert δ to Zel'dovich displacement fields `ψ̃_k = i k δ̃_k / k²`
+//!    (so that `δ = −∇·ψ` to linear order);
+//! 4. place particles at grid points inside the sphere, displace by
+//!    `D(z_i) ψ`, and assign velocities `v = H x + a Ḋ ψ` (EdS: Ḋ = HD)
+//!    — unperturbed Hubble flow plus the Zel'dovich peculiar velocity;
+//! 5. convert to simulation units (G = 1, sphere mass 1, comoving
+//!    radius 1, physical coordinates at `a_i = 1/(1+z_i)`).
+//!
+//! The simulation then integrates plain Newtonian gravity in physical
+//! coordinates — the standard treatment of an isolated cosmological
+//! sphere, matching the paper's setup.
+
+use crate::cosmology::{CosmoParams, SimUnits};
+use crate::fft::{Cpx, Grid3};
+use crate::Snapshot;
+use g5util::vec3::Vec3;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the realization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZeldovichConfig {
+    /// Grid cells per dimension (power of two). Roughly `π/6 · n³`
+    /// particles end up inside the sphere.
+    pub grid_n: usize,
+    /// Physical spectrum parameters.
+    pub cosmo: CosmoParams,
+    /// RNG seed (realizations are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl ZeldovichConfig {
+    /// A laptop-scale default: 32³ grid ⇒ ≈ 17 k particles.
+    pub fn small(seed: u64) -> Self {
+        ZeldovichConfig { grid_n: 32, cosmo: CosmoParams::paper(), seed }
+    }
+
+    /// Pick the smallest power-of-two grid whose in-sphere particle
+    /// count reaches `n_target`.
+    pub fn for_target_particles(n_target: usize, seed: u64) -> Self {
+        let mut n = 8usize;
+        while (std::f64::consts::PI / 6.0) * ((n * n * n) as f64) < n_target as f64 {
+            n *= 2;
+            assert!(n <= 1024, "target particle count unreasonably large");
+        }
+        ZeldovichConfig { grid_n: n, cosmo: CosmoParams::paper(), seed }
+    }
+}
+
+/// A generated cosmological initial condition plus its diagnostics.
+#[derive(Debug, Clone)]
+pub struct CosmologicalIc {
+    /// The particle load in simulation units (physical coordinates at
+    /// `z_init`).
+    pub snapshot: Snapshot,
+    /// Background in simulation units.
+    pub units: SimUnits,
+    /// The spectrum parameters used.
+    pub cosmo: CosmoParams,
+    /// RMS of the linear density contrast on the grid, scaled to z_init.
+    pub delta_rms_init: f64,
+    /// RMS Zel'dovich displacement at z_init, in units of the grid
+    /// spacing (should stay well below 1 for a valid realization).
+    pub displacement_rms_cells: f64,
+}
+
+impl CosmologicalIc {
+    /// Generate a realization.
+    pub fn generate(cfg: &ZeldovichConfig) -> CosmologicalIc {
+        let n = cfg.grid_n;
+        assert!(n.is_power_of_two() && n >= 8, "grid side must be a power of two >= 8");
+        let cosmo = cfg.cosmo;
+        let units = SimUnits::new(cosmo.z_init);
+
+        // Box geometry in Mpc/h: cube of side 2R around the sphere.
+        let r_h = cosmo.sphere_radius_mpc * cosmo.h;
+        let box_l = 2.0 * r_h;
+        let vol = box_l * box_l * box_l;
+        let cell = box_l / n as f64;
+
+        // 1. white noise, forward FFT
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut delta = Grid3::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    *delta.get_mut(i, j, k) = Cpx::real(gaussian(&mut rng));
+                }
+            }
+        }
+        delta.fft3(false);
+
+        // 2. imprint the spectrum; 3. build displacement modes
+        let norm = cosmo.power_norm();
+        let n3 = (n * n * n) as f64;
+        let kf = std::f64::consts::TAU / box_l; // fundamental mode, h/Mpc
+        let mut psi = [Grid3::zeros(n), Grid3::zeros(n), Grid3::zeros(n)];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let kv = [
+                        kf * delta.freq(i) as f64,
+                        kf * delta.freq(j) as f64,
+                        kf * delta.freq(k) as f64,
+                    ];
+                    let k2 = kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2];
+                    if k2 == 0.0 {
+                        *delta.get_mut(i, j, k) = Cpx::ZERO;
+                        continue;
+                    }
+                    let kmag = k2.sqrt();
+                    let p = norm * cosmo.power_unnormalized(kmag);
+                    let amp = (p * n3 / vol).sqrt();
+                    let d = delta.get(i, j, k).scale(amp);
+                    *delta.get_mut(i, j, k) = d;
+                    // psi_k = i k / k^2 * delta_k
+                    let i_d = Cpx::new(-d.im, d.re);
+                    for (c, grid) in psi.iter_mut().enumerate() {
+                        *grid.get_mut(i, j, k) = i_d.scale(kv[c] / k2);
+                    }
+                }
+            }
+        }
+
+        // back to real space
+        delta.fft3(true);
+        for grid in &mut psi {
+            grid.fft3(true);
+        }
+
+        // diagnostics at z_init
+        let d_init = units.growth(cosmo.z_init);
+        let delta_rms_z0 = {
+            let s: f64 = delta.data().iter().map(|c| c.re * c.re).sum();
+            (s / n3).sqrt()
+        };
+        let psi_rms_h = {
+            let s: f64 = psi
+                .iter()
+                .map(|g| g.data().iter().map(|c| c.re * c.re).sum::<f64>())
+                .sum();
+            (s / n3).sqrt()
+        };
+
+        // 4./5. particles: grid points inside the sphere, sim units
+        // (comoving lengths divided by r_h, then scaled to physical by a_i)
+        let a_i = units.a(cosmo.z_init);
+        let h_i = units.hubble(cosmo.z_init);
+        let mut pos = Vec::new();
+        let mut vel = Vec::new();
+        let half = box_l / 2.0;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    // cell-center Lagrangian coordinate, box-centered, Mpc/h
+                    let q = Vec3::new(
+                        (i as f64 + 0.5) * cell - half,
+                        (j as f64 + 0.5) * cell - half,
+                        (k as f64 + 0.5) * cell - half,
+                    );
+                    if q.norm2() > r_h * r_h {
+                        continue;
+                    }
+                    let psi_q = Vec3::new(
+                        psi[0].get(i, j, k).re,
+                        psi[1].get(i, j, k).re,
+                        psi[2].get(i, j, k).re,
+                    );
+                    // sim units: comoving sphere radius = 1
+                    let q_sim = q / r_h;
+                    let psi_sim = psi_q / r_h;
+                    let x_com = q_sim + psi_sim * d_init;
+                    let x_phys = x_com * a_i;
+                    // v = H x + a dD/dt psi, EdS dD/dt = H D
+                    let v = x_phys * h_i + psi_sim * (a_i * h_i * d_init);
+                    pos.push(x_phys);
+                    vel.push(v);
+                }
+            }
+        }
+        assert!(!pos.is_empty(), "no grid points inside the sphere");
+        let m = 1.0 / pos.len() as f64;
+        let count = pos.len();
+        let snapshot = Snapshot { pos, vel, mass: vec![m; count] };
+        snapshot.validate();
+
+        CosmologicalIc {
+            snapshot,
+            units,
+            cosmo,
+            delta_rms_init: delta_rms_z0 * d_init,
+            displacement_rms_cells: psi_rms_h * d_init / cell * 3f64.sqrt().recip() * 3f64.sqrt(),
+        }
+    }
+}
+
+/// Standard normal deviate (Box–Muller).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ic(seed: u64) -> CosmologicalIc {
+        CosmologicalIc::generate(&ZeldovichConfig::small(seed))
+    }
+
+    #[test]
+    fn particle_count_matches_sphere_fill() {
+        let ic = small_ic(1);
+        let n3 = 32usize.pow(3) as f64;
+        let expect = std::f64::consts::PI / 6.0 * n3;
+        let got = ic.snapshot.len() as f64;
+        assert!((got - expect).abs() / expect < 0.05, "count {got} vs {expect}");
+    }
+
+    #[test]
+    fn positions_near_initial_physical_sphere() {
+        let ic = small_ic(2);
+        let a_i = ic.units.a(ic.cosmo.z_init); // 0.04
+        let rmax = ic.snapshot.pos.iter().map(|p| p.norm()).fold(0.0, f64::max);
+        // physical radius a_i * (1 + small displacement slack)
+        assert!(rmax < a_i * 1.2, "rmax {rmax} vs a_i {a_i}");
+        assert!(rmax > a_i * 0.8);
+    }
+
+    #[test]
+    fn hubble_flow_dominates_velocities() {
+        let ic = small_ic(3);
+        let h_i = ic.units.hubble(ic.cosmo.z_init);
+        let mut aligned = 0usize;
+        for (p, v) in ic.snapshot.pos.iter().zip(&ic.snapshot.vel) {
+            // compare against pure Hubble flow
+            let hubble = *p * h_i;
+            if (*v - hubble).norm() < 0.5 * hubble.norm() + 1e-12 {
+                aligned += 1;
+            }
+        }
+        let frac = aligned as f64 / ic.snapshot.len() as f64;
+        assert!(frac > 0.9, "only {frac} of velocities near Hubble flow");
+    }
+
+    #[test]
+    fn density_contrast_is_linear_at_z_init() {
+        let ic = small_ic(4);
+        // at z = 24 the field must still be linear: rms delta well below 1,
+        // but nonzero (a realization actually happened)
+        assert!(ic.delta_rms_init > 0.005, "rms {}", ic.delta_rms_init);
+        assert!(ic.delta_rms_init < 0.5, "rms {}", ic.delta_rms_init);
+    }
+
+    #[test]
+    fn displacements_stay_sub_cell() {
+        let ic = small_ic(5);
+        assert!(
+            ic.displacement_rms_cells < 1.0,
+            "Zel'dovich displacements exceed a grid cell: {}",
+            ic.displacement_rms_cells
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_ic(42);
+        let b = small_ic(42);
+        assert_eq!(a.snapshot.pos, b.snapshot.pos);
+        assert_eq!(a.snapshot.vel, b.snapshot.vel);
+        let c = small_ic(43);
+        assert_ne!(a.snapshot.pos, c.snapshot.pos);
+    }
+
+    #[test]
+    fn target_particle_sizing() {
+        let cfg = ZeldovichConfig::for_target_particles(100_000, 0);
+        let n3 = (cfg.grid_n * cfg.grid_n * cfg.grid_n) as f64;
+        assert!(std::f64::consts::PI / 6.0 * n3 >= 100_000.0);
+        let smaller = cfg.grid_n / 2;
+        let s3 = (smaller * smaller * smaller) as f64;
+        assert!(std::f64::consts::PI / 6.0 * s3 < 100_000.0);
+    }
+
+    #[test]
+    fn total_mass_is_unity() {
+        let ic = small_ic(6);
+        assert!((ic.snapshot.total_mass() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Periodic cell-list neighbour search.
+//!
+//! The box is divided into `nc³` cells with side ≥ the interaction
+//! cutoff; all neighbours of a particle within the cutoff then lie in
+//! its own or the 26 adjacent cells (minimum-image convention). This is
+//! the standard O(N) short-range pair harvester of P³M and MD codes.
+
+use g5util::vec3::Vec3;
+
+/// A built cell list over a snapshot of positions.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    box_l: f64,
+    nc: usize,
+    /// head[c] = first particle in cell c, linked through `next`.
+    head: Vec<i32>,
+    next: Vec<i32>,
+}
+
+impl CellList {
+    /// Build for positions in `[0, L)³` with interaction cutoff
+    /// `rcut` (cells are at least that wide).
+    ///
+    /// # Panics
+    /// If `rcut` exceeds `L/2` (minimum image breaks down) or inputs
+    /// are degenerate.
+    pub fn build(pos: &[Vec3], box_l: f64, rcut: f64) -> CellList {
+        assert!(box_l > 0.0, "non-positive box");
+        assert!(rcut > 0.0 && rcut <= box_l / 2.0, "cutoff {rcut} outside (0, L/2]");
+        let nc = ((box_l / rcut).floor() as usize).max(1).min(64);
+        let mut head = vec![-1i32; nc * nc * nc];
+        let mut next = vec![-1i32; pos.len()];
+        for (i, p) in pos.iter().enumerate() {
+            let c = Self::cell_of(*p, box_l, nc);
+            next[i] = head[c];
+            head[c] = i as i32;
+        }
+        CellList { box_l, nc, head, next }
+    }
+
+    fn cell_of(p: Vec3, box_l: f64, nc: usize) -> usize {
+        let f = |x: f64| {
+            let u = (x / box_l).rem_euclid(1.0);
+            ((u * nc as f64) as usize).min(nc - 1)
+        };
+        (f(p.x) * nc + f(p.y)) * nc + f(p.z)
+    }
+
+    /// Cells per dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.nc
+    }
+
+    /// Visit every particle index in the 27-cell neighbourhood of `p`
+    /// (including `p`'s own cell; the caller filters self-pairs).
+    pub fn for_neighbours<F: FnMut(usize)>(&self, p: Vec3, mut f: F) {
+        let nc = self.nc as i64;
+        let cell = |x: f64| {
+            let u = (x / self.box_l).rem_euclid(1.0);
+            ((u * nc as f64) as i64).min(nc - 1)
+        };
+        let (cx, cy, cz) = (cell(p.x), cell(p.y), cell(p.z));
+        // with fewer than 3 cells per dim, ±1 offsets alias: visit each
+        // distinct cell once
+        let offsets: &[i64] = if nc >= 3 { &[-1, 0, 1] } else if nc == 2 { &[0, 1] } else { &[0] };
+        for &dx in offsets {
+            for &dy in offsets {
+                for &dz in offsets {
+                    let ix = (cx + dx).rem_euclid(nc) as usize;
+                    let iy = (cy + dy).rem_euclid(nc) as usize;
+                    let iz = (cz + dz).rem_euclid(nc) as usize;
+                    let mut k = self.head[(ix * self.nc + iy) * self.nc + iz];
+                    while k >= 0 {
+                        f(k as usize);
+                        k = self.next[k as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Minimum-image displacement from `a` to `b` in a periodic box.
+#[inline]
+pub fn min_image(a: Vec3, b: Vec3, box_l: f64) -> Vec3 {
+    let wrap = |d: f64| d - box_l * (d / box_l).round();
+    Vec3::new(wrap(b.x - a.x), wrap(b.y - a.y), wrap(b.z - a.z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(0.0..box_l),
+                    rng.random_range(0.0..box_l),
+                    rng.random_range(0.0..box_l),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn min_image_wraps() {
+        let a = Vec3::new(0.1, 0.0, 0.0);
+        let b = Vec3::new(9.9, 0.0, 0.0);
+        let d = min_image(a, b, 10.0);
+        assert!((d.x + 0.2).abs() < 1e-12, "wrapped distance {d:?}");
+        assert!((min_image(b, a, 10.0).x - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_every_pair_a_brute_force_finds() {
+        let box_l = 10.0;
+        let rcut = 1.3;
+        let pos = cloud(300, box_l, 1);
+        let cl = CellList::build(&pos, box_l, rcut);
+        for (i, &p) in pos.iter().enumerate() {
+            // brute-force neighbour set
+            let mut expect: Vec<usize> = (0..pos.len())
+                .filter(|&j| j != i && min_image(p, pos[j], box_l).norm() < rcut)
+                .collect();
+            expect.sort_unstable();
+            let mut got = Vec::new();
+            cl.for_neighbours(p, |j| {
+                if j != i && min_image(p, pos[j], box_l).norm() < rcut {
+                    got.push(j);
+                }
+            });
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, expect, "neighbour mismatch for particle {i}");
+        }
+    }
+
+    #[test]
+    fn small_cell_counts_visit_each_particle_once() {
+        // rcut > L/3 gives nc = 2: offsets must not double-visit
+        let box_l = 4.0;
+        let pos = cloud(50, box_l, 2);
+        let cl = CellList::build(&pos, box_l, 1.9);
+        assert!(cl.cells_per_dim() <= 2);
+        let mut count = vec![0usize; pos.len()];
+        cl.for_neighbours(pos[0], |j| count[j] += 1);
+        assert!(count.iter().all(|&c| c == 1), "duplicate visits: {count:?}");
+    }
+
+    #[test]
+    fn positions_outside_box_are_wrapped() {
+        let pos = vec![Vec3::new(-0.1, 10.2, 5.0)];
+        let cl = CellList::build(&pos, 10.0, 1.0);
+        let mut seen = false;
+        cl.for_neighbours(Vec3::new(9.95, 0.1, 5.0), |j| seen |= j == 0);
+        assert!(seen, "wrapped particle must be found near the seam");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, L/2]")]
+    fn oversized_cutoff_rejected() {
+        CellList::build(&[Vec3::ZERO], 10.0, 6.0);
+    }
+}

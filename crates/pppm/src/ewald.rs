@@ -1,0 +1,202 @@
+//! Brute-force Ewald summation — the exact force in a periodic box,
+//! used as the reference the P³M solver is validated against.
+//!
+//! The 1/r² force of every particle and all its periodic images is
+//! split with parameter α into a short-range real-space lattice sum
+//! (erfc-screened, truncated at a few images) and a long-range
+//! reciprocal-space sum (Gaussian-damped, truncated at `k_max`
+//! harmonics). O(N² · terms): affordable only at test scale, which is
+//! its entire job.
+
+use crate::cell_list::min_image;
+use g5util::vec3::Vec3;
+use grape5::cutoff::erfc;
+use rayon::prelude::*;
+
+/// An Ewald summation context for a cubic box.
+#[derive(Debug, Clone)]
+pub struct EwaldSum {
+    box_l: f64,
+    alpha: f64,
+    real_images: i64,
+    kvecs: Vec<(Vec3, f64)>, // (k vector, 4π e^{−k²/4α²}/(k² V))
+}
+
+impl EwaldSum {
+    /// Standard test-accuracy setup: `α = 2/r_typical`… in practice
+    /// `α = 5.6/L`, 2 real-space image shells, harmonics to `|n| ≤ 6`
+    /// give ~1e-5 relative force accuracy for box-scale problems.
+    pub fn new(box_l: f64) -> EwaldSum {
+        assert!(box_l > 0.0, "non-positive box");
+        let alpha = 5.6 / box_l;
+        let kmax = 6i64;
+        let kf = std::f64::consts::TAU / box_l;
+        let volume = box_l * box_l * box_l;
+        let mut kvecs = Vec::new();
+        for nx in -kmax..=kmax {
+            for ny in -kmax..=kmax {
+                for nz in -kmax..=kmax {
+                    if nx == 0 && ny == 0 && nz == 0 {
+                        continue;
+                    }
+                    let n2 = nx * nx + ny * ny + nz * nz;
+                    if n2 > kmax * kmax {
+                        continue;
+                    }
+                    let k = Vec3::new(kf * nx as f64, kf * ny as f64, kf * nz as f64);
+                    let k2 = k.norm2();
+                    let coef = 4.0 * std::f64::consts::PI
+                        * (-k2 / (4.0 * alpha * alpha)).exp()
+                        / (k2 * volume);
+                    kvecs.push((k, coef));
+                }
+            }
+        }
+        EwaldSum { box_l, alpha, real_images: 2, kvecs }
+    }
+
+    /// Exact periodic accelerations on every particle.
+    pub fn accelerations(&self, pos: &[Vec3], mass: &[f64]) -> Vec<Vec3> {
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        let a = self.alpha;
+        let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+        pos.par_iter()
+            .enumerate()
+            .map(|(i, &xi)| {
+                let mut acc = Vec3::ZERO;
+                for (j, (&xj, &mj)) in pos.iter().zip(mass).enumerate() {
+                    // real-space lattice sum over image shells
+                    let d0 = min_image(xi, xj, self.box_l);
+                    for nx in -self.real_images..=self.real_images {
+                        for ny in -self.real_images..=self.real_images {
+                            for nz in -self.real_images..=self.real_images {
+                                let d = d0
+                                    + Vec3::new(
+                                        nx as f64 * self.box_l,
+                                        ny as f64 * self.box_l,
+                                        nz as f64 * self.box_l,
+                                    );
+                                let r2 = d.norm2();
+                                if r2 == 0.0 {
+                                    continue; // self term
+                                }
+                                let r = r2.sqrt();
+                                let screening =
+                                    erfc(a * r) + two_over_sqrt_pi * a * r * (-a * a * r2).exp();
+                                acc += d * (mj * screening / (r2 * r));
+                            }
+                        }
+                    }
+                    // reciprocal-space sum
+                    if j != i {
+                        for &(k, coef) in &self.kvecs {
+                            let phase = k.dot(d0);
+                            acc += k * (mj * coef * phase.sin());
+                        }
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_pair_is_essentially_newtonian() {
+        // separation << box: periodic corrections are tiny
+        let box_l = 20.0;
+        let d = 0.5;
+        let pos = vec![
+            Vec3::new(10.0 - d / 2.0, 10.0, 10.0),
+            Vec3::new(10.0 + d / 2.0, 10.0, 10.0),
+        ];
+        let mass = vec![1.0, 1.0];
+        let acc = EwaldSum::new(box_l).accelerations(&pos, &mass);
+        let newton = 1.0 / (d * d);
+        assert!(
+            (acc[0].x - newton).abs() / newton < 1e-3,
+            "{} vs {newton}",
+            acc[0].x
+        );
+        assert!((acc[0] + acc[1]).norm() < 1e-9 * newton);
+    }
+
+    #[test]
+    fn cubic_lattice_feels_no_force() {
+        // a perfect lattice is an equilibrium of the periodic problem
+        let box_l = 8.0;
+        let mut pos = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    pos.push(Vec3::new(
+                        i as f64 * 2.0 + 1.0,
+                        j as f64 * 2.0 + 1.0,
+                        k as f64 * 2.0 + 1.0,
+                    ));
+                }
+            }
+        }
+        let mass = vec![1.0; pos.len()];
+        let acc = EwaldSum::new(box_l).accelerations(&pos, &mass);
+        for a in &acc {
+            assert!(a.norm() < 1e-8, "lattice site feels {a:?}");
+        }
+    }
+
+    #[test]
+    fn forces_are_periodic() {
+        // translating every particle by the box vector changes nothing
+        let box_l = 10.0;
+        let pos = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(6.0, 7.0, 3.5), Vec3::new(9.0, 0.5, 8.0)];
+        let shifted: Vec<Vec3> = pos.iter().map(|&p| p + Vec3::new(box_l, 0.0, -box_l)).collect();
+        let mass = vec![1.0, 2.0, 0.5];
+        let e = EwaldSum::new(box_l);
+        let a = e.accelerations(&pos, &mass);
+        let b = e.accelerations(&shifted, &mass);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alpha_independence() {
+        // the physical force must not depend on the (internal) split;
+        // build a second context with a different alpha by scaling the
+        // box reference: compare two box sizes mapped onto each other
+        let box_l = 12.0;
+        let pos = vec![Vec3::new(2.0, 3.0, 4.0), Vec3::new(8.0, 9.0, 10.0)];
+        let mass = vec![1.0, 3.0];
+        let e1 = EwaldSum::new(box_l);
+        let mut e2 = EwaldSum::new(box_l);
+        // manually perturb alpha and rebuild the k table consistently
+        e2 = EwaldSum { alpha: e1.alpha * 1.3, ..e2 };
+        let kf = std::f64::consts::TAU / box_l;
+        let volume = box_l * box_l * box_l;
+        e2.kvecs = (-6i64..=6)
+            .flat_map(|nx| {
+                (-6i64..=6).flat_map(move |ny| (-6i64..=6).map(move |nz| (nx, ny, nz)))
+            })
+            .filter(|&(x, y, z)| (x, y, z) != (0, 0, 0) && x * x + y * y + z * z <= 36)
+            .map(|(x, y, z)| {
+                let k = Vec3::new(kf * x as f64, kf * y as f64, kf * z as f64);
+                let k2 = k.norm2();
+                let coef = 4.0 * std::f64::consts::PI * (-k2 / (4.0 * e2.alpha * e2.alpha)).exp()
+                    / (k2 * volume);
+                (k, coef)
+            })
+            .collect();
+        let a = e1.accelerations(&pos, &mass);
+        let b = e2.accelerations(&pos, &mass);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (*x - *y).norm() < 1e-4 * x.norm().max(1e-12),
+                "alpha dependence: {x:?} vs {y:?}"
+            );
+        }
+    }
+}

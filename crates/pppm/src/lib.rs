@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # g5pppm — P³M gravity on GRAPE-5 hardware
+//!
+//! The treecode of the reproduced paper is one of GRAPE-5's two design
+//! targets; the other is **P³M** (particle–particle/particle–mesh,
+//! Hockney & Eastwood 1988) in a periodic box, which is why the G5 chip
+//! carries user-loadable **cutoff tables** (see [`grape5::cutoff`]).
+//! This crate implements that second mode end to end:
+//!
+//! * [`cell_list`] — periodic cell-list neighbour search for the
+//!   short-range (PP) pair sum;
+//! * [`mesh`] — cloud-in-cell (CIC) mass assignment and force
+//!   interpolation on a periodic grid;
+//! * [`pm`] — the FFT Poisson solver with the Ewald-split long-range
+//!   kernel `−4π/k² · e^(−k²·r_s²)`, CIC deconvolution and
+//!   ik-differentiation;
+//! * [`p3m`] — the combined solver: PM long-range + PP short-range
+//!   (the `erfc` shape) evaluated **through the simulated GRAPE-5**
+//!   with its cutoff table loaded — exactly how the hardware was used;
+//! * [`ewald`] — brute-force Ewald summation, the exact periodic
+//!   reference the tests validate against.
+//!
+//! Conventions: G = 1, cubic box `[0, L)³`, periodic in all axes; `acc`
+//! is acceleration and potentials are omitted (the P³M experiments of
+//! the era validated forces).
+
+pub mod cell_list;
+pub mod ewald;
+pub mod mesh;
+pub mod p3m;
+pub mod pm;
+
+pub use ewald::EwaldSum;
+pub use p3m::{P3mConfig, P3mSolver};

@@ -1,0 +1,184 @@
+//! Multipole acceptance criteria (MAC) — the "opening tests".
+//!
+//! A cell of side `s` may stand in for its particles, as seen from a
+//! target at distance `d`, when `s/d < θ`. The accuracy parameter θ is
+//! the paper's "accuracy parameter": smaller θ opens more cells,
+//! producing longer lists and smaller force errors.
+//!
+//! Two variants:
+//!
+//! * [`Mac::accepts_point`] — the original Barnes–Hut test, measured
+//!   from a single target particle to the cell's center of mass;
+//! * [`Mac::accepts_sphere`] — Barnes' modified-algorithm test,
+//!   measured from the *surface of a group's bounding sphere*, so one
+//!   decision is valid for every particle in the group. Measuring to
+//!   the sphere surface makes the shared list at least as conservative
+//!   as any member's own test, which is why the modified algorithm is
+//!   *more* accurate than the original at equal θ (Barnes 1990;
+//!   Kawai & Makino 1999).
+
+use crate::tree::Node;
+use g5util::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Bounding sphere of a particle group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupSphere {
+    /// Sphere center.
+    pub center: Vec3,
+    /// Sphere radius (≥ 0).
+    pub radius: f64,
+}
+
+impl GroupSphere {
+    /// Tight bounding sphere of a point set around a given center.
+    pub fn around(center: Vec3, points: &[Vec3]) -> GroupSphere {
+        let r2max = points.iter().map(|p| p.dist2(center)).fold(0.0, f64::max);
+        GroupSphere { center, radius: r2max.sqrt() }
+    }
+}
+
+/// Which distance the opening test measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MacKind {
+    /// Classic Barnes & Hut 1986: distance to the cell's center of
+    /// mass. Fast, but a target sitting just outside a large cell whose
+    /// COM is far away can be under-opened (the known worst case of the
+    /// plain criterion).
+    #[default]
+    BarnesHut,
+    /// Distance to the *nearest point of the cell cube* — the
+    /// conservative variant ("bmax"-style) that removes the
+    /// detonating-worst-case at the price of longer lists.
+    MinDistance,
+}
+
+/// The opening criterion with accuracy parameter θ.
+///
+/// θ = 0 never accepts (every cell is opened: exact summation);
+/// large θ accepts aggressively (short lists, large errors).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mac {
+    /// The accuracy parameter.
+    pub theta: f64,
+    /// Distance definition.
+    pub kind: MacKind,
+}
+
+impl Mac {
+    /// The paper's criterion (Barnes–Hut distance), rejecting negative θ.
+    pub fn new(theta: f64) -> Mac {
+        Mac::with_kind(theta, MacKind::BarnesHut)
+    }
+
+    /// Construct with an explicit distance definition.
+    pub fn with_kind(theta: f64, kind: MacKind) -> Mac {
+        assert!(theta >= 0.0, "negative accuracy parameter");
+        Mac { theta, kind }
+    }
+
+    /// Distance from a point to the nearest point of the cell cube.
+    #[inline]
+    fn cube_distance(node: &Node, p: Vec3) -> f64 {
+        let d = (p - node.center).abs() - Vec3::splat(node.half);
+        Vec3::new(d.x.max(0.0), d.y.max(0.0), d.z.max(0.0)).norm()
+    }
+
+    /// Original Barnes–Hut test: may `node` stand in for its particles
+    /// as seen from the point `p`?
+    #[inline]
+    pub fn accepts_point(&self, node: &Node, p: Vec3) -> bool {
+        match self.kind {
+            MacKind::BarnesHut => {
+                let d2 = p.dist2(node.com);
+                node.side() * node.side() < self.theta * self.theta * d2
+            }
+            MacKind::MinDistance => {
+                let d = Self::cube_distance(node, p);
+                node.side() < self.theta * d
+            }
+        }
+    }
+
+    /// Modified-algorithm test: may `node` stand in for its particles
+    /// as seen from *anywhere inside* the group sphere? The distance is
+    /// measured to the nearest point of the sphere.
+    #[inline]
+    pub fn accepts_sphere(&self, node: &Node, sphere: &GroupSphere) -> bool {
+        let d = match self.kind {
+            MacKind::BarnesHut => sphere.center.dist(node.com) - sphere.radius,
+            MacKind::MinDistance => Self::cube_distance(node, sphere.center) - sphere.radius,
+        };
+        d > 0.0 && node.side() < self.theta * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NONE;
+
+    fn node_at(com: Vec3, half: f64) -> Node {
+        Node { center: com, half, com, mass: 1.0, first: 0, count: 1, children: [NONE; 8] }
+    }
+
+    #[test]
+    fn far_cells_accepted_near_cells_opened() {
+        let mac = Mac::new(0.75);
+        let n = node_at(Vec3::new(10.0, 0.0, 0.0), 0.5); // side 1.0
+        // d = 10, s/d = 0.1 < 0.75: accept
+        assert!(mac.accepts_point(&n, Vec3::ZERO));
+        // d = 1, s/d = 1.0 > 0.75: open
+        assert!(!mac.accepts_point(&n, Vec3::new(9.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn theta_zero_never_accepts() {
+        let mac = Mac::new(0.0);
+        let n = node_at(Vec3::new(1e9, 0.0, 0.0), 1e-6);
+        assert!(!mac.accepts_point(&n, Vec3::ZERO));
+        let s = GroupSphere { center: Vec3::ZERO, radius: 0.1 };
+        assert!(!mac.accepts_sphere(&n, &s));
+    }
+
+    #[test]
+    fn sphere_test_is_more_conservative_than_any_interior_point() {
+        let mac = Mac::new(0.8);
+        let n = node_at(Vec3::new(5.0, 0.0, 0.0), 0.5);
+        let sphere = GroupSphere { center: Vec3::ZERO, radius: 2.0 };
+        if mac.accepts_sphere(&n, &sphere) {
+            // every point inside the sphere must also accept
+            for &p in &[
+                Vec3::ZERO,
+                Vec3::new(2.0, 0.0, 0.0),
+                Vec3::new(-2.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.9, 0.0),
+            ] {
+                assert!(mac.accepts_point(&n, p));
+            }
+        }
+    }
+
+    #[test]
+    fn com_inside_sphere_forces_open() {
+        let mac = Mac::new(10.0);
+        let n = node_at(Vec3::new(0.5, 0.0, 0.0), 0.01);
+        let sphere = GroupSphere { center: Vec3::ZERO, radius: 1.0 };
+        assert!(!mac.accepts_sphere(&n, &sphere));
+    }
+
+    #[test]
+    fn group_sphere_around_points() {
+        let pts = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(-2.0, 0.0, 0.0), Vec3::ZERO];
+        let s = GroupSphere::around(Vec3::ZERO, &pts);
+        assert_eq!(s.radius, 2.0);
+        let empty = GroupSphere::around(Vec3::ONE, &[]);
+        assert_eq!(empty.radius, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative accuracy")]
+    fn negative_theta_rejected() {
+        let _ = Mac::new(-0.1);
+    }
+}

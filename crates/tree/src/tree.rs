@@ -1,0 +1,544 @@
+//! Octree construction.
+//!
+//! Build strategy: quantize positions onto a 2²¹-cell Morton grid over
+//! the bounding cube, sort particle indices by Morton code (rayon
+//! parallel sort), then split code ranges recursively — each octree
+//! cell is a contiguous range of the sorted order, so the build does no
+//! per-particle allocation and the traversals get cache-friendly,
+//! contiguous leaf particle runs. Monopole moments (mass and center of
+//! mass) are accumulated on the way back up; GRAPE-5 consumes only
+//! monopoles, so no higher moments are stored.
+
+use g5util::morton;
+use g5util::vec3::Vec3;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel child index meaning "no child".
+pub const NONE: u32 = u32::MAX;
+
+/// Build parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// A cell with at most this many particles becomes a leaf.
+    pub leaf_capacity: usize,
+    /// Maximum tree depth (bounded by the Morton resolution).
+    pub max_depth: u32,
+    /// Also compute quadrupole moments. The host treecode can consume
+    /// them ([`crate::eval`]); GRAPE-5 cannot — its pipeline evaluates
+    /// monopole terms only, which is why the paper's system runs the
+    /// tree with monopoles and a smaller θ.
+    pub quadrupole: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { leaf_capacity: 8, max_depth: morton::BITS_PER_DIM, quadrupole: false }
+    }
+}
+
+/// One octree cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Node {
+    /// Geometric center of the cell cube.
+    pub center: Vec3,
+    /// Half side length of the cell cube.
+    pub half: f64,
+    /// Center of mass of the contained particles.
+    pub com: Vec3,
+    /// Total contained mass.
+    pub mass: f64,
+    /// First particle (index into the tree's sorted order).
+    pub first: u32,
+    /// Number of contained particles.
+    pub count: u32,
+    /// Child node indices; `NONE` where the octant is empty. All-`NONE`
+    /// means the node is a leaf.
+    pub children: [u32; 8],
+}
+
+impl Node {
+    /// `true` if this node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children == [NONE; 8]
+    }
+
+    /// Cell side length `s`, the numerator of the opening criterion.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        2.0 * self.half
+    }
+
+    /// Particle index range in the tree's sorted order.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.first as usize..(self.first + self.count) as usize
+    }
+}
+
+/// A built octree over a particle snapshot.
+///
+/// The tree owns *sorted copies* of positions and masses; `order[k]`
+/// maps sorted slot `k` back to the caller's original particle index.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    order: Vec<u32>,
+    pos: Vec<Vec3>,
+    mass: Vec<f64>,
+    cfg: TreeConfig,
+    /// Per-node traceless quadrupole `Q_ij = Σ m (3 dx_i dx_j − δ_ij r²)`
+    /// about the node's center of mass, packed `[xx, yy, zz, xy, xz, yz]`.
+    quads: Option<Vec<[f64; 6]>>,
+}
+
+impl Tree {
+    /// Build an octree over `pos`/`mass` with default parameters.
+    pub fn build(pos: &[Vec3], mass: &[f64]) -> Tree {
+        Tree::build_with(pos, mass, TreeConfig::default())
+    }
+
+    /// Build an octree with explicit parameters.
+    ///
+    /// # Panics
+    /// On empty input, length mismatch, or non-finite positions.
+    pub fn build_with(pos: &[Vec3], mass: &[f64], cfg: TreeConfig) -> Tree {
+        assert!(!pos.is_empty(), "cannot build a tree over zero particles");
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        assert!(cfg.leaf_capacity >= 1, "leaf capacity must be positive");
+        assert!(
+            (1..=morton::BITS_PER_DIM).contains(&cfg.max_depth),
+            "max depth outside 1..={}",
+            morton::BITS_PER_DIM
+        );
+
+        // Bounding cube, padded so the max corner quantizes inside the grid.
+        let (lo, hi) = bounds(pos);
+        let center = (lo + hi) * 0.5;
+        let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
+        let inv_side = 1.0 / (2.0 * half);
+
+        // Morton code per particle, then sort indices by code.
+        let codes: Vec<u64> = pos
+            .par_iter()
+            .map(|p| {
+                let u = (p.x - (center.x - half)) * inv_side;
+                let v = (p.y - (center.y - half)) * inv_side;
+                let w = (p.z - (center.z - half)) * inv_side;
+                assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
+                morton::encode_unit(u, v, w)
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..pos.len() as u32).collect();
+        order.par_sort_unstable_by_key(|&i| codes[i as usize]);
+
+        let sorted_codes: Vec<u64> = order.iter().map(|&i| codes[i as usize]).collect();
+        let sorted_pos: Vec<Vec3> = order.iter().map(|&i| pos[i as usize]).collect();
+        let sorted_mass: Vec<f64> = order.iter().map(|&i| mass[i as usize]).collect();
+
+        let mut tree =
+            Tree { nodes: Vec::new(), order, pos: sorted_pos, mass: sorted_mass, cfg, quads: None };
+        // Root is node 0.
+        tree.nodes.push(Node {
+            center,
+            half,
+            com: Vec3::ZERO,
+            mass: 0.0,
+            first: 0,
+            count: pos.len() as u32,
+            children: [NONE; 8],
+        });
+        tree.split(0, 0, &sorted_codes);
+        if cfg.quadrupole {
+            tree.compute_quadrupoles();
+        }
+        tree
+    }
+
+    /// Fill `quads` by direct accumulation over each node's particle
+    /// range (every particle is visited once per ancestor level, so the
+    /// cost is O(N · depth), same order as the build itself).
+    fn compute_quadrupoles(&mut self) {
+        let quads: Vec<[f64; 6]> = self
+            .nodes
+            .par_iter()
+            .map(|n| {
+                let mut q = [0.0f64; 6];
+                for k in n.range() {
+                    let d = self.pos[k] - n.com;
+                    let m = self.mass[k];
+                    let r2 = d.norm2();
+                    q[0] += m * (3.0 * d.x * d.x - r2);
+                    q[1] += m * (3.0 * d.y * d.y - r2);
+                    q[2] += m * (3.0 * d.z * d.z - r2);
+                    q[3] += m * 3.0 * d.x * d.y;
+                    q[4] += m * 3.0 * d.x * d.z;
+                    q[5] += m * 3.0 * d.y * d.z;
+                }
+                q
+            })
+            .collect();
+        self.quads = Some(quads);
+    }
+
+    /// Per-node quadrupole moments, if the tree was built with them.
+    #[inline]
+    pub fn quads(&self) -> Option<&[[f64; 6]]> {
+        self.quads.as_deref()
+    }
+
+    /// Recursively split node `idx` (whose particles occupy a contiguous
+    /// sorted range) at tree `level`, then fill in monopole moments.
+    fn split(&mut self, idx: usize, level: u32, codes: &[u64]) {
+        let (first, count, center, half) = {
+            let n = &self.nodes[idx];
+            (n.first as usize, n.count as usize, n.center, n.half)
+        };
+
+        if count <= self.cfg.leaf_capacity || level >= self.cfg.max_depth {
+            let (m, com) = self.moments_of_range(first, count);
+            let n = &mut self.nodes[idx];
+            n.mass = m;
+            n.com = com;
+            return;
+        }
+
+        // Partition the range into octants by the 3 Morton bits at this level.
+        let mut children = [NONE; 8];
+        let mut start = first;
+        let end = first + count;
+        for oct in 0..8u8 {
+            // advance over particles in this octant
+            let mut stop = start;
+            while stop < end && morton::octant_at_level(codes[stop], level) == oct {
+                stop += 1;
+            }
+            if stop > start {
+                let q = half * 0.5;
+                let ccenter = Vec3::new(
+                    center.x + if oct & 1 != 0 { q } else { -q },
+                    center.y + if oct & 2 != 0 { q } else { -q },
+                    center.z + if oct & 4 != 0 { q } else { -q },
+                );
+                let child = self.nodes.len();
+                self.nodes.push(Node {
+                    center: ccenter,
+                    half: q,
+                    com: Vec3::ZERO,
+                    mass: 0.0,
+                    first: start as u32,
+                    count: (stop - start) as u32,
+                    children: [NONE; 8],
+                });
+                children[oct as usize] = child as u32;
+                self.split(child, level + 1, codes);
+            }
+            start = stop;
+        }
+        debug_assert_eq!(start, end, "octant partition must cover the range");
+
+        // Monopole from children.
+        let mut m = 0.0;
+        let mut mx = Vec3::ZERO;
+        for &c in &children {
+            if c != NONE {
+                let ch = &self.nodes[c as usize];
+                m += ch.mass;
+                mx += ch.com * ch.mass;
+            }
+        }
+        let n = &mut self.nodes[idx];
+        n.children = children;
+        n.mass = m;
+        n.com = if m > 0.0 { mx / m } else { n.center };
+    }
+
+    fn moments_of_range(&self, first: usize, count: usize) -> (f64, Vec3) {
+        let mut m = 0.0;
+        let mut mx = Vec3::ZERO;
+        for k in first..first + count {
+            m += self.mass[k];
+            mx += self.pos[k] * self.mass[k];
+        }
+        let com = if m > 0.0 { mx / m } else { self.nodes[0].center };
+        (m, com)
+    }
+
+    /// All cells, root first.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The root cell.
+    #[inline]
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Number of particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// `true` if the tree is empty (never: construction requires ≥ 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Positions in sorted (Morton) order.
+    #[inline]
+    pub fn pos(&self) -> &[Vec3] {
+        &self.pos
+    }
+
+    /// Masses in sorted (Morton) order.
+    #[inline]
+    pub fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Map a sorted slot back to the caller's original particle index.
+    #[inline]
+    pub fn original_index(&self, sorted: usize) -> usize {
+        self.order[sorted] as usize
+    }
+
+    /// The sorted→original permutation.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Build parameters used.
+    #[inline]
+    pub fn config(&self) -> TreeConfig {
+        self.cfg
+    }
+
+    /// Maximum leaf depth actually present (root = depth 0).
+    pub fn depth(&self) -> u32 {
+        fn walk(t: &Tree, idx: u32, d: u32) -> u32 {
+            let n = &t.nodes[idx as usize];
+            let mut best = d;
+            for &c in &n.children {
+                if c != NONE {
+                    best = best.max(walk(t, c, d + 1));
+                }
+            }
+            best
+        }
+        walk(self, 0, 0)
+    }
+}
+
+fn bounds(pos: &[Vec3]) -> (Vec3, Vec3) {
+    pos.par_iter().map(|&p| (p, p)).reduce(
+        || (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY)),
+        |(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let pos = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let mass = (0..n).map(|_| rng.random_range(0.5..2.0)).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn single_particle_tree() {
+        let t = Tree::build(&[Vec3::new(1.0, 2.0, 3.0)], &[5.0]);
+        assert_eq!(t.len(), 1);
+        assert!(t.root().is_leaf());
+        assert_eq!(t.root().mass, 5.0);
+        assert_eq!(t.root().com, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn mass_is_conserved_at_every_level() {
+        let (pos, mass) = random_cloud(500, 1);
+        let t = Tree::build(&pos, &mass);
+        let total: f64 = mass.iter().sum();
+        assert!((t.root().mass - total).abs() < 1e-9);
+        // every internal node's mass equals the sum of its children
+        for n in t.nodes() {
+            if !n.is_leaf() {
+                let csum: f64 =
+                    n.children.iter().filter(|&&c| c != NONE).map(|&c| t.nodes()[c as usize].mass).sum();
+                assert!((n.mass - csum).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_parent_range() {
+        let (pos, mass) = random_cloud(300, 2);
+        let t = Tree::build(&pos, &mass);
+        for n in t.nodes() {
+            if n.is_leaf() {
+                continue;
+            }
+            let mut covered = 0;
+            let mut next = n.first;
+            for &c in &n.children {
+                if c != NONE {
+                    let ch = &t.nodes()[c as usize];
+                    assert_eq!(ch.first, next, "children must tile the parent range in order");
+                    next += ch.count;
+                    covered += ch.count;
+                }
+            }
+            assert_eq!(covered, n.count);
+        }
+    }
+
+    #[test]
+    fn leaves_respect_capacity() {
+        let (pos, mass) = random_cloud(1000, 3);
+        let cfg = TreeConfig { leaf_capacity: 16, ..TreeConfig::default() };
+        let t = Tree::build_with(&pos, &mass, cfg);
+        for n in t.nodes() {
+            if n.is_leaf() {
+                assert!(n.count as usize <= 16, "leaf of {} exceeds capacity", n.count);
+            }
+        }
+    }
+
+    #[test]
+    fn particles_lie_inside_their_cells() {
+        let (pos, mass) = random_cloud(400, 4);
+        let t = Tree::build(&pos, &mass);
+        for n in t.nodes() {
+            let pad = n.half * 1e-9 + 1e-12;
+            for k in n.range() {
+                let d = (t.pos()[k] - n.center).abs();
+                assert!(
+                    d.max_component() <= n.half + pad,
+                    "particle {k} outside its cell: off by {}",
+                    d.max_component() - n.half
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn com_lies_inside_cell() {
+        let (pos, mass) = random_cloud(400, 5);
+        let t = Tree::build(&pos, &mass);
+        for n in t.nodes() {
+            let d = (n.com - n.center).abs();
+            assert!(d.max_component() <= n.half * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (pos, mass) = random_cloud(257, 6);
+        let t = Tree::build(&pos, &mass);
+        let mut seen = vec![false; pos.len()];
+        for k in 0..t.len() {
+            let o = t.original_index(k);
+            assert!(!seen[o], "index {o} appears twice");
+            seen[o] = true;
+            assert_eq!(t.pos()[k], pos[o]);
+            assert_eq!(t.mass()[k], mass[o]);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn duplicate_positions_terminate_via_max_depth() {
+        let pos = vec![Vec3::new(0.5, 0.5, 0.5); 100];
+        let mass = vec![1.0; 100];
+        let t = Tree::build(&pos, &mass);
+        assert!((t.root().mass - 100.0).abs() < 1e-12);
+        assert!(t.depth() <= morton::BITS_PER_DIM);
+    }
+
+    #[test]
+    fn degenerate_planar_cloud() {
+        // all z equal: cube still valid, build must succeed
+        let pos: Vec<Vec3> = (0..64).map(|k| Vec3::new((k % 8) as f64, (k / 8) as f64, 0.0)).collect();
+        let mass = vec![1.0; 64];
+        let t = Tree::build(&pos, &mass);
+        assert_eq!(t.root().count, 64);
+        assert!((t.root().mass - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero particles")]
+    fn empty_input_rejected() {
+        let _ = Tree::build(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = Tree::build(&[Vec3::ZERO], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_position_rejected() {
+        let _ = Tree::build(&[Vec3::new(f64::NAN, 0.0, 0.0)], &[1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cloud() -> impl Strategy<Value = (Vec<Vec3>, Vec<f64>)> {
+        proptest::collection::vec(((-10.0f64..10.0), (-10.0f64..10.0), (-10.0f64..10.0), (0.1f64..5.0)), 1..150)
+            .prop_map(|v| {
+                let pos = v.iter().map(|&(x, y, z, _)| Vec3::new(x, y, z)).collect();
+                let mass = v.iter().map(|&(_, _, _, m)| m).collect();
+                (pos, mass)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn root_mass_equals_total((pos, mass) in cloud()) {
+            let t = Tree::build(&pos, &mass);
+            let total: f64 = mass.iter().sum();
+            prop_assert!((t.root().mass - total).abs() < 1e-9 * total.max(1.0));
+        }
+
+        #[test]
+        fn root_com_matches_direct((pos, mass) in cloud()) {
+            let t = Tree::build(&pos, &mass);
+            let total: f64 = mass.iter().sum();
+            let com: Vec3 = pos.iter().zip(&mass).map(|(&p, &m)| p * m).sum::<Vec3>() / total;
+            prop_assert!((t.root().com - com).norm() < 1e-9 * (1.0 + com.norm()));
+        }
+
+        #[test]
+        fn node_count_bounded((pos, mass) in cloud()) {
+            let t = Tree::build(&pos, &mass);
+            // worst case: a chain of max_depth nodes per particle
+            prop_assert!(t.nodes().len() as u32 <= 1 + pos.len() as u32 * (morton::BITS_PER_DIM + 1) * 8);
+        }
+    }
+}

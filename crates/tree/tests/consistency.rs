@@ -1,0 +1,133 @@
+//! Crate-level consistency tests of the treecode: traversal closure
+//! under every MAC variant, analytic-field validation against a uniform
+//! sphere, and error-scaling behaviour.
+
+use g5tree::eval::{direct_forces, rms_relative_error, tree_forces_modified, tree_forces_original};
+use g5tree::mac::MacKind;
+use g5tree::traverse::{list_mass, Traversal};
+use g5tree::tree::{Tree, TreeConfig};
+use g5util::vec3::Vec3;
+use rand::{Rng, SeedableRng};
+
+fn uniform_ball(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut pos = Vec::with_capacity(n);
+    while pos.len() < n {
+        let p = Vec3::new(
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+        );
+        if p.norm2() <= 1.0 {
+            pos.push(p);
+        }
+    }
+    let mass = vec![1.0 / n as f64; n];
+    (pos, mass)
+}
+
+#[test]
+fn closure_holds_for_every_mac_kind_and_theta() {
+    let (pos, mass) = uniform_ball(600, 1);
+    let tree = Tree::build(&pos, &mass);
+    let total: f64 = mass.iter().sum();
+    for kind in [MacKind::BarnesHut, MacKind::MinDistance] {
+        for theta in [0.0, 0.5, 1.0, 2.0] {
+            let mut tr = Traversal::new(theta);
+            tr.mac.kind = kind;
+            let mut list = Vec::new();
+            tr.original_list(&tree, pos[17], &mut list);
+            assert!((list_mass(&tree, &list) - total).abs() < 1e-9);
+            for g in tr.find_groups(&tree, 50) {
+                tr.modified_list(&tree, g, &mut list);
+                assert!((list_mass(&tree, &list) - total).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn interior_field_of_uniform_sphere_is_linear() {
+    // inside a uniform sphere, the *mean* radial field is a(r) = -M r / R^3
+    // (Newton's shell theorem). A single sample point carries heavy-tailed
+    // nearest-neighbour shot noise, so average the radial component over
+    // many directions at each radius.
+    let (pos, mass) = uniform_ball(40_000, 2);
+    let tree = Tree::build(&pos, &mass);
+    let tr = Traversal::new(0.6);
+    let mut list = Vec::new();
+    let dirs = 48;
+    for r in [0.3f64, 0.5, 0.7] {
+        let mut mean_radial = 0.0;
+        for k in 0..dirs {
+            // spiral point set on the sphere of radius r
+            let u = -1.0 + 2.0 * (k as f64 + 0.5) / dirs as f64;
+            let phi = std::f64::consts::PI * (1.0 + 5.0f64.sqrt()) * k as f64;
+            let s = (1.0 - u * u).sqrt();
+            let dir = Vec3::new(s * phi.cos(), s * phi.sin(), u);
+            let target = dir * r;
+            tr.original_list(&tree, target, &mut list);
+            let f = g5tree::eval::eval_list(&tree, &list, target, 0.02);
+            mean_radial += f.acc.dot(dir);
+        }
+        mean_radial /= dirs as f64;
+        let expect = -r; // M = R = 1, inward
+        let rel = (mean_radial - expect).abs() / r;
+        assert!(rel < 0.06, "r={r}: mean radial a = {mean_radial} vs {expect} (rel {rel})");
+    }
+}
+
+#[test]
+fn error_scales_roughly_as_theta_squared_for_monopole() {
+    // monopole BH error ~ theta^2 (dipole vanishes about the COM);
+    // check the error ratio between theta and theta/2 is > 2
+    let (pos, mass) = uniform_ball(3000, 3);
+    let reference = direct_forces(&pos, &mass, 0.01);
+    let tree = Tree::build(&pos, &mass);
+    let e1 = rms_relative_error(&tree_forces_original(&tree, 1.0, 0.01), &reference);
+    let e2 = rms_relative_error(&tree_forces_original(&tree, 0.5, 0.01), &reference);
+    assert!(e1 / e2 > 2.0, "theta halving only cut error by {}", e1 / e2);
+}
+
+#[test]
+fn modified_algorithm_error_does_not_degrade_with_large_ncrit() {
+    // as n_crit grows, more force is computed exactly (direct terms):
+    // the error must not grow
+    let (pos, mass) = uniform_ball(4000, 4);
+    let reference = direct_forces(&pos, &mass, 0.01);
+    let tree = Tree::build(&pos, &mass);
+    let e_small =
+        rms_relative_error(&tree_forces_modified(&tree, 0.9, 32, 0.01), &reference);
+    let e_large =
+        rms_relative_error(&tree_forces_modified(&tree, 0.9, 1024, 0.01), &reference);
+    assert!(
+        e_large <= e_small * 1.1,
+        "error grew with n_crit: {e_small} -> {e_large}"
+    );
+}
+
+#[test]
+fn quadrupole_tree_exact_for_theta_zero_too() {
+    let (pos, mass) = uniform_ball(400, 5);
+    let reference = direct_forces(&pos, &mass, 0.02);
+    let tree = Tree::build_with(
+        &pos,
+        &mass,
+        TreeConfig { quadrupole: true, ..TreeConfig::default() },
+    );
+    let f = tree_forces_original(&tree, 0.0, 0.02);
+    for (a, b) in f.iter().zip(&reference) {
+        assert!((a.acc - b.acc).norm() < 1e-11);
+    }
+}
+
+#[test]
+fn rebuilding_the_same_snapshot_is_deterministic() {
+    let (pos, mass) = uniform_ball(1000, 6);
+    let t1 = Tree::build(&pos, &mass);
+    let t2 = Tree::build(&pos, &mass);
+    assert_eq!(t1.nodes().len(), t2.nodes().len());
+    assert_eq!(t1.order(), t2.order());
+    let tr = Traversal::new(0.75);
+    assert_eq!(tr.modified_tally(&t1, 100), tr.modified_tally(&t2, 100));
+}

@@ -1,0 +1,139 @@
+//! Disjoint-set union (union–find) with path halving and union by
+//! size — the substrate of the friends-of-friends halo finder.
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Dsu {
+        assert!(n <= u32::MAX as usize, "too many elements");
+        Dsu { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` for an empty forest.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were
+    /// separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Group the elements by set, returning each set's member list
+    /// (sets of size ≥ `min_size` only, largest first).
+    pub fn groups(&mut self, min_size: usize) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<u32>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x as u32);
+        }
+        let mut out: Vec<Vec<u32>> =
+            by_root.into_values().filter(|g| g.len() >= min_size).collect();
+        out.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.set_count(), 5);
+        assert_eq!(d.len(), 5);
+        for i in 0..5 {
+            assert_eq!(d.find(i), i);
+            assert_eq!(d.size_of(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut d = Dsu::new(6);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 3), "already merged");
+        assert_eq!(d.set_count(), 3);
+        assert_eq!(d.size_of(3), 4);
+        assert_eq!(d.find(0), d.find(3));
+        assert_ne!(d.find(0), d.find(4));
+    }
+
+    #[test]
+    fn groups_filter_and_order() {
+        let mut d = Dsu::new(7);
+        d.union(0, 1);
+        d.union(1, 2);
+        d.union(3, 4);
+        let gs = d.groups(2);
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].len(), 3);
+        assert_eq!(gs[1].len(), 2);
+        let all = d.groups(1);
+        assert_eq!(all.iter().map(|g| g.len()).sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn long_chain_path_compression() {
+        let n = 10_000;
+        let mut d = Dsu::new(n);
+        for i in 1..n {
+            d.union(i - 1, i);
+        }
+        assert_eq!(d.set_count(), 1);
+        assert_eq!(d.size_of(0), n);
+        assert_eq!(d.find(n - 1), d.find(0));
+    }
+}

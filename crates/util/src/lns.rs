@@ -1,0 +1,528 @@
+//! Logarithmic number system (LNS) arithmetic.
+//!
+//! The G5 pipeline performs its intermediate arithmetic in a
+//! *logarithmic* format: a value is stored as a sign plus a fixed-point
+//! `log₂|x|`. Multiplication, division, powers and roots are then exact
+//! integer operations on the log word; **addition** goes through the
+//! Gaussian-logarithm function `sb(z) = log₂(1 + 2^z)` (and
+//! `db(z) = log₂(1 - 2^z)` for subtraction), which the hardware
+//! evaluates with a lookup table. The only rounding in the whole
+//! pipeline is the quantization of each result's log to `frac_bits`
+//! fractional bits — and that single parameter sets the characteristic
+//! pairwise force error the paper quotes as ≈ 0.3 %.
+//!
+//! We evaluate `sb`/`db` in `f64` and round the result to `frac_bits`,
+//! which is exactly equivalent to a full-resolution hardware table.
+//! The per-operation relative error of an LNS with quantum
+//! `q = 2^-frac_bits` is at most `2^(q/2) − 1 ≈ q·ln2/2`.
+
+use serde::{Deserialize, Serialize};
+
+/// Word-format of the logarithmic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LnsConfig {
+    /// Fractional bits of the fixed-point log₂ word. GRAPE-5's
+    /// effective resolution corresponds to 8 fractional bits (≈ 0.3 %
+    /// pairwise force error); GRAPE-3's shorter word to ≈ 5–6 bits
+    /// (≈ 2 % error).
+    pub frac_bits: u32,
+    /// Smallest representable exponent (log₂ value). Anything smaller
+    /// underflows to zero, like the hardware.
+    pub exp_min: i32,
+    /// Largest representable exponent; results saturate here.
+    pub exp_max: i32,
+}
+
+impl LnsConfig {
+    /// Construct a config; panics on an inverted exponent range.
+    pub fn new(frac_bits: u32, exp_min: i32, exp_max: i32) -> Self {
+        assert!(exp_min < exp_max, "inverted exponent range {exp_min}..{exp_max}");
+        assert!(frac_bits <= 32, "frac_bits {frac_bits} too large");
+        LnsConfig { frac_bits, exp_min, exp_max }
+    }
+
+    /// GRAPE-5-like format: 8 fractional bits, wide exponent range.
+    pub const GRAPE5: LnsConfig = LnsConfig { frac_bits: 8, exp_min: -512, exp_max: 511 };
+
+    /// GRAPE-3-like format: 6 fractional bits (≈ 2 % pairwise error).
+    pub const GRAPE3: LnsConfig = LnsConfig { frac_bits: 6, exp_min: -128, exp_max: 127 };
+
+    /// Quantization step of the log word.
+    #[inline]
+    pub fn quantum(self) -> f64 {
+        (-(self.frac_bits as f64)).exp2()
+    }
+
+    /// Upper bound on the relative error introduced by one rounding.
+    #[inline]
+    pub fn unit_relative_error(self) -> f64 {
+        (0.5 * self.quantum()).exp2() - 1.0
+    }
+
+    #[inline]
+    fn raw_min(self) -> i64 {
+        (self.exp_min as i64) << self.frac_bits
+    }
+
+    #[inline]
+    fn raw_max(self) -> i64 {
+        (self.exp_max as i64) << self.frac_bits
+    }
+
+    /// Round a real-valued log₂ to the word grid, handling under/overflow.
+    /// Returns `None` on underflow (value becomes zero).
+    #[inline]
+    fn round_log(self, log2x: f64) -> Option<i64> {
+        if log2x.is_nan() {
+            return None;
+        }
+        let raw = (log2x * (self.frac_bits as f64).exp2()).round();
+        if raw < self.raw_min() as f64 {
+            None
+        } else if raw > self.raw_max() as f64 {
+            Some(self.raw_max())
+        } else {
+            Some(raw as i64)
+        }
+    }
+
+    /// Encode an `f64` into this LNS format.
+    #[inline]
+    pub fn encode(self, x: f64) -> Lns {
+        if x == 0.0 || x.is_nan() {
+            return Lns { sign: 0, raw: 0, cfg: self };
+        }
+        match self.round_log(x.abs().log2()) {
+            None => Lns { sign: 0, raw: 0, cfg: self },
+            Some(raw) => Lns { sign: if x > 0.0 { 1 } else { -1 }, raw, cfg: self },
+        }
+    }
+}
+
+/// A sign–log value in a given [`LnsConfig`] format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lns {
+    /// −1, 0, or +1. Zero is a distinguished value (log is meaningless).
+    sign: i8,
+    /// Fixed-point log₂|x| with `cfg.frac_bits` fractional bits.
+    raw: i64,
+    cfg: LnsConfig,
+}
+
+impl Lns {
+    /// The zero value.
+    #[inline]
+    pub fn zero(cfg: LnsConfig) -> Self {
+        Lns { sign: 0, raw: 0, cfg }
+    }
+
+    /// Sign of the value: −1, 0 or +1.
+    #[inline]
+    pub fn signum(self) -> i8 {
+        self.sign
+    }
+
+    /// `true` if the value is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.sign == 0
+    }
+
+    /// The format this value is stored in.
+    #[inline]
+    pub fn config(self) -> LnsConfig {
+        self.cfg
+    }
+
+    /// The stored log₂|x| as a real number (∞ for zero is avoided by
+    /// returning `f64::NEG_INFINITY`).
+    #[inline]
+    pub fn log2_abs(self) -> f64 {
+        if self.sign == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.raw as f64 * self.cfg.quantum()
+        }
+    }
+
+    /// Decode to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        if self.sign == 0 {
+            0.0
+        } else {
+            self.sign as f64 * self.log2_abs().exp2()
+        }
+    }
+
+    #[inline]
+    fn with_log(self, sign: i8, log2x: f64) -> Lns {
+        match self.cfg.round_log(log2x) {
+            None => Lns::zero(self.cfg),
+            Some(raw) => Lns { sign, raw, cfg: self.cfg },
+        }
+    }
+
+    /// Multiplication: exact add of log words (one possible saturation).
+    #[inline]
+    pub fn mul(self, o: Lns) -> Lns {
+        debug_assert_eq!(self.cfg, o.cfg, "LNS format mismatch");
+        if self.sign == 0 || o.sign == 0 {
+            return Lns::zero(self.cfg);
+        }
+        let raw = self.raw + o.raw;
+        if raw < self.cfg.raw_min() {
+            return Lns::zero(self.cfg);
+        }
+        Lns { sign: self.sign * o.sign, raw: raw.min(self.cfg.raw_max()), cfg: self.cfg }
+    }
+
+    /// Division: exact subtract of log words. Division by zero saturates
+    /// to the largest representable magnitude (hardware clamps).
+    #[inline]
+    pub fn div(self, o: Lns) -> Lns {
+        debug_assert_eq!(self.cfg, o.cfg, "LNS format mismatch");
+        if self.sign == 0 {
+            return Lns::zero(self.cfg);
+        }
+        if o.sign == 0 {
+            return Lns { sign: self.sign, raw: self.cfg.raw_max(), cfg: self.cfg };
+        }
+        let raw = self.raw - o.raw;
+        if raw < self.cfg.raw_min() {
+            return Lns::zero(self.cfg);
+        }
+        Lns { sign: self.sign * o.sign, raw: raw.min(self.cfg.raw_max()), cfg: self.cfg }
+    }
+
+    /// Square: exact doubling of the log word.
+    #[inline]
+    pub fn square(self) -> Lns {
+        self.mul(self)
+    }
+
+    /// Raise |x| to the power `num/den` by exact rational scaling of the
+    /// log word (rounded to the grid). Sign handling: for the pipeline's
+    /// `(r² + ε²)^(−3/2)` the argument is always positive; a negative
+    /// base with an even-root power saturates to zero.
+    #[inline]
+    pub fn powi_rational(self, num: i64, den: i64) -> Lns {
+        assert!(den != 0, "zero denominator");
+        if self.sign == 0 {
+            return if num > 0 {
+                Lns::zero(self.cfg)
+            } else {
+                // 0^negative: saturate to max magnitude
+                Lns { sign: 1, raw: self.cfg.raw_max(), cfg: self.cfg }
+            };
+        }
+        if self.sign < 0 && den % 2 == 0 {
+            return Lns::zero(self.cfg);
+        }
+        let sign = if self.sign < 0 && num % 2 != 0 { -1 } else { 1 };
+        // round-to-nearest rational scaling of the raw log word
+        let scaled = (self.raw as i128 * num as i128) as f64 / den as f64;
+        let raw = scaled.round();
+        if raw < self.cfg.raw_min() as f64 {
+            return Lns::zero(self.cfg);
+        }
+        let raw = (raw as i64).min(self.cfg.raw_max());
+        Lns { sign, raw, cfg: self.cfg }
+    }
+
+    /// `x^(−3/2)` — the pipeline's combined square-root + reciprocal-cube
+    /// unit applied to `r² + ε²`.
+    #[inline]
+    pub fn pow_neg_3_2(self) -> Lns {
+        self.powi_rational(-3, 2)
+    }
+
+    /// Addition through the Gaussian-logarithm table.
+    pub fn add(self, o: Lns) -> Lns {
+        debug_assert_eq!(self.cfg, o.cfg, "LNS format mismatch");
+        if self.sign == 0 {
+            return o;
+        }
+        if o.sign == 0 {
+            return self;
+        }
+        // Order so |a| >= |b|.
+        let (a, b) = if self.raw >= o.raw { (self, o) } else { (o, self) };
+        let q = self.cfg.quantum();
+        let z = (b.raw - a.raw) as f64 * q; // z = log2(|b|/|a|) <= 0
+        if a.sign == b.sign {
+            // sb(z) = log2(1 + 2^z)
+            let sb = z.exp2().ln_2p1();
+            a.with_log(a.sign, a.raw as f64 * q + sb)
+        } else {
+            // db(z) = log2(1 - 2^z); exact cancellation when z == 0
+            if a.raw == b.raw {
+                return Lns::zero(self.cfg);
+            }
+            let db = (-z.exp2()).ln_2p1();
+            a.with_log(a.sign, a.raw as f64 * q + db)
+        }
+    }
+
+    /// Addition through a *finite* hardware ROM table instead of the
+    /// ideal (full-resolution) table of [`Lns::add`] — used by the
+    /// table-size ablation to reproduce the GRAPE-3 → GRAPE-5 accuracy
+    /// trade.
+    pub fn add_via_table(self, o: Lns, table: &crate::lns_table::GaussLogTable) -> Lns {
+        debug_assert_eq!(self.cfg, o.cfg, "LNS format mismatch");
+        if self.sign == 0 {
+            return o;
+        }
+        if o.sign == 0 {
+            return self;
+        }
+        let (a, b) = if self.raw >= o.raw { (self, o) } else { (o, self) };
+        let q = self.cfg.quantum();
+        let z = (b.raw - a.raw) as f64 * q;
+        if a.sign == b.sign {
+            a.with_log(a.sign, a.raw as f64 * q + table.sb(z))
+        } else {
+            if a.raw == b.raw {
+                return Lns::zero(self.cfg);
+            }
+            a.with_log(a.sign, a.raw as f64 * q + table.db(z))
+        }
+    }
+
+    /// Subtraction via negation + addition.
+    #[inline]
+    pub fn sub(self, o: Lns) -> Lns {
+        self.add(o.neg())
+    }
+
+    /// Negation (exact).
+    #[inline]
+    pub fn neg(self) -> Lns {
+        Lns { sign: -self.sign, raw: self.raw, cfg: self.cfg }
+    }
+
+    /// Absolute value (exact).
+    #[inline]
+    pub fn abs(self) -> Lns {
+        Lns { sign: self.sign.abs(), raw: self.raw, cfg: self.cfg }
+    }
+}
+
+/// `log2(1 + x)` helper with a name that keeps the call sites readable.
+trait Ln2p1 {
+    fn ln_2p1(self) -> f64;
+}
+
+impl Ln2p1 for f64 {
+    #[inline]
+    fn ln_2p1(self) -> f64 {
+        self.ln_1p() / std::f64::consts::LN_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: LnsConfig = LnsConfig::GRAPE5;
+
+    fn rel_err(approx: f64, exact: f64) -> f64 {
+        if exact == 0.0 {
+            approx.abs()
+        } else {
+            ((approx - exact) / exact).abs()
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_error() {
+        let tol = CFG.unit_relative_error();
+        for &x in &[1.0, -1.0, 3.14159, 1e-6, -273.15, 8.0, 1.0 / 1024.0] {
+            let v = CFG.encode(x);
+            assert!(rel_err(v.to_f64(), x) <= tol, "x={x} got {}", v.to_f64());
+            assert_eq!(v.signum() as f64, x.signum());
+        }
+    }
+
+    #[test]
+    fn zero_is_distinguished() {
+        let z = CFG.encode(0.0);
+        assert!(z.is_zero());
+        assert_eq!(z.to_f64(), 0.0);
+        assert!(CFG.encode(f64::NAN).is_zero());
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        for e in -100..100 {
+            let x = (e as f64).exp2();
+            assert_eq!(CFG.encode(x).to_f64(), x);
+        }
+    }
+
+    #[test]
+    fn mul_is_near_exact() {
+        let a = CFG.encode(3.0);
+        let b = CFG.encode(7.0);
+        // product of two already-quantized values: no additional rounding
+        let exact = a.to_f64() * b.to_f64();
+        assert!(rel_err(a.mul(b).to_f64(), exact) < 1e-12);
+        assert_eq!(a.mul(CFG.encode(0.0)).to_f64(), 0.0);
+        assert_eq!(a.mul(b).signum(), 1);
+        assert_eq!(a.neg().mul(b).signum(), -1);
+    }
+
+    #[test]
+    fn div_behaviour() {
+        let a = CFG.encode(10.0);
+        let b = CFG.encode(4.0);
+        assert!(rel_err(a.div(b).to_f64(), a.to_f64() / b.to_f64()) < 1e-12);
+        // division by zero saturates
+        let sat = a.div(Lns::zero(CFG));
+        assert!(sat.to_f64() > 1e100);
+        assert_eq!(Lns::zero(CFG).div(b).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn add_same_sign() {
+        let tol = 3.0 * CFG.unit_relative_error();
+        for &(x, y) in &[(1.0, 1.0), (3.0, 5.0), (1e-3, 1.0), (100.0, 0.01)] {
+            let a = CFG.encode(x);
+            let b = CFG.encode(y);
+            let exact = a.to_f64() + b.to_f64();
+            assert!(rel_err(a.add(b).to_f64(), exact) <= tol, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn add_opposite_sign_cancellation() {
+        let a = CFG.encode(5.0);
+        assert_eq!(a.add(a.neg()).to_f64(), 0.0);
+        // near-cancellation amplifies relative error but keeps sign right
+        let b = CFG.encode(-4.9);
+        let r = a.add(b);
+        assert!(r.to_f64() > 0.0);
+        assert!((r.to_f64() - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn sub_matches_add_neg() {
+        let a = CFG.encode(9.5);
+        let b = CFG.encode(2.5);
+        assert_eq!(a.sub(b), a.add(b.neg()));
+    }
+
+    #[test]
+    fn table_add_converges_to_ideal_add() {
+        use crate::lns_table::GaussLogTable;
+        let fine = GaussLogTable::new(16, 24, 32.0);
+        let coarse = GaussLogTable::new(3, 4, 32.0);
+        let a = CFG.encode(3.0);
+        let b = CFG.encode(5.0);
+        let ideal = a.add(b).to_f64();
+        let v_fine = a.add_via_table(b, &fine).to_f64();
+        let v_coarse = a.add_via_table(b, &coarse).to_f64();
+        assert!((v_fine - ideal).abs() / ideal < 5e-3, "fine table off: {v_fine} vs {ideal}");
+        assert!(
+            (v_coarse - ideal).abs() >= (v_fine - ideal).abs(),
+            "coarse table cannot beat the fine table"
+        );
+        // identity cases still hold
+        assert_eq!(Lns::zero(CFG).add_via_table(a, &fine), a);
+        assert_eq!(a.add_via_table(a.neg(), &fine).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn pow_neg_3_2_accuracy() {
+        let tol = 2.0 * CFG.unit_relative_error();
+        for &x in &[1.0, 2.0, 0.25, 1e4, 3.7] {
+            let v = CFG.encode(x);
+            let exact = v.to_f64().powf(-1.5);
+            assert!(rel_err(v.pow_neg_3_2().to_f64(), exact) <= tol, "x={x}");
+        }
+    }
+
+    #[test]
+    fn powi_rational_edge_cases() {
+        let z = Lns::zero(CFG);
+        assert!(z.powi_rational(3, 2).is_zero());
+        assert!(z.powi_rational(-3, 2).to_f64() > 1e100); // 0^-1.5 saturates
+        // negative base, even root -> zero (hardware never sees this path)
+        assert!(CFG.encode(-2.0).powi_rational(1, 2).is_zero());
+        // negative base, odd power keeps sign
+        assert_eq!(CFG.encode(-2.0).powi_rational(3, 1).signum(), -1);
+    }
+
+    #[test]
+    fn underflow_to_zero_and_overflow_saturation() {
+        let cfg = LnsConfig::new(8, -16, 15);
+        assert!(cfg.encode(1e-10).is_zero()); // below 2^-16
+        // above 2^15: saturates at raw_max = exp_max << frac_bits, i.e. exactly 2^15
+        let big = cfg.encode(1e10);
+        assert_eq!(big.to_f64(), 32768.0);
+    }
+
+    #[test]
+    fn grape3_config_is_coarser() {
+        assert!(LnsConfig::GRAPE3.unit_relative_error() > LnsConfig::GRAPE5.unit_relative_error());
+    }
+
+    #[test]
+    fn unit_relative_error_magnitude() {
+        // 8 fractional bits: q = 2^-8, per-op error ~ q*ln2/2 ~ 1.4e-3
+        let e = LnsConfig::GRAPE5.unit_relative_error();
+        assert!(e > 1.0e-3 && e < 1.7e-3, "e={e}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CFG: LnsConfig = LnsConfig::GRAPE5;
+
+    fn nonzero() -> impl Strategy<Value = f64> {
+        prop_oneof![0.001f64..1e6, -1e6f64..-0.001]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_relative_error_bounded(x in nonzero()) {
+            let v = CFG.encode(x);
+            let rel = ((v.to_f64() - x) / x).abs();
+            prop_assert!(rel <= CFG.unit_relative_error() + 1e-12);
+        }
+
+        #[test]
+        fn mul_commutes(x in nonzero(), y in nonzero()) {
+            let (a, b) = (CFG.encode(x), CFG.encode(y));
+            prop_assert_eq!(a.mul(b), b.mul(a));
+        }
+
+        #[test]
+        fn add_commutes(x in nonzero(), y in nonzero()) {
+            let (a, b) = (CFG.encode(x), CFG.encode(y));
+            prop_assert_eq!(a.add(b), b.add(a));
+        }
+
+        #[test]
+        fn add_same_sign_relative_error(x in 0.001f64..1e6, y in 0.001f64..1e6) {
+            let (a, b) = (CFG.encode(x), CFG.encode(y));
+            let exact = a.to_f64() + b.to_f64();
+            let rel = ((a.add(b).to_f64() - exact) / exact).abs();
+            prop_assert!(rel <= 2.0 * CFG.unit_relative_error() + 1e-12);
+        }
+
+        #[test]
+        fn neg_is_involution(x in nonzero()) {
+            let a = CFG.encode(x);
+            prop_assert_eq!(a.neg().neg(), a);
+        }
+
+        #[test]
+        fn square_is_nonnegative(x in nonzero()) {
+            prop_assert!(CFG.encode(x).square().to_f64() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Hardware-faithful lookup tables for the LNS adder.
+//!
+//! The real G5 chip evaluates the Gaussian-logarithm functions
+//! `sb(z) = log₂(1 + 2^z)` and `db(z) = log₂(1 − 2^z)` with ROM
+//! tables: the (negative) argument `z` is truncated to a limited number
+//! of address bits and the stored value has the word's fraction width.
+//! [`crate::lns`] models the *ideal* table (full address resolution);
+//! this module models the *finite* table, so the reproduction can
+//! sweep table size against pairwise force error — the trade the
+//! GRAPE-3 → GRAPE-5 redesign actually made.
+//!
+//! Address layout: arguments in `(-range, 0]` are quantized to
+//! `2^addr_bits` equal steps (nearest-step rounding); arguments at or
+//! below `-range` return the asymptote (0 for `sb`, handled sign-side
+//! for `db`). Stored values are rounded to `frac_bits` fractional bits.
+
+use serde::{Deserialize, Serialize};
+
+/// A quantized Gaussian-logarithm table pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussLogTable {
+    /// Number of address bits (table has `2^addr_bits` entries).
+    pub addr_bits: u32,
+    /// Fraction bits of the stored values.
+    pub frac_bits: u32,
+    /// Argument range covered: `z ∈ (-range, 0]`.
+    pub range: f64,
+    sb: Vec<f64>,
+    db: Vec<f64>,
+}
+
+impl GaussLogTable {
+    /// Build the ROM contents.
+    ///
+    /// # Panics
+    /// On zero sizes or a non-positive range.
+    pub fn new(addr_bits: u32, frac_bits: u32, range: f64) -> GaussLogTable {
+        assert!((1..=24).contains(&addr_bits), "address bits {addr_bits} out of 1..=24");
+        assert!(frac_bits <= 32, "fraction bits too large");
+        assert!(range > 0.0, "non-positive table range");
+        let n = 1usize << addr_bits;
+        let step = range / n as f64;
+        let quant = (frac_bits as f64).exp2();
+        let round = |x: f64| (x * quant).round() / quant;
+        let mut sb = Vec::with_capacity(n);
+        let mut db = Vec::with_capacity(n);
+        for i in 0..n {
+            // table entry i covers z = -(i + 0.5) * step (cell center)
+            let z = -((i as f64 + 0.5) * step);
+            sb.push(round((1.0 + z.exp2()).log2()));
+            // db is singular at z = 0; the first cell's center is already
+            // away from the pole, matching the hardware's special-casing
+            // of exact cancellation upstream of the table.
+            db.push(round((1.0 - z.exp2()).log2()));
+        }
+        GaussLogTable { addr_bits, frac_bits, range, sb, db }
+    }
+
+    /// Table size in entries.
+    pub fn len(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// `true` if the table has no entries (never: construction demands ≥ 2).
+    pub fn is_empty(&self) -> bool {
+        self.sb.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, z: f64) -> Option<usize> {
+        debug_assert!(z <= 0.0, "table argument must be non-positive");
+        if z <= -self.range {
+            return None; // asymptotic region
+        }
+        let n = self.sb.len();
+        let i = ((-z) / self.range * n as f64) as usize;
+        Some(i.min(n - 1))
+    }
+
+    /// Table lookup of `sb(z) = log₂(1 + 2^z)` for `z ≤ 0`.
+    /// Beyond the covered range the asymptote 0 is returned.
+    #[inline]
+    pub fn sb(&self, z: f64) -> f64 {
+        match self.index(z) {
+            Some(i) => self.sb[i],
+            None => 0.0,
+        }
+    }
+
+    /// Table lookup of `db(z) = log₂(1 − 2^z)` for `z < 0`.
+    /// Beyond the covered range the asymptote 0 is returned.
+    #[inline]
+    pub fn db(&self, z: f64) -> f64 {
+        match self.index(z) {
+            Some(i) => self.db[i],
+            None => 0.0,
+        }
+    }
+
+    /// Worst-case absolute error of the `sb` lookup against the exact
+    /// function, probed at `samples` points — used by the table-size
+    /// ablation.
+    pub fn sb_max_error(&self, samples: usize) -> f64 {
+        assert!(samples > 1, "need at least two samples");
+        let mut worst = 0.0f64;
+        for s in 0..samples {
+            let z = -(s as f64 + 0.5) / samples as f64 * self.range;
+            let exact = (1.0 + z.exp2()).log2();
+            worst = worst.max((self.sb(z) - exact).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sb_matches_exact_function_at_high_resolution() {
+        let t = GaussLogTable::new(16, 24, 16.0);
+        for &z in &[-0.001, -0.5, -1.0, -3.7, -10.0] {
+            let exact = (1.0 + (z as f64).exp2()).log2();
+            assert!((t.sb(z) - exact).abs() < 1e-3, "z={z}: {} vs {exact}", t.sb(z));
+        }
+    }
+
+    #[test]
+    fn db_matches_exact_function_away_from_pole() {
+        let t = GaussLogTable::new(16, 24, 16.0);
+        for &z in &[-0.5, -1.0, -4.0, -12.0] {
+            let exact = (1.0 - (z as f64).exp2()).log2();
+            assert!((t.db(z) - exact).abs() < 1e-3, "z={z}");
+        }
+    }
+
+    #[test]
+    fn asymptote_beyond_range() {
+        let t = GaussLogTable::new(8, 12, 8.0);
+        assert_eq!(t.sb(-100.0), 0.0);
+        assert_eq!(t.db(-100.0), 0.0);
+        assert_eq!(t.sb(-8.0), 0.0);
+    }
+
+    #[test]
+    fn error_shrinks_with_address_bits() {
+        let coarse = GaussLogTable::new(6, 20, 16.0).sb_max_error(4096);
+        let fine = GaussLogTable::new(12, 20, 16.0).sb_max_error(4096);
+        assert!(
+            fine < coarse / 8.0,
+            "doubling address bits x6 must cut error: {coarse} -> {fine}"
+        );
+    }
+
+    #[test]
+    fn stored_values_are_on_the_fraction_grid() {
+        let t = GaussLogTable::new(6, 8, 8.0);
+        let q = 256.0;
+        for i in 0..t.len() {
+            let v = t.sb[i] * q;
+            assert!((v - v.round()).abs() < 1e-9, "entry {i} not on the grid");
+        }
+    }
+
+    #[test]
+    fn table_sizes() {
+        assert_eq!(GaussLogTable::new(10, 8, 16.0).len(), 1024);
+        assert!(!GaussLogTable::new(1, 8, 16.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=24")]
+    fn zero_address_bits_rejected() {
+        GaussLogTable::new(0, 8, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive table range")]
+    fn bad_range_rejected() {
+        GaussLogTable::new(8, 8, 0.0);
+    }
+}

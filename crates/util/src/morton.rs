@@ -1,0 +1,178 @@
+//! 3-D Morton (Z-order) codes.
+//!
+//! The octree build sorts particles by the Morton code of their
+//! quantized coordinates; consecutive code ranges are then exactly the
+//! octree cells, which makes a bottom-up parallel build possible.
+//! 21 bits per dimension fill a 63-bit code — enough to resolve 2²¹
+//! cells per axis, far below gravitational softening at any N we run.
+
+/// Bits used per dimension.
+pub const BITS_PER_DIM: u32 = 21;
+/// Maximum coordinate value (exclusive) accepted by [`encode`].
+pub const COORD_LIMIT: u32 = 1 << BITS_PER_DIM;
+
+/// Spread the low 21 bits of `x` so consecutive bits land 3 apart.
+#[inline]
+pub fn spread(x: u32) -> u64 {
+    debug_assert!(x < COORD_LIMIT);
+    let mut v = x as u64 & 0x1f_ffff;
+    v = (v | (v << 32)) & 0x1f00000000ffff;
+    v = (v | (v << 16)) & 0x1f0000ff0000ff;
+    v = (v | (v << 8)) & 0x100f00f00f00f00f;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3;
+    v = (v | (v << 2)) & 0x1249249249249249;
+    v
+}
+
+/// Inverse of [`spread`].
+#[inline]
+pub fn compact(v: u64) -> u32 {
+    let mut v = v & 0x1249249249249249;
+    v = (v | (v >> 2)) & 0x10c30c30c30c30c3;
+    v = (v | (v >> 4)) & 0x100f00f00f00f00f;
+    v = (v | (v >> 8)) & 0x1f0000ff0000ff;
+    v = (v | (v >> 16)) & 0x1f00000000ffff;
+    v = (v | (v >> 32)) & 0x1f_ffff;
+    v as u32
+}
+
+/// Interleave three 21-bit coordinates into a 63-bit Morton code,
+/// x in the least significant position.
+#[inline]
+pub fn encode(x: u32, y: u32, z: u32) -> u64 {
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// Recover `(x, y, z)` from a Morton code.
+#[inline]
+pub fn decode(code: u64) -> (u32, u32, u32) {
+    (compact(code), compact(code >> 1), compact(code >> 2))
+}
+
+/// Quantize a unit-cube coordinate (clamped to `[0, 1)`) to the Morton
+/// grid and encode. Coordinates are expressed relative to the tree's
+/// bounding cube by the caller.
+#[inline]
+pub fn encode_unit(u: f64, v: f64, w: f64) -> u64 {
+    let q = |t: f64| -> u32 {
+        let s = (t * COORD_LIMIT as f64) as i64;
+        s.clamp(0, COORD_LIMIT as i64 - 1) as u32
+    };
+    encode(q(u), q(v), q(w))
+}
+
+/// The octant (0..8) of a code at tree `level`, where level 0 is the
+/// root's children and levels count downward. `level` must be below
+/// [`BITS_PER_DIM`].
+#[inline]
+pub fn octant_at_level(code: u64, level: u32) -> u8 {
+    debug_assert!(level < BITS_PER_DIM);
+    let shift = 3 * (BITS_PER_DIM - 1 - level);
+    ((code >> shift) & 0b111) as u8
+}
+
+/// Longest common prefix length, in *levels* (groups of 3 bits), of two
+/// codes — the depth of their deepest common octree cell.
+#[inline]
+pub fn common_prefix_levels(a: u64, b: u64) -> u32 {
+    if a == b {
+        return BITS_PER_DIM;
+    }
+    let diff = a ^ b;
+    let highest = 63 - diff.leading_zeros(); // bit index of highest differing bit (codes are 63-bit)
+    (62 - highest) / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for &x in &[0u32, 1, 2, 0x15_5555, 0x1f_ffff, 12345, 0x10_0000] {
+            assert_eq!(compact(spread(x)), x);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = [(0, 0, 0), (1, 2, 3), (0x1f_ffff, 0, 0x10_0000), (999, 88888, 7)];
+        for &(x, y, z) in &cases {
+            assert_eq!(decode(encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn x_is_least_significant() {
+        assert_eq!(encode(1, 0, 0), 0b001);
+        assert_eq!(encode(0, 1, 0), 0b010);
+        assert_eq!(encode(0, 0, 1), 0b100);
+    }
+
+    #[test]
+    fn encode_unit_clamps() {
+        assert_eq!(encode_unit(-0.5, 0.0, 0.0), 0);
+        let max = encode_unit(2.0, 2.0, 2.0);
+        let (x, y, z) = decode(max);
+        assert_eq!((x, y, z), (COORD_LIMIT - 1, COORD_LIMIT - 1, COORD_LIMIT - 1));
+    }
+
+    #[test]
+    fn octant_extraction() {
+        // top-level octant is the highest 3 bits
+        let code = encode(COORD_LIMIT - 1, 0, 0); // x at max => top x-bit set at each level
+        assert_eq!(octant_at_level(code, 0), 0b001);
+        let code = encode(0, COORD_LIMIT / 2, 0); // y's top bit only
+        assert_eq!(octant_at_level(code, 0), 0b010);
+        assert_eq!(octant_at_level(code, 1), 0);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = encode(0, 0, 0);
+        let b = encode(COORD_LIMIT - 1, COORD_LIMIT - 1, COORD_LIMIT - 1);
+        assert_eq!(common_prefix_levels(a, b), 0);
+        assert_eq!(common_prefix_levels(a, a), BITS_PER_DIM);
+        // two points in the same first octant but different second octant
+        let c = encode(0, 0, 0);
+        let d = encode(COORD_LIMIT / 4, 0, 0);
+        assert_eq!(common_prefix_levels(c, d), 1);
+    }
+
+    #[test]
+    fn morton_order_matches_octree_recursion() {
+        // sorting codes must group points by octant first
+        let pts =
+            [(3u32, 3, 3), (COORD_LIMIT - 1, 1, 1), (1, COORD_LIMIT - 1, 1), (2, 2, 2)];
+        let mut codes: Vec<u64> = pts.iter().map(|&(x, y, z)| encode(x, y, z)).collect();
+        codes.sort_unstable();
+        let octs: Vec<u8> = codes.iter().map(|&c| octant_at_level(c, 0)).collect();
+        let mut sorted_octs = octs.clone();
+        sorted_octs.sort_unstable();
+        assert_eq!(octs, sorted_octs, "octants must be contiguous after sort");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(x in 0u32..COORD_LIMIT, y in 0u32..COORD_LIMIT, z in 0u32..COORD_LIMIT) {
+            prop_assert_eq!(decode(encode(x, y, z)), (x, y, z));
+        }
+
+        #[test]
+        fn codes_fit_63_bits(x in 0u32..COORD_LIMIT, y in 0u32..COORD_LIMIT, z in 0u32..COORD_LIMIT) {
+            prop_assert!(encode(x, y, z) < (1u64 << 63));
+        }
+
+        #[test]
+        fn prefix_levels_symmetric(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (a & ((1 << 63) - 1), b & ((1 << 63) - 1));
+            prop_assert_eq!(common_prefix_levels(a, b), common_prefix_levels(b, a));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Small statistics helpers for the accuracy and timing experiments:
+//! running summaries (mean / RMS / min / max), percentiles, and
+//! fixed-bin histograms for error distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Incremental summary statistics over a stream of `f64` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every sample in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Build a summary from a slice.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        s.extend(xs);
+        s
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, o: &Summary) {
+        self.n += o.n;
+        self.sum += o.sum;
+        self.sum_sq += o.sum_sq;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Root mean square (NaN when empty).
+    pub fn rms(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            (self.sum_sq / self.n as f64).sqrt()
+        }
+    }
+
+    /// Population standard deviation (NaN when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.n as f64 - m * m).max(0.0).sqrt()
+    }
+
+    /// Minimum sample (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum sample (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample set by linear interpolation
+/// on the sorted order statistics. Sorts a copy; fine at analysis scale.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Median — the 50th percentile.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 0.5)
+}
+
+/// A fixed-bin histogram over `[lo, hi)`, with under/overflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// `nbins` equal-width bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "degenerate histogram range");
+        assert!(nbins > 0, "zero bins");
+        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let i = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[i.min(n - 1)] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count at or above range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Render a terminal bar chart, one line per bin — used by the
+    /// experiment binaries for error distributions.
+    pub fn ascii(&self, width: usize) -> String {
+        let maxc = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(maxc as usize).min(width));
+            out.push_str(&format!("{:>12.4e} | {:<width$} {}\n", self.bin_center(i), bar, c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.rms() - (30.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert!((s.std_dev() - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_nan() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        assert!(s.rms().is_nan());
+        assert!(s.std_dev().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn summary_merge_equals_concat() {
+        let mut a = Summary::of(&[1.0, 5.0]);
+        let b = Summary::of(&[2.0, 8.0, -1.0]);
+        a.merge(&b);
+        let c = Summary::of(&[1.0, 5.0, 2.0, 8.0, -1.0]);
+        assert_eq!(a.count(), c.count());
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert!((a.rms() - c.rms()).abs() < 1e-12);
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.25), 2.0);
+        // interpolation between order statistics
+        let ys = [0.0, 1.0];
+        assert_eq!(percentile(&ys, 0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(10.0); // hi edge counts as overflow
+        assert_eq!(h.bins(), &[1u64; 10][..]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.bin_center(0), 0.5);
+        let art = h.ascii(20);
+        assert_eq!(art.lines().count(), 10);
+    }
+
+    #[test]
+    fn histogram_lo_edge_inclusive() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(0.0);
+        assert_eq!(h.bins()[0], 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn rms_at_least_abs_mean(xs in proptest::collection::vec(-100.0f64..100.0, 1..200)) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.rms() + 1e-9 >= s.mean().abs());
+        }
+
+        #[test]
+        fn percentile_is_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 2..100),
+                                  a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-12);
+        }
+
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-10.0f64..10.0, 0..300)) {
+            let mut h = Histogram::new(-5.0, 5.0, 7);
+            for &x in &xs { h.push(x); }
+            prop_assert_eq!(h.total() as usize, xs.len());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Force-accuracy study: how the accuracy parameter θ and the hardware
+//! word length trade accuracy against work — a compact version of the
+//! E3/E4 experiments for interactive exploration.
+//!
+//! ```text
+//! cargo run --release --example accuracy_study -- [n]
+//! ```
+
+use grape5_nbody::core::accuracy::compare;
+use grape5_nbody::core::{DirectGrape, DirectHost, ForceBackend, TreeHost};
+use grape5_nbody::grape5::{Grape5Config};
+use grape5_nbody::ic::plummer_sphere;
+use grape5_nbody::util::lns::LnsConfig;
+use rand::SeedableRng;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let n: usize = argv.get(1).map(|s| s.parse().expect("n")).unwrap_or(3_000);
+    let eps = 0.01;
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    let snap = plummer_sphere(n, &mut rng);
+    let exact = DirectHost::new(eps).compute(&snap.pos, &snap.mass);
+
+    println!("accuracy study on a Plummer sphere, N = {n}");
+    println!();
+    println!("1. treecode accuracy vs theta (f64 host arithmetic, n_crit = 256):");
+    println!("{:>8} {:>16} {:>12}", "theta", "interactions", "rms err %");
+    for &theta in &[0.3, 0.5, 0.75, 1.0, 1.3] {
+        let fs = TreeHost::modified(theta, 256, eps).compute(&snap.pos, &snap.mass);
+        let e = compare(&fs, &exact);
+        println!("{theta:>8.2} {:>16} {:>12.4}", fs.tally.interactions, e.rms * 100.0);
+    }
+
+    println!();
+    println!("2. hardware accuracy vs pipeline word length (direct sums):");
+    println!("{:>24} {:>12} {:>12}", "pipeline format", "frac bits", "rms err %");
+    for (name, lns) in [
+        ("GRAPE-3-like", LnsConfig::GRAPE3),
+        ("GRAPE-5 (the paper)", LnsConfig::GRAPE5),
+        ("hypothetical 12-bit", LnsConfig::new(12, -512, 511)),
+    ] {
+        let cfg = Grape5Config { lns, ..Grape5Config::paper() };
+        let fs = DirectGrape::new(cfg, eps).compute(&snap.pos, &snap.mass);
+        let e = compare(&fs, &exact);
+        println!("{name:>24} {:>12} {:>12.4}", lns.frac_bits, e.rms * 100.0);
+    }
+    println!();
+    println!("paper §2: pairwise error ~0.3 %; simulation force error ~0.1 %, tree-dominated.");
+}

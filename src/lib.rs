@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the whole GRAPE-5 treecode reproduction.
+//!
+//! See the workspace README for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use g5ic as ic;
+pub use g5pppm as pppm;
+pub use g5tree as tree;
+pub use g5util as util;
+pub use grape5;
+pub use treegrape as core;

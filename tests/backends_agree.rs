@@ -1,0 +1,99 @@
+//! Cross-crate integration: all four force backends agree on the same
+//! snapshot to within their documented error budgets.
+
+use grape5_nbody::core::accuracy::compare;
+use grape5_nbody::core::{
+    DirectGrape, DirectHost, ForceBackend, TreeGrape, TreeGrapeConfig, TreeHost,
+};
+use grape5_nbody::grape5::Grape5Config;
+use grape5_nbody::ic::plummer_sphere;
+use rand::SeedableRng;
+
+fn workload(n: usize) -> (Vec<grape5_nbody::util::Vec3>, Vec<f64>) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(101);
+    let s = plummer_sphere(n, &mut rng);
+    (s.pos, s.mass)
+}
+
+#[test]
+fn all_backends_within_error_budget() {
+    let (pos, mass) = workload(1200);
+    let eps = 0.01;
+    let exact = DirectHost::new(eps).compute(&pos, &mass);
+
+    // exact-mode GRAPE: only position quantization, error ~1e-6
+    let fg = DirectGrape::new(Grape5Config::paper_exact(), eps).compute(&pos, &mass);
+    assert!(compare(&fg, &exact).rms < 1e-5);
+
+    // LNS GRAPE: hardware error, averages below the 0.3 % pairwise level
+    let fl = DirectGrape::new(Grape5Config::paper(), eps).compute(&pos, &mass);
+    let e_hw = compare(&fl, &exact).rms;
+    assert!(e_hw > 0.0 && e_hw < 0.005, "hardware rms {e_hw}");
+
+    // f64 treecode at theta = 0.75: sub-percent
+    let ft = TreeHost::modified(0.75, 128, eps).compute(&pos, &mass);
+    let e_tree = compare(&ft, &exact).rms;
+    assert!(e_tree < 0.01, "tree rms {e_tree}");
+
+    // the full system: within ~2x the tree error
+    let fs = TreeGrape::new(TreeGrapeConfig {
+        theta: 0.75,
+        n_crit: 128,
+        grape: Grape5Config::paper(),
+        ..TreeGrapeConfig::paper(eps)
+    })
+    .compute(&pos, &mass);
+    let e_sys = compare(&fs, &exact).rms;
+    assert!(e_sys < 2.0 * e_tree + 0.001, "system rms {e_sys} vs tree {e_tree}");
+}
+
+#[test]
+fn tree_grape_and_tree_host_share_identical_lists() {
+    let (pos, mass) = workload(900);
+    let mut th = TreeHost::modified(0.8, 100, 0.02);
+    let mut tg = TreeGrape::new(TreeGrapeConfig {
+        theta: 0.8,
+        n_crit: 100,
+        grape: Grape5Config::paper_exact(),
+        ..TreeGrapeConfig::paper(0.02)
+    });
+    let a = th.compute(&pos, &mass);
+    let b = tg.compute(&pos, &mass);
+    // same traversal code => identical tallies, near-identical forces
+    assert_eq!(a.tally, b.tally);
+    assert!(compare(&b, &a).rms < 1e-5);
+}
+
+#[test]
+fn momentum_conservation_through_the_full_stack() {
+    let (pos, mass) = workload(800);
+    let fs = TreeGrape::new(TreeGrapeConfig {
+        n_crit: 200,
+        ..TreeGrapeConfig::paper(0.01)
+    })
+    .compute(&pos, &mass);
+    // tree forces are not exactly antisymmetric, but the residual net
+    // force must be tiny relative to typical force magnitudes
+    let net = fs
+        .acc
+        .iter()
+        .zip(&mass)
+        .fold(grape5_nbody::util::Vec3::ZERO, |s, (a, &m)| s + *a * m);
+    let typical: f64 =
+        fs.acc.iter().zip(&mass).map(|(a, &m)| (*a * m).norm()).sum::<f64>() / pos.len() as f64;
+    assert!(net.norm() < 0.05 * typical * (pos.len() as f64).sqrt(), "net {net:?}");
+}
+
+#[test]
+fn grape_accounting_consistent_with_tally() {
+    let (pos, mass) = workload(600);
+    let mut tg = TreeGrape::new(TreeGrapeConfig {
+        n_crit: 150,
+        ..TreeGrapeConfig::paper(0.01)
+    });
+    let fs = tg.compute(&pos, &mass);
+    let acc = tg.accounting();
+    assert_eq!(acc.interactions, fs.tally.interactions);
+    assert_eq!(acc.calls, fs.tally.lists);
+    assert!(acc.pipeline_cycles > 0);
+}
