@@ -1,0 +1,42 @@
+//! Serial vs. overlapped force-plan pipeline, one full TreeGrape force
+//! evaluation per iteration (the per-step cost that dominates a run).
+//!
+//! ```text
+//! cargo bench -p g5-bench --bench step_pipeline
+//! ```
+//!
+//! The evaluation drives the *simulated* GRAPE in exact mode, so
+//! "device" time here is host CPU emulating the pipelines; on a
+//! single-core machine the overlapped mode then cannot beat serial by
+//! much — the interesting outputs are that streaming adds no overhead
+//! and (see `exp_pipeline`) collapses peak memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use g5_bench::plummer;
+use g5tree::plan::PlanConfig;
+use treegrape::backends::ForceBackend;
+use treegrape::{TreeGrape, TreeGrapeConfig};
+
+fn bench_step_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_pipeline");
+    group.sample_size(2);
+    for &n in &[16_384usize, 65_536] {
+        let snap = plummer(n, 77);
+        let base = TreeGrapeConfig::paper(0.01);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("serial", n), &snap, |b, s| {
+            let mut backend =
+                TreeGrape::new(TreeGrapeConfig { plan: PlanConfig::serial(), ..base });
+            b.iter(|| backend.compute(&s.pos, &s.mass));
+        });
+        group.bench_with_input(BenchmarkId::new("overlapped", n), &snap, |b, s| {
+            let mut backend =
+                TreeGrape::new(TreeGrapeConfig { plan: PlanConfig::overlapped(2, 4), ..base });
+            b.iter(|| backend.compute(&s.pos, &s.mass));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_pipeline);
+criterion_main!(benches);

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use g5_bench::plummer;
-use treegrape::{DirectHost, ForceBackend, TreeHost};
 use std::hint::black_box;
+use treegrape::{DirectHost, ForceBackend, TreeHost};
 
 fn bench_backends(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_vs_direct");

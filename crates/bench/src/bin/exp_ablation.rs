@@ -24,9 +24,9 @@ use g5tree::traverse::Traversal;
 use g5tree::tree::{Tree, TreeConfig};
 use g5util::lns::LnsConfig;
 use g5util::lns_table::GaussLogTable;
+use grape5::Grape5Config;
 use treegrape::accuracy::compare;
 use treegrape::{DirectGrape, DirectHost, ForceBackend};
-use grape5::Grape5Config;
 
 fn main() {
     let args = Args::parse();
@@ -45,11 +45,7 @@ fn main() {
         let cfg = Grape5Config { lns, ..Grape5Config::paper() };
         let fs = DirectGrape::new(cfg, eps).compute(&snap.pos, &snap.mass);
         let e = compare(&fs, &exact);
-        println!(
-            "{bits:>10} {:>14.4} {:>16.4}",
-            lns.unit_relative_error() * 100.0,
-            e.rms * 100.0
-        );
+        println!("{bits:>10} {:>14.4} {:>16.4}", lns.unit_relative_error() * 100.0, e.rms * 100.0);
     }
     println!("(GRAPE-3 ~ 6 bits, GRAPE-5 = 8 bits; the paper's tree error ~0.1 % makes");
     println!(" anything beyond ~8 bits invisible in the total force — §2's argument)");
@@ -94,6 +90,7 @@ fn main() {
             acc: out.iter().map(|p| p.acc).collect(),
             pot: out.iter().map(|p| p.pot).collect(),
             tally,
+            timers: treegrape::PhaseTimers::default(),
         };
         let e = compare(&fs, &exact);
         println!("{label:<34} {:>14} {:>14.4}", tally.interactions, e.rms * 100.0);
@@ -111,11 +108,6 @@ fn main() {
         let tree = Tree::build_with(&snap.pos, &snap.mass, cfg);
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
         let tally = Traversal::new(0.75).modified_tally(&tree, 256);
-        println!(
-            "{cap:>10} {:>10} {:>14} {:>14.2}",
-            tree.nodes().len(),
-            tally.terms,
-            build_ms
-        );
+        println!("{cap:>10} {:>10} {:>14} {:>14.2}", tree.nodes().len(), tally.terms, build_ms);
     }
 }

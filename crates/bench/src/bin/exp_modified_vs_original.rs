@@ -39,7 +39,13 @@ fn main() {
     rule(100);
     println!(
         "{:>6} {:>14} {:>14} {:>8} {:>14} {:>14} {:>12}",
-        "theta", "int modified", "int original", "ratio", "rms mod %", "rms orig %", "more accurate"
+        "theta",
+        "int modified",
+        "int original",
+        "ratio",
+        "rms mod %",
+        "rms orig %",
+        "more accurate"
     );
     rule(100);
     for &theta in &[0.4, 0.6, 0.75, 0.9, 1.0, 1.2] {
@@ -64,8 +70,12 @@ fn main() {
     println!(
         "paper (N = 2.159e6, theta as run, n_g = 2000): modified 2.90e13, original 4.69e12, ratio 6.18"
     );
-    println!("at small N the n_g = 2000 direct part dominates the shared lists, inflating the ratio;");
+    println!(
+        "at small N the n_g = 2000 direct part dominates the shared lists, inflating the ratio;"
+    );
     println!("it falls toward the paper's 6.2x as N grows and the cell terms take over.");
-    println!("at every theta the modified algorithm is at least as accurate (sphere-surface MAC + exact");
+    println!(
+        "at every theta the modified algorithm is at least as accurate (sphere-surface MAC + exact"
+    );
     println!("intra-group forces), reproducing the Barnes 1990 / Kawai & Makino 1999 result the paper cites.");
 }

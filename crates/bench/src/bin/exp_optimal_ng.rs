@@ -44,7 +44,14 @@ fn main() {
     rule(98);
     println!(
         "{:>7} {:>10} {:>14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "n_g", "groups", "interactions", "avg list", "host/step", "pipe/step", "xfer/step", "total/step"
+        "n_g",
+        "groups",
+        "interactions",
+        "avg list",
+        "host/step",
+        "pipe/step",
+        "xfer/step",
+        "total/step"
     );
     rule(98);
 

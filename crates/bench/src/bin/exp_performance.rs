@@ -21,7 +21,7 @@ use g5tree::traverse::Traversal;
 use g5tree::tree::Tree;
 use g5util::counters::InteractionTally;
 use grape5::{ClockAccounting, CostModel, Grape5Config};
-use treegrape::perf::{HostModel, PaperProjection, RunMeasurement};
+use treegrape::perf::{HostModel, PaperProjection, PhaseTimers, RunMeasurement};
 use treegrape::{Simulation, TreeGrape, TreeGrapeConfig};
 
 fn main() {
@@ -81,6 +81,7 @@ fn main() {
         // paper-scale projection; --paper-scale prints only the latter
         print_table(&m, "as measured");
     }
+    print_phase_table(&sim.phase_timers().per_step(evals), &m);
     m = rescale_to_paper(&m);
     println!();
     println!("  rescaled to N = {} / {} steps via the N-list-length law", m.n, m.steps);
@@ -92,8 +93,12 @@ fn main() {
 }
 
 fn print_table(m: &RunMeasurement, label: &str) {
-    let projection =
-        PaperProjection::project(m, &HostModel::ds10(), &Grape5Config::paper(), &CostModel::paper());
+    let projection = PaperProjection::project(
+        m,
+        &HostModel::ds10(),
+        &Grape5Config::paper(),
+        &CostModel::paper(),
+    );
     let paper = PaperProjection::paper_reference();
 
     println!();
@@ -120,10 +125,7 @@ fn print_table(m: &RunMeasurement, label: &str) {
     );
     row(
         "orig/modified interaction ratio",
-        &format!(
-            "{:.3}",
-            projection.original_interactions as f64 / projection.interactions as f64
-        ),
+        &format!("{:.3}", projection.original_interactions as f64 / projection.interactions as f64),
         &format!("{:.3}", paper.original_interactions as f64 / paper.interactions as f64),
     );
     row("modeled wall-clock", &fmt_secs(projection.wall_s), &fmt_secs(paper.wall_s));
@@ -169,6 +171,80 @@ fn row(label: &str, a: &str, b: &str) {
     println!("{label:<38} {a:>18} {b:>18}");
 }
 
+/// The measured per-phase split of this machine's run next to the
+/// modeled DS10 split of the same evaluation — absolute times differ
+/// (different hardware, simulated GRAPE), but the host-vs-device
+/// *proportions* validate the model's phase accounting.
+fn print_phase_table(t: &PhaseTimers, m: &RunMeasurement) {
+    let projection = PaperProjection::project(
+        m,
+        &HostModel::ds10(),
+        &Grape5Config::paper(),
+        &CostModel::paper(),
+    );
+    let grape_s =
+        projection.step.pipeline_s + projection.step.transfer_s + projection.step.latency_s;
+    let measured_total = t.build_s + t.traverse_s + t.device_s + t.host_misc_s();
+    let modeled_total = projection.step.total_s();
+
+    println!();
+    println!("E1 — measured per-phase wall-clock on this machine (per force evaluation)");
+    rule(78);
+    println!(
+        "{:<38} {:>10} {:>6}   {:<10} {:>6}",
+        "phase", "measured", "share", "modeled", "share"
+    );
+    rule(78);
+    let pct = |x: f64, tot: f64| format!("{:.0}%", 100.0 * x / tot.max(1e-30));
+    println!(
+        "{:<38} {:>10} {:>6}   {:<10} {:>6}",
+        "tree build + group finding",
+        fmt_secs(t.build_s),
+        pct(t.build_s, measured_total),
+        "-",
+        "-"
+    );
+    println!(
+        "{:<38} {:>10} {:>6}   {:<10} {:>6}",
+        "list production (CPU, all workers)",
+        fmt_secs(t.traverse_s),
+        pct(t.traverse_s, measured_total),
+        fmt_secs(projection.step.host_s),
+        pct(projection.step.host_s, modeled_total)
+    );
+    println!(
+        "{:<38} {:>10} {:>6}   {:<10} {:>6}",
+        "device calls (simulated GRAPE)",
+        fmt_secs(t.device_s),
+        pct(t.device_s, measured_total),
+        fmt_secs(grape_s),
+        pct(grape_s, modeled_total)
+    );
+    println!(
+        "{:<38} {:>10} {:>6}   {:<10} {:>6}",
+        "host misc (integration, bookkeeping)",
+        fmt_secs(t.host_misc_s()),
+        pct(t.host_misc_s(), measured_total),
+        "-",
+        "-"
+    );
+    rule(78);
+    println!(
+        "{:<38} {:>10}          {:<10}",
+        "force wall-clock",
+        fmt_secs(t.force_wall_s),
+        fmt_secs(modeled_total)
+    );
+    println!(
+        "{:<38} {:>10}",
+        "wall saved by traversal/device overlap",
+        fmt_secs(t.overlap_saved_s())
+    );
+    rule(78);
+    println!("(modeled column: DS10 host model + GRAPE-5 clocks; the modeled host walk");
+    println!(" corresponds to the measured list-production phase)");
+}
+
 /// Scale a measured run to the paper's N and step count. Interactions
 /// per particle-step grow ≈ like the list length, which grows
 /// logarithmically in N at fixed n_crit and θ; we scale per-particle
@@ -192,8 +268,7 @@ fn rescale_to_paper(m: &RunMeasurement) -> RunMeasurement {
     let len_paper = m.n_crit as f64 + cell_part * growth;
     let int_per_step = len_paper * PAPER_N as f64;
     let scale_int = int_per_step * PAPER_STEPS as f64 / m.modified.interactions as f64;
-    let scale_lists =
-        (PAPER_N as f64 / m.n as f64) * (PAPER_STEPS as f64 / evals as f64);
+    let scale_lists = (PAPER_N as f64 / m.n as f64) * (PAPER_STEPS as f64 / evals as f64);
 
     let modified = InteractionTally {
         interactions: (m.modified.interactions as f64 * scale_int) as u64,
@@ -212,12 +287,5 @@ fn rescale_to_paper(m: &RunMeasurement) -> RunMeasurement {
     let growth_orig = ((PAPER_N as f64).log2() / (m.n as f64).log2()).max(1.0);
     let original_interactions =
         (orig_per_target * growth_orig * PAPER_N as f64 * PAPER_STEPS as f64) as u64;
-    RunMeasurement {
-        n: PAPER_N,
-        steps: PAPER_STEPS,
-        modified,
-        original_interactions,
-        grape,
-        ..*m
-    }
+    RunMeasurement { n: PAPER_N, steps: PAPER_STEPS, modified, original_interactions, grape, ..*m }
 }

@@ -1,0 +1,130 @@
+//! **Pipeline experiment — streaming force plan vs. materialize-all.**
+//!
+//! Runs one TreeGrape force evaluation of a Plummer model in one of
+//! three modes and reports the measured per-phase wall-clock plus the
+//! process peak RSS (`VmHWM` from `/proc/self/status`):
+//!
+//! * `materialized` — resolve *every* group list before touching the
+//!   device (the pre-pipeline implementation): peak memory
+//!   O(total terms);
+//! * `serial` — the in-order streaming reference ([`PlanConfig::serial`]):
+//!   one resolved list alive at a time;
+//! * `overlapped` — worker-produced lists through a bounded channel
+//!   ([`PlanConfig::overlapped`]): peak memory O(depth × list length),
+//!   traversal overlapping device execution.
+//!
+//! Peak RSS is a process-wide high-water mark, so compare *separate
+//! invocations*, one mode each:
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_pipeline -- \
+//!     [--n 65536] [--mode overlapped] [--workers 2] [--depth 4] \
+//!     [--ncrit 2000] [--theta 0.75]
+//! ```
+
+use g5_bench::{fmt_count, fmt_secs, plummer, rule, Args};
+use g5tree::plan::{self, GroupWork, PlanConfig};
+use g5tree::traverse::Traversal;
+use g5tree::tree::Tree;
+use grape5::DeviceSession;
+use treegrape::backends::{ForceBackend, ForceSet};
+use treegrape::perf::PhaseTimers;
+use treegrape::{TreeGrape, TreeGrapeConfig};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 65_536);
+    let mode: String = args.get("mode", "overlapped".to_string());
+    let workers: usize = args.get("workers", 2);
+    let depth: usize = args.get("depth", 4);
+    let n_crit: usize = args.get("ncrit", 2000);
+    let theta: f64 = args.get("theta", 0.75);
+    let eps = 0.01;
+
+    println!("pipeline experiment: N = {n}, mode = {mode}, theta = {theta}, n_crit = {n_crit}");
+    let snap = plummer(n, 77);
+
+    let cfg = TreeGrapeConfig { theta, n_crit, ..TreeGrapeConfig::paper(eps) };
+    let fs = match mode.as_str() {
+        "materialized" => materialized_eval(&snap.pos, &snap.mass, &cfg),
+        "serial" => {
+            let mut b = TreeGrape::new(TreeGrapeConfig { plan: PlanConfig::serial(), ..cfg });
+            b.compute(&snap.pos, &snap.mass)
+        }
+        "overlapped" => {
+            let mut b = TreeGrape::new(TreeGrapeConfig {
+                plan: PlanConfig::overlapped(workers, depth),
+                ..cfg
+            });
+            b.compute(&snap.pos, &snap.mass)
+        }
+        other => panic!("unknown --mode {other:?} (materialized|serial|overlapped)"),
+    };
+
+    let t = fs.timers;
+    println!();
+    rule(60);
+    println!("{:<40} {:>16}", "tree build + group finding", fmt_secs(t.build_s));
+    println!("{:<40} {:>16}", "list production (CPU)", fmt_secs(t.traverse_s));
+    println!("{:<40} {:>16}", "device calls", fmt_secs(t.device_s));
+    println!("{:<40} {:>16}", "force wall-clock", fmt_secs(t.force_wall_s));
+    println!("{:<40} {:>16}", "wall saved by overlap", fmt_secs(t.overlap_saved_s()));
+    rule(60);
+    println!("{:<40} {:>16}", "interactions", fmt_count(fs.tally.interactions));
+    println!("{:<40} {:>16}", "list terms (host)", fmt_count(fs.tally.terms));
+    println!("{:<40} {:>16}", "lists", fmt_count(fs.tally.lists));
+    if let Some(kib) = peak_rss_kib() {
+        println!("{:<40} {:>13} kB", "peak RSS (VmHWM)", fmt_count(kib));
+    }
+    rule(60);
+}
+
+/// The pre-pipeline evaluation strategy: resolve all group lists first,
+/// then drive the device — reproduced here only to measure what the
+/// streaming pipeline saves.
+fn materialized_eval(pos: &[g5util::vec3::Vec3], mass: &[f64], cfg: &TreeGrapeConfig) -> ForceSet {
+    let t_all = std::time::Instant::now();
+    let tree = Tree::build_with(pos, mass, cfg.tree_config);
+    let tr = Traversal::new(cfg.theta);
+    let groups = tr.find_groups(&tree, cfg.n_crit);
+    let build_s = t_all.elapsed().as_secs_f64();
+
+    // resolve everything up front (serial scheduling, but *retained*)
+    let mut all: Vec<GroupWork> = Vec::with_capacity(groups.len());
+    let stats = plan::stream(&tree, &tr, &groups, &PlanConfig::serial(), |w| all.push(w));
+
+    let mut g5 = grape5::Grape5::open(cfg.grape);
+    let mut session = DeviceSession::open(&mut g5, pos, cfg.eps);
+    let mut acc = vec![g5util::vec3::Vec3::ZERO; pos.len()];
+    let mut pot = vec![0.0; pos.len()];
+    let mut device_s = 0.0;
+    for w in &all {
+        let t = std::time::Instant::now();
+        let forces = session.force_for(&w.jpos, &w.jmass, &w.xi);
+        device_s += t.elapsed().as_secs_f64();
+        for (i, f) in w.targets.iter().zip(forces) {
+            acc[*i] = f.acc;
+            pot[*i] = f.pot;
+        }
+    }
+    ForceSet {
+        acc,
+        pot,
+        tally: stats.tally,
+        timers: PhaseTimers {
+            build_s,
+            traverse_s: stats.produce_s,
+            device_s,
+            force_wall_s: t_all.elapsed().as_secs_f64(),
+            step_wall_s: 0.0,
+        },
+    }
+}
+
+/// Peak resident set size of this process in kB, from
+/// `/proc/self/status` (Linux only).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

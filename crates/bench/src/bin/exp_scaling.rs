@@ -62,7 +62,9 @@ fn main() {
         let ln = (n1 as f64 / n0 as f64).ln();
         let exp_direct = (d1 as f64 / d0 as f64).ln() / ln;
         let exp_tree = (t1 as f64 / t0 as f64).ln() / ln;
-        println!("interaction-count growth exponents: direct N^{exp_direct:.2}, tree N^{exp_tree:.2}");
+        println!(
+            "interaction-count growth exponents: direct N^{exp_direct:.2}, tree N^{exp_tree:.2}"
+        );
         println!("(expected: direct exactly 2; tree slightly above 1 from the log N list growth)");
     }
 }

@@ -15,8 +15,8 @@ use g5_bench::{cdm, fmt_secs, Args};
 use g5tree::traverse::Traversal;
 use g5tree::tree::Tree;
 use treegrape::clustering::{two_point_correlation, CorrelationConfig};
-use treegrape::halos::{friends_of_friends, FofConfig};
 use treegrape::diagnostics::lagrangian_radii;
+use treegrape::halos::{friends_of_friends, FofConfig};
 use treegrape::render::{project_slab, SlabSpec};
 use treegrape::{Simulation, TreeGrape, TreeGrapeConfig};
 
@@ -42,7 +42,10 @@ fn main() {
     let mut sim = Simulation::new(ic.snapshot, TreeGrape::new(cfg), t_init);
     let fractions = [0.1, 0.5, 0.9];
     println!();
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}", "step", "z(t)", "r10%", "r50%", "r90%", "energy");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "step", "z(t)", "r10%", "r50%", "r90%", "energy"
+    );
     for chunk in 0..10usize {
         let r = lagrangian_radii(&sim.state, &fractions);
         let z = redshift_of(sim.time, &ic.units);
@@ -86,12 +89,8 @@ fn main() {
 
     // for the terminal view use a thicker slab: at laptop-scale N the
     // paper's 2.5 Mpc depth selects too few particles to see structure
-    let small = SlabSpec {
-        center: com,
-        pixels: ascii_px,
-        half_depth: 0.15,
-        ..SlabSpec::figure4(ascii_px)
-    };
+    let small =
+        SlabSpec { center: com, pixels: ascii_px, half_depth: 0.15, ..SlabSpec::figure4(ascii_px) };
     let art = project_slab(&sim.state.pos, &small);
     println!(
         "terminal rendering ({}x{} bins, 15 Mpc-deep slab, log surface density):",
@@ -137,13 +136,7 @@ fn main() {
     println!("friends-of-friends halos (b = 0.2, >= 32 members): {}", halos.len());
     println!("{:>6} {:>10} {:>12} {:>12}", "rank", "members", "mass frac", "rms radius");
     for (k, h) in halos.iter().take(8).enumerate() {
-        println!(
-            "{:>6} {:>10} {:>12.4} {:>12.4}",
-            k + 1,
-            h.members.len(),
-            h.mass,
-            h.rms_radius
-        );
+        println!("{:>6} {:>10} {:>12.4} {:>12.4}", k + 1, h.members.len(), h.mass, h.rms_radius);
     }
     let in_halos: usize = halos.iter().map(|h| h.members.len()).sum();
     println!(

@@ -12,14 +12,16 @@
 //! | [`TreeHost`] | tree (modified or original) | `f64` | algorithm-error reference |
 //! | [`TreeGrape`] | modified tree | GRAPE-5 | **the paper's system** |
 
+use crate::perf::PhaseTimers;
 use g5tree::eval::{self, PointForce};
+use g5tree::plan::{self, PlanConfig};
 use g5tree::traverse::Traversal;
 use g5tree::tree::{Tree, TreeConfig};
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
-use grape5::{ClockAccounting, Grape5, Grape5Config};
-use rayon::prelude::*;
+use grape5::{ClockAccounting, DeviceSession, Grape5, Grape5Config};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Per-particle output of one force computation.
 #[derive(Debug, Clone, Default)]
@@ -30,11 +32,18 @@ pub struct ForceSet {
     pub pot: Vec<f64>,
     /// Pairwise-interaction statistics of this evaluation.
     pub tally: InteractionTally,
+    /// Measured wall-clock split of this evaluation.
+    pub timers: PhaseTimers,
 }
 
 impl ForceSet {
     fn zeros(n: usize) -> ForceSet {
-        ForceSet { acc: vec![Vec3::ZERO; n], pot: vec![0.0; n], tally: InteractionTally::default() }
+        ForceSet {
+            acc: vec![Vec3::ZERO; n],
+            pot: vec![0.0; n],
+            tally: InteractionTally::default(),
+            timers: PhaseTimers::default(),
+        }
     }
 
     fn from_point_forces(f: Vec<PointForce>, tally: InteractionTally) -> ForceSet {
@@ -42,6 +51,7 @@ impl ForceSet {
             acc: f.iter().map(|p| p.acc).collect(),
             pot: f.iter().map(|p| p.pot).collect(),
             tally,
+            timers: PhaseTimers::default(),
         }
     }
 }
@@ -82,10 +92,13 @@ impl DirectHost {
 
 impl ForceBackend for DirectHost {
     fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        let t = Instant::now();
         let f = eval::direct_forces(pos, mass, self.eps);
         let n = pos.len() as u64;
         let tally = InteractionTally { interactions: n * n, terms: n * n, lists: n };
-        ForceSet::from_point_forces(f, tally)
+        let mut out = ForceSet::from_point_forces(f, tally);
+        out.timers.force_wall_s = t.elapsed().as_secs_f64();
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -126,31 +139,27 @@ impl DirectGrape {
 impl ForceBackend for DirectGrape {
     fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
-        let (lo, hi) = bounding_window(pos);
-        self.g5.set_range(lo, hi);
-        self.g5.set_eps(self.eps);
+        let t_all = Instant::now();
+        let mut session = DeviceSession::open(&mut self.g5, pos, self.eps);
 
         let n = pos.len();
         let mut out = ForceSet::zeros(n);
-        // j fits memory: load once, stream i chunks; otherwise chunk j too.
-        if n <= self.g5.jmem_capacity() {
-            self.g5.set_j_particles(pos, mass);
-            for start in (0..n).step_by(self.i_chunk) {
-                let end = (start + self.i_chunk).min(n);
-                let forces = self.g5.force_on(&pos[start..end]);
-                for (k, f) in forces.into_iter().enumerate() {
-                    out.acc[start + k] = f.acc;
-                    out.pot[start + k] = f.pot;
-                }
-            }
-        } else {
-            for start in (0..n).step_by(self.i_chunk) {
-                let end = (start + self.i_chunk).min(n);
-                let forces = self.g5.force_on_chunked(pos, mass, &pos[start..end]);
-                for (k, f) in forces.into_iter().enumerate() {
-                    out.acc[start + k] = f.acc;
-                    out.pot[start + k] = f.pot;
-                }
+        // j fits memory: load once, stream i chunks; otherwise the
+        // session chunks j through memory per i-chunk.
+        let resident = n <= session.jmem_capacity();
+        if resident {
+            session.load_j(pos, mass);
+        }
+        for start in (0..n).step_by(self.i_chunk) {
+            let end = (start + self.i_chunk).min(n);
+            let forces = if resident {
+                session.force_on(&pos[start..end])
+            } else {
+                session.force_for(pos, mass, &pos[start..end])
+            };
+            for (k, f) in forces.into_iter().enumerate() {
+                out.acc[start + k] = f.acc;
+                out.pot[start + k] = f.pot;
             }
         }
         out.tally = InteractionTally {
@@ -158,6 +167,8 @@ impl ForceBackend for DirectGrape {
             terms: (n as u64) * (n as u64),
             lists: n as u64,
         };
+        out.timers.device_s = t_all.elapsed().as_secs_f64();
+        out.timers.force_wall_s = out.timers.device_s;
         out
     }
 
@@ -201,20 +212,34 @@ pub struct TreeHost {
 impl TreeHost {
     /// Modified-algorithm host treecode (the paper's default host path).
     pub fn modified(theta: f64, n_crit: usize, eps: f64) -> Self {
-        TreeHost { theta, n_crit, eps, algorithm: TreeAlgorithm::Modified, tree_config: TreeConfig::default() }
+        TreeHost {
+            theta,
+            n_crit,
+            eps,
+            algorithm: TreeAlgorithm::Modified,
+            tree_config: TreeConfig::default(),
+        }
     }
 
     /// Original-algorithm host treecode.
     pub fn original(theta: f64, eps: f64) -> Self {
-        TreeHost { theta, n_crit: 1, eps, algorithm: TreeAlgorithm::Original, tree_config: TreeConfig::default() }
+        TreeHost {
+            theta,
+            n_crit: 1,
+            eps,
+            algorithm: TreeAlgorithm::Original,
+            tree_config: TreeConfig::default(),
+        }
     }
 }
 
 impl ForceBackend for TreeHost {
     fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        let t_all = Instant::now();
         let tree = Tree::build_with(pos, mass, self.tree_config);
+        let build_s = t_all.elapsed().as_secs_f64();
         let tr = Traversal::new(self.theta);
-        match self.algorithm {
+        let mut out = match self.algorithm {
             TreeAlgorithm::Original => {
                 let f = eval::tree_forces_original(&tree, self.theta, self.eps);
                 let tally = tr.original_tally(&tree);
@@ -225,7 +250,13 @@ impl ForceBackend for TreeHost {
                 let tally = tr.modified_tally(&tree, self.n_crit);
                 ForceSet::from_point_forces(f, tally)
             }
-        }
+        };
+        out.timers.build_s = build_s;
+        out.timers.force_wall_s = t_all.elapsed().as_secs_f64();
+        // walk + f64 evaluation are fused on the host: everything past
+        // the build is "traverse"
+        out.timers.traverse_s = out.timers.force_wall_s - build_s;
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -253,6 +284,8 @@ pub struct TreeGrapeConfig {
     pub grape: Grape5Config,
     /// Octree build parameters.
     pub tree_config: TreeConfig,
+    /// Streaming-pipeline scheduling (workers and channel depth).
+    pub plan: PlanConfig,
 }
 
 impl TreeGrapeConfig {
@@ -266,6 +299,7 @@ impl TreeGrapeConfig {
             eps,
             grape: Grape5Config::paper_exact(),
             tree_config: TreeConfig::default(),
+            plan: PlanConfig::default(),
         }
     }
 }
@@ -274,9 +308,13 @@ impl TreeGrapeConfig {
 /// system the paper benchmarks.
 ///
 /// Per step: build the octree on the host, partition into groups of
-/// ≤ n_crit particles, walk the tree once per group to produce the
-/// shared interaction list, load the list into GRAPE j-memory, and let
-/// the pipelines evaluate all `members × list_len` pairwise terms.
+/// ≤ n_crit particles, then *stream* the per-group shared interaction
+/// lists from plan workers through a bounded channel into the device
+/// ([`g5tree::plan`]): while GRAPE evaluates the `members × list_len`
+/// pairwise terms of one group, worker threads are already walking the
+/// tree for the next ones. `cfg.plan` selects the scheduling;
+/// [`PlanConfig::serial`] is the in-order single-thread reference,
+/// bit-identical in exact arithmetic.
 pub struct TreeGrape {
     /// Operating parameters.
     pub cfg: TreeGrapeConfig,
@@ -305,55 +343,38 @@ impl TreeGrape {
 impl ForceBackend for TreeGrape {
     fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        let t_all = Instant::now();
         let tree = Tree::build_with(pos, mass, self.cfg.tree_config);
         let tr = Traversal::new(self.cfg.theta);
         let groups = tr.find_groups(&tree, self.cfg.n_crit);
+        let build_s = t_all.elapsed().as_secs_f64();
 
-        let (lo, hi) = bounding_window(pos);
-        self.g5.set_range(lo, hi);
-        self.g5.set_eps(self.cfg.eps);
-
+        let mut session = DeviceSession::open(&mut self.g5, pos, self.cfg.eps);
         let mut out = ForceSet::zeros(pos.len());
-        let mut tally = InteractionTally::default();
+        let mut device_s = 0.0;
 
-        // Resolve all lists in parallel on the host (that is the paper's
-        // host-side tree-traverse phase), then stream them through the
-        // device serially (one physical GRAPE).
-        let resolved: Vec<(Vec<Vec3>, Vec<f64>, Vec<usize>, Vec<Vec3>)> = groups
-            .par_iter()
-            .map_init(Vec::new, |list, &g| {
-                tr.modified_list(&tree, g, list);
-                let mut jpos = Vec::with_capacity(list.len());
-                let mut jmass = Vec::with_capacity(list.len());
-                for &term in list.iter() {
-                    let (p, m) = term.resolve(&tree);
-                    jpos.push(p);
-                    jmass.push(m);
-                }
-                let node = &tree.nodes()[g.node as usize];
-                let targets: Vec<usize> =
-                    node.range().map(|k| tree.original_index(k)).collect();
-                let xi: Vec<Vec3> = node.range().map(|k| tree.pos()[k]).collect();
-                (jpos, jmass, targets, xi)
-            })
-            .collect();
-
-        for (jpos, jmass, targets, xi) in resolved {
-            let forces = if jpos.len() <= self.g5.jmem_capacity() {
-                self.g5.set_j_particles(&jpos, &jmass);
-                self.g5.force_on(&xi)
-            } else {
-                self.g5.force_on_chunked(&jpos, &jmass, &xi)
-            };
-            tally.interactions += jpos.len() as u64 * targets.len() as u64;
-            tally.terms += jpos.len() as u64;
-            tally.lists += 1;
-            for (t, f) in targets.iter().zip(forces) {
-                out.acc[*t] = f.acc;
-                out.pot[*t] = f.pot;
+        // Stream resolved group lists from the plan workers straight
+        // into the device: traversal of group k+1 overlaps GRAPE
+        // execution of group k, and only `channel_depth` resolved lists
+        // ever exist at once. Arrival order is immaterial — each group
+        // writes its own disjoint targets (see `g5tree::plan`).
+        let stats = plan::stream(&tree, &tr, &groups, &self.cfg.plan, |work| {
+            let t = Instant::now();
+            let forces = session.force_for(&work.jpos, &work.jmass, &work.xi);
+            device_s += t.elapsed().as_secs_f64();
+            for (t_idx, f) in work.targets.iter().zip(forces) {
+                out.acc[*t_idx] = f.acc;
+                out.pot[*t_idx] = f.pot;
             }
-        }
-        out.tally = tally;
+        });
+        out.tally = stats.tally;
+        out.timers = PhaseTimers {
+            build_s,
+            traverse_s: stats.produce_s,
+            device_s,
+            force_wall_s: t_all.elapsed().as_secs_f64(),
+            step_wall_s: 0.0,
+        };
         out
     }
 
@@ -364,17 +385,6 @@ impl ForceBackend for TreeGrape {
     fn grape_accounting(&self) -> Option<ClockAccounting> {
         Some(self.g5.accounting())
     }
-}
-
-/// A padded scalar window covering every coordinate — what the host
-/// library passes to `g5_set_range` each step as the system evolves.
-fn bounding_window(pos: &[Vec3]) -> (f64, f64) {
-    let (lo, hi) = pos
-        .par_iter()
-        .map(|p| (p.min_component(), p.max_component()))
-        .reduce(|| (f64::INFINITY, f64::NEG_INFINITY), |a, b| (a.0.min(b.0), a.1.max(b.1)));
-    let pad = ((hi - lo) * 0.01).max(1e-12);
-    (lo - pad, hi + pad)
 }
 
 #[cfg(test)]
@@ -454,6 +464,7 @@ mod tests {
             eps: 0.02,
             grape: Grape5Config::paper_exact(),
             tree_config: TreeConfig::default(),
+            plan: PlanConfig::default(),
         };
         let mut tg = TreeGrape::new(cfg);
         let fh = th.compute(&pos, &mass);
@@ -467,16 +478,43 @@ mod tests {
     #[test]
     fn tree_grape_accounting_populated() {
         let (pos, mass) = plummer(500, 6);
-        let mut tg = TreeGrape::new(TreeGrapeConfig {
-            n_crit: 64,
-            ..TreeGrapeConfig::paper(0.01)
-        });
+        let mut tg = TreeGrape::new(TreeGrapeConfig { n_crit: 64, ..TreeGrapeConfig::paper(0.01) });
         let fs = tg.compute(&pos, &mass);
         let acc = tg.accounting();
         assert_eq!(acc.interactions, fs.tally.interactions);
         assert!(acc.pipeline_cycles > 0);
         assert!(acc.iface_words > 0);
         assert_eq!(acc.calls, fs.tally.lists);
+    }
+
+    #[test]
+    fn streamed_pipeline_bit_identical_to_serial_plan() {
+        let (pos, mass) = plummer(1200, 7);
+        let base = TreeGrapeConfig { n_crit: 80, ..TreeGrapeConfig::paper(0.01) };
+        let mut serial = TreeGrape::new(TreeGrapeConfig { plan: PlanConfig::serial(), ..base });
+        let fs = serial.compute(&pos, &mass);
+        for (workers, depth) in [(1, 1), (2, 2), (4, 8)] {
+            let mut streamed = TreeGrape::new(TreeGrapeConfig {
+                plan: PlanConfig::overlapped(workers, depth),
+                ..base
+            });
+            let fo = streamed.compute(&pos, &mass);
+            assert_eq!(fs.acc, fo.acc, "workers {workers} depth {depth}");
+            assert_eq!(fs.pot, fo.pot, "workers {workers} depth {depth}");
+            assert_eq!(fs.tally, fo.tally, "workers {workers} depth {depth}");
+        }
+    }
+
+    #[test]
+    fn tree_grape_fills_phase_timers() {
+        let (pos, mass) = plummer(800, 8);
+        let mut tg = TreeGrape::new(TreeGrapeConfig { n_crit: 64, ..TreeGrapeConfig::paper(0.01) });
+        let fs = tg.compute(&pos, &mass);
+        let t = fs.timers;
+        assert!(t.build_s > 0.0, "build not timed");
+        assert!(t.traverse_s > 0.0, "traverse not timed");
+        assert!(t.device_s > 0.0, "device not timed");
+        assert!(t.force_wall_s >= t.build_s, "wall smaller than build");
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub struct CorrBin {
 /// `P(s) = (s/R)³ − (9/16)(s/R)⁴ + (1/32)(s/R)⁶`, clamped at 1 for
 /// `s ≥ 2R`.
 fn uniform_ball_pair_cdf(s: f64, r_ball: f64) -> f64 {
-    let x = (s / r_ball).min(2.0).max(0.0);
+    let x = (s / r_ball).clamp(0.0, 2.0);
     (x.powi(3) - 9.0 / 16.0 * x.powi(4) + x.powi(6) / 32.0).min(1.0)
 }
 
@@ -92,13 +92,9 @@ pub fn two_point_correlation(pos: &[Vec3], cfg: &CorrelationConfig) -> Vec<CorrB
             let lo = (log_min + b as f64 * log_step).exp();
             let hi = (log_min + (b as f64 + 1.0) * log_step).exp();
             let r = (lo * hi).sqrt();
-            let rr_expected = n_pairs
-                * (uniform_ball_pair_cdf(hi, radius) - uniform_ball_pair_cdf(lo, radius));
-            let xi = if rr_expected <= 0.0 {
-                f64::NAN
-            } else {
-                dd[b] as f64 / rr_expected - 1.0
-            };
+            let rr_expected =
+                n_pairs * (uniform_ball_pair_cdf(hi, radius) - uniform_ball_pair_cdf(lo, radius));
+            let xi = if rr_expected <= 0.0 { f64::NAN } else { dd[b] as f64 / rr_expected - 1.0 };
             CorrBin { r, xi, dd: dd[b], rr_expected }
         })
         .collect()
@@ -199,13 +195,8 @@ mod tests {
     fn subsampling_keeps_estimate_usable() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
         let s = plummer_sphere(8000, &mut rng);
-        let cfg = CorrelationConfig {
-            r_min: 0.05,
-            r_max: 1.0,
-            bins: 6,
-            max_particles: 1000,
-            seed: 9,
-        };
+        let cfg =
+            CorrelationConfig { r_min: 0.05, r_max: 1.0, bins: 6, max_particles: 1000, seed: 9 };
         let xi = two_point_correlation(&s.pos, &cfg);
         assert_eq!(xi.len(), 6);
         assert!(xi[0].xi > 1.0);

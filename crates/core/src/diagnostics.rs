@@ -28,16 +28,9 @@ impl Diagnostics {
     /// Measure a snapshot. `pot` must be the per-particle positive
     /// potentials in the same order (pass `&[]` to skip energies).
     pub fn measure(state: &Snapshot, pot: &[f64]) -> Diagnostics {
-        assert!(
-            pot.is_empty() || pot.len() == state.len(),
-            "potential array length mismatch"
-        );
-        let kinetic: f64 = state
-            .vel
-            .iter()
-            .zip(&state.mass)
-            .map(|(v, &m)| 0.5 * m * v.norm2())
-            .sum();
+        assert!(pot.is_empty() || pot.len() == state.len(), "potential array length mismatch");
+        let kinetic: f64 =
+            state.vel.iter().zip(&state.mass).map(|(v, &m)| 0.5 * m * v.norm2()).sum();
         let potential: f64 = if pot.is_empty() {
             0.0
         } else {
@@ -67,12 +60,8 @@ impl Diagnostics {
 pub fn lagrangian_radii(state: &Snapshot, fractions: &[f64]) -> Vec<f64> {
     assert!(!state.is_empty(), "empty snapshot");
     let com = state.center_of_mass();
-    let mut rm: Vec<(f64, f64)> = state
-        .pos
-        .iter()
-        .zip(&state.mass)
-        .map(|(&p, &m)| ((p - com).norm(), m))
-        .collect();
+    let mut rm: Vec<(f64, f64)> =
+        state.pos.iter().zip(&state.mass).map(|(&p, &m)| ((p - com).norm(), m)).collect();
     rm.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let total: f64 = state.total_mass();
     let mut out = Vec::with_capacity(fractions.len());

@@ -102,11 +102,8 @@ pub fn friends_of_friends(pos: &[Vec3], mass: &[f64], cfg: &FofConfig) -> Vec<Ha
         .into_iter()
         .map(|members| {
             let m: f64 = members.iter().map(|&i| mass[i as usize]).sum();
-            let center = members
-                .iter()
-                .map(|&i| pos[i as usize] * mass[i as usize])
-                .sum::<Vec3>()
-                / m;
+            let center =
+                members.iter().map(|&i| pos[i as usize] * mass[i as usize]).sum::<Vec3>() / m;
             let rms2: f64 = members
                 .iter()
                 .map(|&i| mass[i as usize] * pos[i as usize].dist2(center))
@@ -157,8 +154,7 @@ mod tests {
             ));
         }
         let mass = vec![1.0; pos.len()];
-        let halos =
-            friends_of_friends(&pos, &mass, &FofConfig { linking_b: 0.2, min_members: 20 });
+        let halos = friends_of_friends(&pos, &mass, &FofConfig { linking_b: 0.2, min_members: 20 });
         assert_eq!(halos.len(), 2, "expected the two planted clumps");
         assert_eq!(halos[0].members.len(), 200);
         assert_eq!(halos[1].members.len(), 150);
@@ -181,8 +177,7 @@ mod tests {
             })
             .collect();
         let mass = vec![1.0; pos.len()];
-        let halos =
-            friends_of_friends(&pos, &mass, &FofConfig { linking_b: 0.2, min_members: 30 });
+        let halos = friends_of_friends(&pos, &mass, &FofConfig { linking_b: 0.2, min_members: 30 });
         // at b = 0.2 a Poisson cloud percolates essentially nowhere
         let largest = halos.first().map(|h| h.members.len()).unwrap_or(0);
         assert!(largest < 60, "uniform cloud produced a {largest}-member halo");

@@ -7,9 +7,11 @@
 //! force approximation, which is what the accuracy experiments measure.
 
 use crate::backends::{ForceBackend, ForceSet};
+use crate::perf::PhaseTimers;
 use g5ic::Snapshot;
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
+use std::time::Instant;
 
 /// A running N-body simulation binding a snapshot to a force backend.
 pub struct Simulation<B: ForceBackend> {
@@ -23,6 +25,7 @@ pub struct Simulation<B: ForceBackend> {
     acc: Vec<Vec3>,
     pot: Vec<f64>,
     tally: InteractionTally,
+    timers: PhaseTimers,
 }
 
 impl<B: ForceBackend> Simulation<B> {
@@ -37,21 +40,27 @@ impl<B: ForceBackend> Simulation<B> {
             acc: Vec::new(),
             pot: Vec::new(),
             tally: InteractionTally::default(),
+            timers: PhaseTimers::default(),
         };
-        sim.refresh_forces();
+        let t = Instant::now();
+        let mut ft = sim.refresh_forces();
+        ft.step_wall_s = t.elapsed().as_secs_f64();
+        sim.timers.accumulate(&ft);
         sim
     }
 
-    fn refresh_forces(&mut self) {
+    fn refresh_forces(&mut self) -> PhaseTimers {
         let fs: ForceSet = self.backend.compute(&self.state.pos, &self.state.mass);
         self.tally = self.tally.merged(fs.tally);
         self.acc = fs.acc;
         self.pot = fs.pot;
+        fs.timers
     }
 
     /// Advance one kick–drift–kick step of size `dt`.
     pub fn step(&mut self, dt: f64) {
         assert!(dt > 0.0, "non-positive timestep");
+        let t = Instant::now();
         let half = 0.5 * dt;
         for (v, a) in self.state.vel.iter_mut().zip(&self.acc) {
             *v += *a * half;
@@ -59,12 +68,14 @@ impl<B: ForceBackend> Simulation<B> {
         for (p, v) in self.state.pos.iter_mut().zip(&self.state.vel) {
             *p += *v * dt;
         }
-        self.refresh_forces();
+        let mut ft = self.refresh_forces();
         for (v, a) in self.state.vel.iter_mut().zip(&self.acc) {
             *v += *a * half;
         }
         self.time += dt;
         self.steps += 1;
+        ft.step_wall_s = t.elapsed().as_secs_f64();
+        self.timers.accumulate(&ft);
     }
 
     /// Advance `n` equal steps.
@@ -102,6 +113,12 @@ impl<B: ForceBackend> Simulation<B> {
     /// (including the initialization evaluation).
     pub fn tally(&self) -> InteractionTally {
         self.tally
+    }
+
+    /// Cumulative measured per-phase wall-clock over all force
+    /// evaluations (including the initialization evaluation).
+    pub fn phase_timers(&self) -> PhaseTimers {
+        self.timers
     }
 
     /// The backend, e.g. for hardware accounting.

@@ -41,5 +41,6 @@ pub use backends::{
     DirectGrape, DirectHost, ForceBackend, ForceSet, TreeGrape, TreeGrapeConfig, TreeHost,
 };
 pub use diagnostics::Diagnostics;
+pub use g5tree::plan::PlanConfig;
 pub use integrator::Simulation;
-pub use perf::{HostModel, PaperProjection, StepBreakdown};
+pub use perf::{HostModel, PaperProjection, PhaseTimers, StepBreakdown};

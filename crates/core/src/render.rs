@@ -136,18 +136,13 @@ mod tests {
     #[test]
     fn selection_respects_slab_bounds() {
         let pos = vec![
-            Vec3::new(0.0, 0.0, 0.0),    // in
-            Vec3::new(0.0, 0.0, 0.5),    // out: too deep
-            Vec3::new(0.9, 0.0, 0.0),    // out: beyond width
-            Vec3::new(-0.3, 0.3, 0.01),  // in
+            Vec3::new(0.0, 0.0, 0.0),   // in
+            Vec3::new(0.0, 0.0, 0.5),   // out: too deep
+            Vec3::new(0.9, 0.0, 0.0),   // out: beyond width
+            Vec3::new(-0.3, 0.3, 0.01), // in
         ];
-        let spec = SlabSpec {
-            center: Vec3::ZERO,
-            half_width: 0.5,
-            half_depth: 0.05,
-            axis: 2,
-            pixels: 10,
-        };
+        let spec =
+            SlabSpec { center: Vec3::ZERO, half_width: 0.5, half_depth: 0.05, axis: 2, pixels: 10 };
         let map = project_slab(&pos, &spec);
         assert_eq!(map.selected, 2);
         assert_eq!(map.counts.iter().sum::<u32>(), 2);
@@ -155,13 +150,8 @@ mod tests {
 
     #[test]
     fn central_particle_lands_in_central_pixel() {
-        let spec = SlabSpec {
-            center: Vec3::ZERO,
-            half_width: 1.0,
-            half_depth: 1.0,
-            axis: 2,
-            pixels: 9,
-        };
+        let spec =
+            SlabSpec { center: Vec3::ZERO, half_width: 1.0, half_depth: 1.0, axis: 2, pixels: 9 };
         let map = project_slab(&[Vec3::ZERO], &spec);
         assert_eq!(map.counts[4 * 9 + 4], 1);
     }
@@ -174,18 +164,13 @@ mod tests {
             SlabSpec { center: Vec3::ZERO, half_width: 1.0, half_depth: 0.05, axis: 0, pixels: 3 };
         let map = project_slab(&p, &spec);
         assert_eq!(map.selected, 1);
-        assert_eq!(map.counts[1 * 3 + 1], 1); // central pixel of (y,z)
+        assert_eq!(map.counts[4], 1); // central pixel (row 1, col 1) of (y,z)
     }
 
     #[test]
     fn pgm_header_and_size() {
-        let spec = SlabSpec {
-            center: Vec3::ZERO,
-            half_width: 1.0,
-            half_depth: 1.0,
-            axis: 2,
-            pixels: 16,
-        };
+        let spec =
+            SlabSpec { center: Vec3::ZERO, half_width: 1.0, half_depth: 1.0, axis: 2, pixels: 16 };
         let map = project_slab(&[Vec3::ZERO], &spec);
         let pgm = map.to_pgm();
         assert!(pgm.starts_with(b"P5\n16 16\n255\n"));
@@ -194,13 +179,8 @@ mod tests {
 
     #[test]
     fn ascii_renders_one_row_per_pixel_row() {
-        let spec = SlabSpec {
-            center: Vec3::ZERO,
-            half_width: 1.0,
-            half_depth: 1.0,
-            axis: 2,
-            pixels: 5,
-        };
+        let spec =
+            SlabSpec { center: Vec3::ZERO, half_width: 1.0, half_depth: 1.0, axis: 2, pixels: 5 };
         let map = project_slab(&[Vec3::ZERO, Vec3::new(0.5, 0.5, 0.0)], &spec);
         let art = map.ascii();
         assert_eq!(art.lines().count(), 5);
@@ -219,13 +199,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate slab")]
     fn degenerate_slab_rejected() {
-        let spec = SlabSpec {
-            center: Vec3::ZERO,
-            half_width: 0.0,
-            half_depth: 1.0,
-            axis: 2,
-            pixels: 4,
-        };
+        let spec =
+            SlabSpec { center: Vec3::ZERO, half_width: 0.0, half_depth: 1.0, axis: 2, pixels: 4 };
         project_slab(&[], &spec);
     }
 }

@@ -195,8 +195,7 @@ mod tests {
         let q = pipe.quantum();
         let raws = [[1_000_000i64, 0, 0], [0, 2_000_000, 0], [-500_000, -500_000, 777]];
         let masses = [1.0, 2.5, 0.5];
-        let words: Vec<JWord> =
-            raws.iter().zip(&masses).map(|(&r, &m)| jw(&pipe, r, m)).collect();
+        let words: Vec<JWord> = raws.iter().zip(&masses).map(|(&r, &m)| jw(&pipe, r, m)).collect();
         board.load_j(&words);
         let xi = [[10_000i64, 20_000, -30_000]];
         let out = board.compute(&pipe, &xi, 1.0);
@@ -239,8 +238,11 @@ mod tests {
     #[test]
     fn accumulator_saturates_at_force_scale_range() {
         // force_scale tiny => accumulator clamps rather than wrapping
-        let cfg =
-            Grape5Config { mode: ArithMode::Exact, acc_format: FixedFormat::new(16, 8), ..Grape5Config::paper() };
+        let cfg = Grape5Config {
+            mode: ArithMode::Exact,
+            acc_format: FixedFormat::new(16, 8),
+            ..Grape5Config::paper()
+        };
         let mut board = ProcessorBoard::new(&cfg);
         let pipe = G5Pipeline::new(&cfg, 1e-3, 0.0);
         let words: Vec<JWord> = (1..50).map(|k| jw(&pipe, [k, 0, 0], 1e6)).collect();

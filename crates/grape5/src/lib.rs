@@ -39,6 +39,7 @@ pub mod config;
 pub mod cost;
 pub mod cutoff;
 pub mod pipeline;
+pub mod session;
 pub mod system;
 
 pub use clock::{ClockAccounting, ClockReport};
@@ -46,4 +47,5 @@ pub use config::{ArithMode, Grape5Config};
 pub use cost::{CostModel, PricePerformance};
 pub use cutoff::CutoffTable;
 pub use pipeline::{Force, G5Pipeline};
+pub use session::{bounding_window, DeviceSession};
 pub use system::Grape5;

@@ -171,10 +171,7 @@ impl G5Pipeline {
             None => (None, None),
             Some(t) => {
                 let r2_val = r2.to_f64();
-                (
-                    Some(c.encode(t.force_factor(r2_val))),
-                    Some(c.encode(t.pot_factor(r2_val))),
-                )
+                (Some(c.encode(t.force_factor(r2_val))), Some(c.encode(t.pot_factor(r2_val))))
             }
         };
         let mut mf = m.mul(rinv3);
@@ -186,11 +183,7 @@ impl G5Pipeline {
             mp = mp.mul(g);
         }
         Force {
-            acc: Vec3::new(
-                dx.mul(mf).to_f64(),
-                dy.mul(mf).to_f64(),
-                dz.mul(mf).to_f64(),
-            ),
+            acc: Vec3::new(dx.mul(mf).to_f64(), dy.mul(mf).to_f64(), dz.mul(mf).to_f64()),
             pot: mp.to_f64(),
         }
     }

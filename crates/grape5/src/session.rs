@@ -1,0 +1,156 @@
+//! Per-step device session: the host-library protocol around a batch of
+//! force calls.
+//!
+//! Every force computation against GRAPE-5 repeats the same preamble —
+//! declare the coordinate window (`g5_set_range`), set the softening,
+//! then stream j-sets through the board memory, chunking any set larger
+//! than the memory. [`DeviceSession`] owns that protocol for one
+//! evaluation (one simulation step), so every backend drives the device
+//! through the same code path instead of re-implementing the
+//! window/eps/chunking dance.
+//!
+//! A session borrows the device mutably for its lifetime: the range and
+//! softening it declares stay valid exactly as long as the session
+//! lives, which is the invariant the hardware requires (changing the
+//! range invalidates loaded j-particles).
+
+use crate::pipeline::Force;
+use crate::system::Grape5;
+use g5util::vec3::Vec3;
+use rayon::prelude::*;
+
+/// A padded scalar window covering every coordinate — what the host
+/// library passes to `g5_set_range` each step as the system evolves.
+pub fn bounding_window(pos: &[Vec3]) -> (f64, f64) {
+    let (lo, hi) = pos
+        .par_iter()
+        .map(|p| (p.min_component(), p.max_component()))
+        .reduce(|| (f64::INFINITY, f64::NEG_INFINITY), |a, b| (a.0.min(b.0), a.1.max(b.1)));
+    let pad = ((hi - lo) * 0.01).max(1e-12);
+    (lo - pad, hi + pad)
+}
+
+/// One step's worth of device protocol: range + softening declared
+/// once, j-memory chunking handled per force call.
+pub struct DeviceSession<'a> {
+    g5: &'a mut Grape5,
+}
+
+impl<'a> DeviceSession<'a> {
+    /// Open a session for a snapshot: declare the bounding window of
+    /// `pos` and the softening, then hand back the configured device.
+    pub fn open(g5: &'a mut Grape5, pos: &[Vec3], eps: f64) -> DeviceSession<'a> {
+        let (lo, hi) = bounding_window(pos);
+        g5.set_range(lo, hi);
+        g5.set_eps(eps);
+        DeviceSession { g5 }
+    }
+
+    /// Total j-particles the boards can hold at once.
+    pub fn jmem_capacity(&self) -> usize {
+        self.g5.jmem_capacity()
+    }
+
+    /// Load a j-set that fits the board memory, keeping it resident for
+    /// subsequent [`force_on`](Self::force_on) calls.
+    ///
+    /// # Panics
+    /// If the set exceeds [`jmem_capacity`](Self::jmem_capacity); use
+    /// [`force_for`](Self::force_for) for arbitrary sizes.
+    pub fn load_j(&mut self, jpos: &[Vec3], jmass: &[f64]) {
+        self.g5.set_j_particles(jpos, jmass);
+    }
+
+    /// Forces on `xi` from the resident j-set.
+    pub fn force_on(&mut self, xi: &[Vec3]) -> Vec<Force> {
+        self.g5.force_on(xi)
+    }
+
+    /// Forces on `xi` from an arbitrary j-set: loads it whole when it
+    /// fits the board memory, otherwise chunks it through in passes and
+    /// sums the partials on the host.
+    pub fn force_for(&mut self, jpos: &[Vec3], jmass: &[f64], xi: &[Vec3]) -> Vec<Force> {
+        if jpos.len() <= self.g5.jmem_capacity() {
+            self.g5.set_j_particles(jpos, jmass);
+            self.g5.force_on(xi)
+        } else {
+            self.g5.force_on_chunked(jpos, jmass, xi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Grape5Config;
+
+    #[test]
+    fn window_covers_and_pads() {
+        let pos = vec![Vec3::new(-1.0, 0.0, 0.5), Vec3::new(2.0, -3.0, 1.0)];
+        let (lo, hi) = bounding_window(&pos);
+        assert!(lo < -3.0 && hi > 2.0);
+        assert!((hi - lo) > 5.0);
+    }
+
+    #[test]
+    fn window_degenerate_point_still_valid() {
+        let pos = vec![Vec3::new(1.0, 1.0, 1.0)];
+        let (lo, hi) = bounding_window(&pos);
+        assert!(lo < 1.0 && hi > 1.0);
+    }
+
+    #[test]
+    fn session_matches_manual_protocol() {
+        let pos: Vec<Vec3> = (0..300)
+            .map(|k| {
+                let t = k as f64 * 0.1;
+                Vec3::new(t.sin(), (1.3 * t).cos(), 0.3 * t.sin() * t.cos())
+            })
+            .collect();
+        let mass = vec![1.0 / 300.0; 300];
+        let xi = &pos[..64];
+
+        let mut a = Grape5::open(Grape5Config::paper_exact());
+        let (lo, hi) = bounding_window(&pos);
+        a.set_range(lo, hi);
+        a.set_eps(0.01);
+        a.set_j_particles(&pos, &mass);
+        let manual = a.force_on(xi);
+
+        let mut b = Grape5::open(Grape5Config::paper_exact());
+        let mut s = DeviceSession::open(&mut b, &pos, 0.01);
+        let via_session = s.force_for(&pos, &mass, xi);
+
+        for (m, v) in manual.iter().zip(&via_session) {
+            assert_eq!(m.acc, v.acc);
+            assert_eq!(m.pot, v.pot);
+        }
+    }
+
+    #[test]
+    fn session_chunks_oversized_j_sets() {
+        let cfg = Grape5Config { jmem_capacity: 64, ..Grape5Config::paper_exact() };
+        let pos: Vec<Vec3> = (0..500)
+            .map(|k| {
+                let t = k as f64 * 0.07;
+                Vec3::new(t.cos(), (0.7 * t).sin(), (0.3 * t).cos())
+            })
+            .collect();
+        let mass = vec![2e-3; 500];
+        let xi = &pos[..32];
+
+        let mut small = Grape5::open(cfg);
+        let mut s = DeviceSession::open(&mut small, &pos, 0.02);
+        assert!(pos.len() > s.jmem_capacity());
+        let chunked = s.force_for(&pos, &mass, xi);
+
+        let mut big = Grape5::open(Grape5Config::paper_exact());
+        let mut s2 = DeviceSession::open(&mut big, &pos, 0.02);
+        let whole = s2.force_for(&pos, &mass, xi);
+
+        for (c, w) in chunked.iter().zip(&whole) {
+            assert!((c.acc - w.acc).norm() <= 1e-12 * w.acc.norm().max(1.0));
+            assert!((c.pot - w.pot).abs() <= 1e-12 * w.pot.abs().max(1.0));
+        }
+    }
+}

@@ -204,11 +204,7 @@ impl Grape5 {
         let raw: Vec<[i64; 3]> = xi
             .iter()
             .map(|p| {
-                [
-                    self.scaler.quantize(p.x),
-                    self.scaler.quantize(p.y),
-                    self.scaler.quantize(p.z),
-                ]
+                [self.scaler.quantize(p.x), self.scaler.quantize(p.y), self.scaler.quantize(p.z)]
             })
             .collect();
 
@@ -308,7 +304,7 @@ mod tests {
         let a = g5.accounting();
         assert_eq!(a.calls, 1);
         assert_eq!(a.interactions, 4); // 2 i × 2 j
-        // 2 boards, 1 j each: slowest board streams 1 j + latency
+                                       // 2 boards, 1 j each: slowest board streams 1 j + latency
         assert_eq!(a.pipeline_cycles, 1 + Grape5Config::paper().pipeline_latency_cycles);
         // words: j-load max(4,4)=4, i send 2×3, f read 2×4
         assert_eq!(a.iface_words, 4 + 6 + 8);

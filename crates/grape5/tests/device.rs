@@ -29,7 +29,13 @@ fn repeated_j_loads_replace_not_append() {
 fn force_scale_does_not_change_results_in_range() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
     let pos: Vec<Vec3> = (0..50)
-        .map(|_| Vec3::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+        })
         .collect();
     let mass = vec![0.02; 50];
     let mut a = open_exact();
@@ -50,7 +56,13 @@ fn superposition_of_j_sets() {
     // force from the union equals the sum of forces from two halves
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
     let pos: Vec<Vec3> = (0..64)
-        .map(|_| Vec3::new(rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)))
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-2.0..2.0),
+                rng.random_range(-2.0..2.0),
+                rng.random_range(-2.0..2.0),
+            )
+        })
         .collect();
     let mass = vec![0.5; 64];
     let xi = [Vec3::new(3.0, 3.0, 3.0)];
@@ -135,11 +147,7 @@ fn empty_j_set_gives_zero_forces() {
 fn single_board_half_cycles_per_call() {
     // same j-set: one board streams all nj, two boards stream nj/2
     let mk = |boards: usize| {
-        let cfg = Grape5Config {
-            boards,
-            mode: ArithMode::Exact,
-            ..Grape5Config::paper()
-        };
+        let cfg = Grape5Config { boards, mode: ArithMode::Exact, ..Grape5Config::paper() };
         let mut g5 = Grape5::open(cfg);
         g5.set_range(-2.0, 2.0);
         let pos: Vec<Vec3> = (0..100).map(|k| Vec3::new(k as f64 * 0.01, 0.1, 0.0)).collect();

@@ -50,11 +50,7 @@ impl CosmoParams {
         }
         let q = k / self.gamma;
         let l = (1.0 + 2.34 * q).ln() / (2.34 * q);
-        let poly = 1.0
-            + 3.89 * q
-            + (16.1 * q).powi(2)
-            + (5.46 * q).powi(3)
-            + (6.71 * q).powi(4);
+        let poly = 1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4);
         l * poly.powf(-0.25)
     }
 
@@ -76,11 +72,7 @@ impl CosmoParams {
             let lnk = lnk_min + s as f64 * dlnk;
             let k = lnk.exp();
             let x = k * r;
-            let w = if x < 1e-4 {
-                1.0
-            } else {
-                3.0 * (x.sin() - x * x.cos()) / (x * x * x)
-            };
+            let w = if x < 1e-4 { 1.0 } else { 3.0 * (x.sin() - x * x.cos()) / (x * x * x) };
             let integrand = k * k * k * self.power_unnormalized(k) * w * w;
             let weight = if s == 0 || s == steps { 0.5 } else { 1.0 };
             sum += weight * integrand * dlnk;

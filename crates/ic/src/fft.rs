@@ -206,24 +206,24 @@ impl Grid3 {
         // axis 1 (j)
         for i in 0..n {
             for k in 0..n {
-                for j in 0..n {
-                    line[j] = self.get(i, j, k);
+                for (j, l) in line.iter_mut().enumerate() {
+                    *l = self.get(i, j, k);
                 }
                 fft_inplace(&mut line, inverse);
-                for j in 0..n {
-                    *self.get_mut(i, j, k) = line[j];
+                for (j, l) in line.iter().enumerate() {
+                    *self.get_mut(i, j, k) = *l;
                 }
             }
         }
         // axis 0 (i)
         for j in 0..n {
             for k in 0..n {
-                for i in 0..n {
-                    line[i] = self.get(i, j, k);
+                for (i, l) in line.iter_mut().enumerate() {
+                    *l = self.get(i, j, k);
                 }
                 fft_inplace(&mut line, inverse);
-                for i in 0..n {
-                    *self.get_mut(i, j, k) = line[i];
+                for (i, l) in line.iter().enumerate() {
+                    *self.get_mut(i, j, k) = *l;
                 }
             }
         }
@@ -342,9 +342,8 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    let phase = std::f64::consts::TAU
-                        * (kx * i + ky * j + kz * k) as f64
-                        / n as f64;
+                    let phase =
+                        std::f64::consts::TAU * (kx * i + ky * j + kz * k) as f64 / n as f64;
                     *g.get_mut(i, j, k) = Cpx::cis(phase);
                 }
             }

@@ -50,11 +50,7 @@ pub fn hernquist_sphere<R: Rng + ?Sized>(n: usize, r_max: f64, rng: &mut R) -> S
         let r = (s / (1.0 - s)).min(r_max);
         pos.push(r * random_unit(rng));
         let sigma = sigma2(r).sqrt();
-        vel.push(Vec3::new(
-            sigma * gaussian(rng),
-            sigma * gaussian(rng),
-            sigma * gaussian(rng),
-        ));
+        vel.push(Vec3::new(sigma * gaussian(rng), sigma * gaussian(rng), sigma * gaussian(rng)));
     }
     let mut snap = Snapshot { pos, vel, mass: vec![m; n] };
     let com = snap.center_of_mass();
@@ -116,11 +112,13 @@ mod tests {
         // vastly exceeds the r^3-scaling of a uniform core
         let s = model(100_000, 2);
         let count = |lo: f64, hi: f64| {
-            s.pos.iter().filter(|p| {
-                let r = p.norm();
-                r >= lo && r < hi
-            })
-            .count() as f64
+            s.pos
+                .iter()
+                .filter(|p| {
+                    let r = p.norm();
+                    r >= lo && r < hi
+                })
+                .count() as f64
         };
         // M(0.1)-M(0.01) vs M(1)-M(0.1): analytic ratio
         let expect = (mass_within(0.1) - mass_within(0.01)) / (mass_within(1.0) - mass_within(0.1));

@@ -100,8 +100,7 @@ mod tests {
         // potential energy is W = −3π/32 (total energy E = −3π/64);
         // truncation at 10a shifts both slightly.
         let s = model(20_000, 3);
-        let t: f64 =
-            0.5 * s.vel.iter().zip(&s.mass).map(|(v, &m)| m * v.norm2()).sum::<f64>();
+        let t: f64 = 0.5 * s.vel.iter().zip(&s.mass).map(|(v, &m)| m * v.norm2()).sum::<f64>();
         let w_analytic = 3.0 * std::f64::consts::PI / 32.0;
         let ratio = 2.0 * t / w_analytic;
         assert!((0.85..1.15).contains(&ratio), "virial ratio {ratio}");

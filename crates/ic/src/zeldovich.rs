@@ -146,10 +146,8 @@ impl CosmologicalIc {
             (s / n3).sqrt()
         };
         let psi_rms_h = {
-            let s: f64 = psi
-                .iter()
-                .map(|g| g.data().iter().map(|c| c.re * c.re).sum::<f64>())
-                .sum();
+            let s: f64 =
+                psi.iter().map(|g| g.data().iter().map(|c| c.re * c.re).sum::<f64>()).sum();
             (s / n3).sqrt()
         };
 

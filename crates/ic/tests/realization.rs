@@ -18,8 +18,16 @@ fn realized_field_tracks_target_spectrum_shape() {
     // fresh realization's displacement divergence. Cheaper proxy: the
     // rms delta of paper cosmology must sit in the linear regime and be
     // seed-stable to ~25 %.
-    let a = CosmologicalIc::generate(&ZeldovichConfig { grid_n: 32, cosmo: CosmoParams::paper(), seed: 11 });
-    let b = CosmologicalIc::generate(&ZeldovichConfig { grid_n: 32, cosmo: CosmoParams::paper(), seed: 12 });
+    let a = CosmologicalIc::generate(&ZeldovichConfig {
+        grid_n: 32,
+        cosmo: CosmoParams::paper(),
+        seed: 11,
+    });
+    let b = CosmologicalIc::generate(&ZeldovichConfig {
+        grid_n: 32,
+        cosmo: CosmoParams::paper(),
+        seed: 12,
+    });
     assert!(a.delta_rms_init > 0.0 && b.delta_rms_init > 0.0);
     let ratio = a.delta_rms_init / b.delta_rms_init;
     assert!((0.75..1.33).contains(&ratio), "seed-to-seed rms ratio {ratio}");
@@ -44,8 +52,16 @@ fn sigma8_scales_realization_amplitude_linearly() {
 #[test]
 fn grid_refinement_increases_small_scale_power() {
     // finer grids resolve more of the CDM small-scale power: rms grows
-    let coarse = CosmologicalIc::generate(&ZeldovichConfig { grid_n: 16, cosmo: CosmoParams::paper(), seed: 14 });
-    let fine = CosmologicalIc::generate(&ZeldovichConfig { grid_n: 64, cosmo: CosmoParams::paper(), seed: 14 });
+    let coarse = CosmologicalIc::generate(&ZeldovichConfig {
+        grid_n: 16,
+        cosmo: CosmoParams::paper(),
+        seed: 14,
+    });
+    let fine = CosmologicalIc::generate(&ZeldovichConfig {
+        grid_n: 64,
+        cosmo: CosmoParams::paper(),
+        seed: 14,
+    });
     assert!(
         fine.delta_rms_init > coarse.delta_rms_init,
         "rms {} !> {}",
@@ -94,14 +110,16 @@ fn grid3_axes_are_independent() {
 fn models_have_no_duplicate_positions() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(15);
     let p = plummer_sphere(5000, &mut rng);
-    let mut sorted: Vec<_> = p.pos.iter().map(|v| (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())).collect();
+    let mut sorted: Vec<_> =
+        p.pos.iter().map(|v| (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())).collect();
     sorted.sort_unstable();
     let before = sorted.len();
     sorted.dedup();
     assert_eq!(before, sorted.len(), "duplicate Plummer positions");
 
     let u = uniform_sphere(5000, 1.0, 0.0, &mut rng);
-    let mut sorted: Vec<_> = u.pos.iter().map(|v| (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())).collect();
+    let mut sorted: Vec<_> =
+        u.pos.iter().map(|v| (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())).collect();
     sorted.sort_unstable();
     let before = sorted.len();
     sorted.dedup();
@@ -110,7 +128,11 @@ fn models_have_no_duplicate_positions() {
 
 #[test]
 fn cosmological_ic_center_of_mass_is_near_origin() {
-    let ic = CosmologicalIc::generate(&ZeldovichConfig { grid_n: 16, cosmo: CosmoParams::paper(), seed: 16 });
+    let ic = CosmologicalIc::generate(&ZeldovichConfig {
+        grid_n: 16,
+        cosmo: CosmoParams::paper(),
+        seed: 16,
+    });
     let com = ic.snapshot.center_of_mass();
     let a_i = ic.units.a(ic.cosmo.z_init);
     // COM within a few percent of the initial physical radius

@@ -27,7 +27,7 @@ impl CellList {
     pub fn build(pos: &[Vec3], box_l: f64, rcut: f64) -> CellList {
         assert!(box_l > 0.0, "non-positive box");
         assert!(rcut > 0.0 && rcut <= box_l / 2.0, "cutoff {rcut} outside (0, L/2]");
-        let nc = ((box_l / rcut).floor() as usize).max(1).min(64);
+        let nc = ((box_l / rcut).floor() as usize).clamp(1, 64);
         let mut head = vec![-1i32; nc * nc * nc];
         let mut next = vec![-1i32; pos.len()];
         for (i, p) in pos.iter().enumerate() {
@@ -62,7 +62,13 @@ impl CellList {
         let (cx, cy, cz) = (cell(p.x), cell(p.y), cell(p.z));
         // with fewer than 3 cells per dim, ±1 offsets alias: visit each
         // distinct cell once
-        let offsets: &[i64] = if nc >= 3 { &[-1, 0, 1] } else if nc == 2 { &[0, 1] } else { &[0] };
+        let offsets: &[i64] = if nc >= 3 {
+            &[-1, 0, 1]
+        } else if nc == 2 {
+            &[0, 1]
+        } else {
+            &[0]
+        };
         for &dx in offsets {
             for &dy in offsets {
                 for &dz in offsets {

@@ -45,8 +45,7 @@ impl EwaldSum {
                     }
                     let k = Vec3::new(kf * nx as f64, kf * ny as f64, kf * nz as f64);
                     let k2 = k.norm2();
-                    let coef = 4.0 * std::f64::consts::PI
-                        * (-k2 / (4.0 * alpha * alpha)).exp()
+                    let coef = 4.0 * std::f64::consts::PI * (-k2 / (4.0 * alpha * alpha)).exp()
                         / (k2 * volume);
                     kvecs.push((k, coef));
                 }
@@ -110,18 +109,12 @@ mod tests {
         // separation << box: periodic corrections are tiny
         let box_l = 20.0;
         let d = 0.5;
-        let pos = vec![
-            Vec3::new(10.0 - d / 2.0, 10.0, 10.0),
-            Vec3::new(10.0 + d / 2.0, 10.0, 10.0),
-        ];
+        let pos =
+            vec![Vec3::new(10.0 - d / 2.0, 10.0, 10.0), Vec3::new(10.0 + d / 2.0, 10.0, 10.0)];
         let mass = vec![1.0, 1.0];
         let acc = EwaldSum::new(box_l).accelerations(&pos, &mass);
         let newton = 1.0 / (d * d);
-        assert!(
-            (acc[0].x - newton).abs() / newton < 1e-3,
-            "{} vs {newton}",
-            acc[0].x
-        );
+        assert!((acc[0].x - newton).abs() / newton < 1e-3, "{} vs {newton}", acc[0].x);
         assert!((acc[0] + acc[1]).norm() < 1e-9 * newton);
     }
 
@@ -152,7 +145,8 @@ mod tests {
     fn forces_are_periodic() {
         // translating every particle by the box vector changes nothing
         let box_l = 10.0;
-        let pos = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(6.0, 7.0, 3.5), Vec3::new(9.0, 0.5, 8.0)];
+        let pos =
+            vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(6.0, 7.0, 3.5), Vec3::new(9.0, 0.5, 8.0)];
         let shifted: Vec<Vec3> = pos.iter().map(|&p| p + Vec3::new(box_l, 0.0, -box_l)).collect();
         let mass = vec![1.0, 2.0, 0.5];
         let e = EwaldSum::new(box_l);
@@ -178,9 +172,7 @@ mod tests {
         let kf = std::f64::consts::TAU / box_l;
         let volume = box_l * box_l * box_l;
         e2.kvecs = (-6i64..=6)
-            .flat_map(|nx| {
-                (-6i64..=6).flat_map(move |ny| (-6i64..=6).map(move |nz| (nx, ny, nz)))
-            })
+            .flat_map(|nx| (-6i64..=6).flat_map(move |ny| (-6i64..=6).map(move |nz| (nx, ny, nz))))
             .filter(|&(x, y, z)| (x, y, z) != (0, 0, 0) && x * x + y * y + z * z <= 36)
             .map(|(x, y, z)| {
                 let k = Vec3::new(kf * x as f64, kf * y as f64, kf * z as f64);

@@ -38,7 +38,8 @@ impl Mesh {
     #[inline]
     pub fn idx(&self, i: i64, j: i64, k: i64) -> usize {
         let n = self.n as i64;
-        let (i, j, k) = (i.rem_euclid(n) as usize, j.rem_euclid(n) as usize, k.rem_euclid(n) as usize);
+        let (i, j, k) =
+            (i.rem_euclid(n) as usize, j.rem_euclid(n) as usize, k.rem_euclid(n) as usize);
         (i * self.n + j) * self.n + k
     }
 

@@ -153,19 +153,12 @@ mod tests {
         // whole Newtonian force
         let box_l = 16.0;
         let d = 0.4;
-        let pos = vec![
-            Vec3::new(8.0 - d / 2.0, 8.0, 8.0),
-            Vec3::new(8.0 + d / 2.0, 8.0, 8.0),
-        ];
+        let pos = vec![Vec3::new(8.0 - d / 2.0, 8.0, 8.0), Vec3::new(8.0 + d / 2.0, 8.0, 8.0)];
         let mass = vec![1.0, 1.0];
         let mut solver = P3mSolver::new(P3mConfig::standard(16, box_l));
         let acc = solver.accelerations(&pos, &mass);
         let newton = 1.0 / (d * d);
-        assert!(
-            (acc[0].x - newton).abs() / newton < 0.02,
-            "{} vs {newton}",
-            acc[0].x
-        );
+        assert!((acc[0].x - newton).abs() / newton < 0.02, "{} vs {newton}", acc[0].x);
     }
 
     #[test]

@@ -54,8 +54,7 @@ impl PmSolver {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    *grid.get_mut(i, j, k) =
-                        Cpx::real(rho.data()[(i * n + j) * n + k] * inv_vol);
+                    *grid.get_mut(i, j, k) = Cpx::real(rho.data()[(i * n + j) * n + k] * inv_vol);
                 }
             }
         }
@@ -192,10 +191,8 @@ mod tests {
         // Newtonian pair force plus small periodic-image corrections
         let box_l = 64.0;
         let d = 12.0;
-        let pos = vec![
-            Vec3::new(32.0 - d / 2.0, 32.0, 32.0),
-            Vec3::new(32.0 + d / 2.0, 32.0, 32.0),
-        ];
+        let pos =
+            vec![Vec3::new(32.0 - d / 2.0, 32.0, 32.0), Vec3::new(32.0 + d / 2.0, 32.0, 32.0)];
         let mass = vec![1.0, 1.0];
         let acc = PmSolver::new(64, box_l, 1.5).accelerations(&pos, &mass);
         let newton = 1.0 / (d * d);

@@ -89,10 +89,7 @@ pub fn quad_force(target: Vec3, com: Vec3, q: &[f64; 6]) -> PointForce {
         q[4] * d.x + q[5] * d.y + q[2] * d.z,
     );
     let dqd = d.dot(qd);
-    PointForce {
-        acc: d * (2.5 * dqd / (r5 * r2)) - qd / r5,
-        pot: 0.5 * dqd / r5,
-    }
+    PointForce { acc: d * (2.5 * dqd / (r5 * r2)) - qd / r5, pot: 0.5 * dqd / r5 }
 }
 
 /// Evaluate a group's shared list at every member, writing results into
@@ -134,9 +131,7 @@ pub fn tree_forces_modified(tree: &Tree, theta: f64, n_crit: usize, eps: f64) ->
             tr.modified_list(tree, g, list);
             let node = &tree.nodes()[g.node as usize];
             node.range()
-                .map(|k| {
-                    (tree.original_index(k), eval_list(tree, list, tree.pos()[k], eps))
-                })
+                .map(|k| (tree.original_index(k), eval_list(tree, list, tree.pos()[k], eps)))
                 .collect()
         })
         .collect();
@@ -272,8 +267,7 @@ mod tests {
         let tree = Tree::build(&pos, &mass);
         let theta = 0.9;
         let e_orig = rms_relative_error(&tree_forces_original(&tree, theta, 0.01), &reference);
-        let e_modi =
-            rms_relative_error(&tree_forces_modified(&tree, theta, 128, 0.01), &reference);
+        let e_modi = rms_relative_error(&tree_forces_modified(&tree, theta, 128, 0.01), &reference);
         assert!(
             e_modi < e_orig,
             "modified ({e_modi}) must beat original ({e_orig}) at theta={theta}"
@@ -320,19 +314,14 @@ mod tests {
         let target = Vec3::new(0.0, 5.0, 0.0);
         // exact field minus monopole = quadrupole + higher; at r/a = 50
         // the higher terms are negligible at the 1e-6 level
-        let exact = pts
-            .iter()
-            .fold(PointForce::ZERO, |f, &p| {
-                let t = pair_force(target, p, 1.0, 0.0);
-                PointForce { acc: f.acc + t.acc, pot: f.pot + t.pot }
-            });
+        let exact = pts.iter().fold(PointForce::ZERO, |f, &p| {
+            let t = pair_force(target, p, 1.0, 0.0);
+            PointForce { acc: f.acc + t.acc, pot: f.pot + t.pot }
+        });
         let mono = pair_force(target, Vec3::ZERO, 2.0, 0.0);
         let correction = quad_force(target, Vec3::ZERO, &q);
         let resid_pot = exact.pot - mono.pot - correction.pot;
-        assert!(
-            resid_pot.abs() < 1e-6 * exact.pot,
-            "potential residual {resid_pot} too large"
-        );
+        assert!(resid_pot.abs() < 1e-6 * exact.pot, "potential residual {resid_pot} too large");
         let resid_acc = (exact.acc - mono.acc - correction.acc).norm();
         assert!(resid_acc < 1e-6 * exact.acc.norm(), "acc residual {resid_acc}");
     }
@@ -359,7 +348,11 @@ mod tests {
     fn quadrupole_of_single_particle_leaf_is_zero() {
         use crate::tree::TreeConfig;
         let pos = [Vec3::new(1.0, 2.0, 3.0)];
-        let t = Tree::build_with(&pos, &[5.0], TreeConfig { quadrupole: true, ..TreeConfig::default() });
+        let t = Tree::build_with(
+            &pos,
+            &[5.0],
+            TreeConfig { quadrupole: true, ..TreeConfig::default() },
+        );
         let q = t.quads().unwrap();
         assert!(q[0].iter().all(|&v| v.abs() < 1e-12));
     }
@@ -368,7 +361,8 @@ mod tests {
     fn quadrupoles_are_traceless() {
         use crate::tree::TreeConfig;
         let (pos, mass) = plummer_like(500, 31);
-        let t = Tree::build_with(&pos, &mass, TreeConfig { quadrupole: true, ..TreeConfig::default() });
+        let t =
+            Tree::build_with(&pos, &mass, TreeConfig { quadrupole: true, ..TreeConfig::default() });
         for q in t.quads().unwrap() {
             let trace = q[0] + q[1] + q[2];
             let scale = q.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-30);

@@ -17,13 +17,18 @@
 //!   The modified algorithm is the paper's §3: it divides host work by
 //!   ≈ n_g and produces the long, GRAPE-friendly lists;
 //! * [`eval`] — reference `f64` evaluation of interaction lists on the
-//!   host, used by the accuracy experiments and the TreeHost backend.
+//!   host, used by the accuracy experiments and the TreeHost backend;
+//! * [`plan`] — the streaming force plan: group lists resolved by
+//!   worker threads and handed through a bounded channel, so a device
+//!   consumer overlaps traversal with force evaluation.
 
 pub mod eval;
 pub mod mac;
+pub mod plan;
 pub mod traverse;
 pub mod tree;
 
 pub use mac::{GroupSphere, Mac};
+pub use plan::{GroupWork, PlanConfig, PlanStats};
 pub use traverse::{Group, ListTerm, ModifiedLists, Traversal};
 pub use tree::{Node, Tree, TreeConfig, NONE};

@@ -126,7 +126,7 @@ mod tests {
     fn far_cells_accepted_near_cells_opened() {
         let mac = Mac::new(0.75);
         let n = node_at(Vec3::new(10.0, 0.0, 0.0), 0.5); // side 1.0
-        // d = 10, s/d = 0.1 < 0.75: accept
+                                                         // d = 10, s/d = 0.1 < 0.75: accept
         assert!(mac.accepts_point(&n, Vec3::ZERO));
         // d = 1, s/d = 1.0 > 0.75: open
         assert!(!mac.accepts_point(&n, Vec3::new(9.0, 0.0, 0.0)));

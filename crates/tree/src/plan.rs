@@ -1,0 +1,283 @@
+//! Streaming force plan: resolved group work produced through a
+//! bounded channel.
+//!
+//! The modified algorithm's host work is "walk the tree once per group
+//! and emit the shared interaction list" (§3 of the paper). The
+//! original backend implementation materialised *every* resolved list
+//! at once (`par_iter().collect()`), costing O(total terms) peak memory
+//! and serialising the device behind the full traversal. This module
+//! instead streams [`GroupWork`] items — one group's targets plus its
+//! resolved j-set — through a bounded channel, so the consumer (the
+//! GRAPE driver) evaluates group *k* while worker threads are still
+//! walking the tree for groups *k+1, k+2, …*. Peak memory falls to
+//! O(channel depth × list length), and traversal overlaps device time
+//! the way the real host code overlaps `g5_calculate_force_on_x` DMA.
+//!
+//! ## Determinism
+//!
+//! Worker scheduling makes the *arrival order* of groups at the
+//! consumer nondeterministic, but the *result* is not: each group
+//! carries its own target indices (disjoint across groups, covering
+//! every particle exactly once), each resolved list is a pure function
+//! of the tree, and tallies are sums of `u64`s. Any consumer that
+//! writes per-target outputs and accumulates tallies therefore produces
+//! bit-identical results in any arrival order. [`PlanConfig::serial`]
+//! gives the in-order single-thread reference path used by the property
+//! tests to check exactly that.
+
+use crate::traverse::{Group, ListTerm, Traversal};
+use crate::tree::Tree;
+use g5util::counters::InteractionTally;
+use g5util::vec3::Vec3;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::time::Instant;
+
+/// One group's fully resolved share of a force evaluation: everything
+/// the device driver needs, with no further tree access.
+#[derive(Debug, Clone)]
+pub struct GroupWork {
+    /// The group this work came from.
+    pub group: Group,
+    /// Original (input-order) indices of the group members, disjoint
+    /// across groups.
+    pub targets: Vec<usize>,
+    /// Member positions, parallel to `targets`.
+    pub xi: Vec<Vec3>,
+    /// Resolved interaction-list positions (cell centers of mass and
+    /// body positions).
+    pub jpos: Vec<Vec3>,
+    /// Resolved interaction-list masses, parallel to `jpos`.
+    pub jmass: Vec<f64>,
+    /// This group's contribution to the step tally.
+    pub tally: InteractionTally,
+}
+
+/// How a [`stream`] call schedules its producers.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Producer threads. `None` chooses `available_parallelism - 1`
+    /// (leaving one core for the consumer); `Some(0)` is the serial
+    /// in-order reference path with no channel at all.
+    pub workers: Option<usize>,
+    /// Bound of the work channel — the number of resolved groups that
+    /// may exist ahead of the consumer, and therefore the peak-memory
+    /// knob.
+    pub channel_depth: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig { workers: None, channel_depth: 4 }
+    }
+}
+
+impl PlanConfig {
+    /// The single-thread, in-group-order reference path.
+    pub fn serial() -> Self {
+        PlanConfig { workers: Some(0), channel_depth: 1 }
+    }
+
+    /// Overlapped mode with an explicit worker count (≥ 1).
+    pub fn overlapped(workers: usize, channel_depth: usize) -> Self {
+        PlanConfig { workers: Some(workers.max(1)), channel_depth }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        match self.workers {
+            Some(w) => w,
+            None => std::thread::available_parallelism()
+                .map(|c| c.get().saturating_sub(1))
+                .unwrap_or(1)
+                .max(1),
+        }
+    }
+}
+
+/// What a [`stream`] call did, beyond the consumer's own outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanStats {
+    /// Summed tally over all streamed groups.
+    pub tally: InteractionTally,
+    /// CPU seconds spent resolving lists, summed over producers — the
+    /// "tree traverse" phase cost regardless of overlap.
+    pub produce_s: f64,
+    /// Seconds the consumer spent blocked waiting for work — how
+    /// traversal-starved the device was.
+    pub consume_wait_s: f64,
+}
+
+/// Resolve one group against the tree: shared list, member targets and
+/// positions, tally contribution.
+fn resolve_group(tree: &Tree, tr: &Traversal, g: Group, scratch: &mut Vec<ListTerm>) -> GroupWork {
+    tr.modified_list(tree, g, scratch);
+    let mut jpos = Vec::with_capacity(scratch.len());
+    let mut jmass = Vec::with_capacity(scratch.len());
+    for &term in scratch.iter() {
+        let (p, m) = term.resolve(tree);
+        jpos.push(p);
+        jmass.push(m);
+    }
+    let node = &tree.nodes()[g.node as usize];
+    let targets: Vec<usize> = node.range().map(|k| tree.original_index(k)).collect();
+    let xi: Vec<Vec3> = node.range().map(|k| tree.pos()[k]).collect();
+    let tally = InteractionTally {
+        interactions: jpos.len() as u64 * targets.len() as u64,
+        terms: jpos.len() as u64,
+        lists: 1,
+    };
+    GroupWork { group: g, targets, xi, jpos, jmass, tally }
+}
+
+/// Stream every group's resolved work into `consume`, overlapping
+/// production with consumption according to `cfg`.
+///
+/// The consumer runs on the calling thread; producers (if any) run in a
+/// scope that ends before `stream` returns, so borrows of `tree` never
+/// escape.
+pub fn stream<F: FnMut(GroupWork)>(
+    tree: &Tree,
+    tr: &Traversal,
+    groups: &[Group],
+    cfg: &PlanConfig,
+    mut consume: F,
+) -> PlanStats {
+    let mut stats = PlanStats::default();
+    let workers = cfg.resolved_workers();
+
+    if workers == 0 {
+        // serial reference: produce and consume one group at a time,
+        // in find_groups order
+        let mut scratch = Vec::new();
+        for &g in groups {
+            let t = Instant::now();
+            let work = resolve_group(tree, tr, g, &mut scratch);
+            stats.produce_s += t.elapsed().as_secs_f64();
+            stats.tally = stats.tally.merged(work.tally);
+            consume(work);
+        }
+        return stats;
+    }
+
+    let (tx, rx) = sync_channel::<GroupWork>(cfg.channel_depth.max(1));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            handles.push(s.spawn(move || {
+                let mut scratch = Vec::new();
+                let mut cpu_s = 0.0;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= groups.len() {
+                        break;
+                    }
+                    let t = Instant::now();
+                    let work = resolve_group(tree, tr, groups[i], &mut scratch);
+                    cpu_s += t.elapsed().as_secs_f64();
+                    if tx.send(work).is_err() {
+                        break; // consumer gone: stop producing
+                    }
+                }
+                cpu_s
+            }));
+        }
+        drop(tx); // channel closes when the last producer finishes
+
+        loop {
+            let t = Instant::now();
+            let Ok(work) = rx.recv() else { break };
+            stats.consume_wait_s += t.elapsed().as_secs_f64();
+            stats.tally = stats.tally.merged(work.tally);
+            consume(work);
+        }
+        for h in handles {
+            stats.produce_s += h.join().expect("plan producer panicked");
+        }
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let pos = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let mass = vec![1.0 / n as f64; n];
+        (pos, mass)
+    }
+
+    /// Consume a full stream into per-target list lengths + tally.
+    fn drain(cfg: &PlanConfig, n: usize, seed: u64) -> (Vec<u64>, InteractionTally) {
+        let (pos, mass) = cloud(n, seed);
+        let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.7);
+        let groups = tr.find_groups(&tree, 32);
+        let mut per_target = vec![0u64; n];
+        let stats = stream(&tree, &tr, &groups, cfg, |w| {
+            assert_eq!(w.targets.len(), w.xi.len());
+            assert_eq!(w.jpos.len(), w.jmass.len());
+            assert_eq!(w.tally.terms, w.jpos.len() as u64);
+            for &t in &w.targets {
+                per_target[t] += w.jpos.len() as u64;
+            }
+        });
+        (per_target, stats.tally)
+    }
+
+    #[test]
+    fn serial_covers_every_target_once() {
+        let (per_target, tally) = drain(&PlanConfig::serial(), 700, 9);
+        assert!(per_target.iter().all(|&c| c > 0), "some particle left unassigned");
+        assert_eq!(tally.interactions, per_target.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn overlapped_matches_serial_coverage() {
+        for depth in [1, 2, 8] {
+            let serial = drain(&PlanConfig::serial(), 700, 9);
+            let overlapped = drain(&PlanConfig::overlapped(3, depth), 700, 9);
+            assert_eq!(serial.0, overlapped.0, "depth {depth}");
+            assert_eq!(serial.1, overlapped.1, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn stats_tally_matches_traversal_tally() {
+        let (pos, mass) = cloud(900, 4);
+        let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.8);
+        let groups = tr.find_groups(&tree, 48);
+        let stats = stream(&tree, &tr, &groups, &PlanConfig::default(), |_| {});
+        assert_eq!(stats.tally, tr.modified_tally(&tree, 48));
+        assert_eq!(stats.tally.lists, groups.len() as u64);
+        assert!(stats.produce_s >= 0.0);
+    }
+
+    #[test]
+    fn consumer_drop_does_not_hang() {
+        // consume only the first item, then let `stream` unwind: the
+        // producers must notice the closed channel and stop
+        let (pos, mass) = cloud(600, 12);
+        let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.7);
+        let groups = tr.find_groups(&tree, 16);
+        let mut seen = 0usize;
+        stream(&tree, &tr, &groups, &PlanConfig::overlapped(2, 1), |_| seen += 1);
+        assert_eq!(seen, groups.len());
+    }
+}

@@ -282,11 +282,7 @@ mod tests {
             .map(|_| {
                 // clustered: half the points in a small ball
                 let s = if rng.random_bool(0.5) { 0.15 } else { 1.0 };
-                Vec3::new(
-                    rng.random_range(-s..s),
-                    rng.random_range(-s..s),
-                    rng.random_range(-s..s),
-                )
+                Vec3::new(rng.random_range(-s..s), rng.random_range(-s..s), rng.random_range(-s..s))
             })
             .collect();
         let mass = (0..n).map(|_| rng.random_range(0.5..2.0)).collect();

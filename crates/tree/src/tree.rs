@@ -381,8 +381,12 @@ mod tests {
         // every internal node's mass equals the sum of its children
         for n in t.nodes() {
             if !n.is_leaf() {
-                let csum: f64 =
-                    n.children.iter().filter(|&&c| c != NONE).map(|&c| t.nodes()[c as usize].mass).sum();
+                let csum: f64 = n
+                    .children
+                    .iter()
+                    .filter(|&&c| c != NONE)
+                    .map(|&c| t.nodes()[c as usize].mass)
+                    .sum();
                 assert!((n.mass - csum).abs() < 1e-9);
             }
         }
@@ -476,7 +480,8 @@ mod tests {
     #[test]
     fn degenerate_planar_cloud() {
         // all z equal: cube still valid, build must succeed
-        let pos: Vec<Vec3> = (0..64).map(|k| Vec3::new((k % 8) as f64, (k / 8) as f64, 0.0)).collect();
+        let pos: Vec<Vec3> =
+            (0..64).map(|k| Vec3::new((k % 8) as f64, (k / 8) as f64, 0.0)).collect();
         let mass = vec![1.0; 64];
         let t = Tree::build(&pos, &mass);
         assert_eq!(t.root().count, 64);
@@ -508,12 +513,15 @@ mod proptests {
     use proptest::prelude::*;
 
     fn cloud() -> impl Strategy<Value = (Vec<Vec3>, Vec<f64>)> {
-        proptest::collection::vec(((-10.0f64..10.0), (-10.0f64..10.0), (-10.0f64..10.0), (0.1f64..5.0)), 1..150)
-            .prop_map(|v| {
-                let pos = v.iter().map(|&(x, y, z, _)| Vec3::new(x, y, z)).collect();
-                let mass = v.iter().map(|&(_, _, _, m)| m).collect();
-                (pos, mass)
-            })
+        proptest::collection::vec(
+            ((-10.0f64..10.0), (-10.0f64..10.0), (-10.0f64..10.0), (0.1f64..5.0)),
+            1..150,
+        )
+        .prop_map(|v| {
+            let pos = v.iter().map(|&(x, y, z, _)| Vec3::new(x, y, z)).collect();
+            let mass = v.iter().map(|&(_, _, _, m)| m).collect();
+            (pos, mass)
+        })
     }
 
     proptest! {

@@ -96,25 +96,17 @@ fn modified_algorithm_error_does_not_degrade_with_large_ncrit() {
     let (pos, mass) = uniform_ball(4000, 4);
     let reference = direct_forces(&pos, &mass, 0.01);
     let tree = Tree::build(&pos, &mass);
-    let e_small =
-        rms_relative_error(&tree_forces_modified(&tree, 0.9, 32, 0.01), &reference);
-    let e_large =
-        rms_relative_error(&tree_forces_modified(&tree, 0.9, 1024, 0.01), &reference);
-    assert!(
-        e_large <= e_small * 1.1,
-        "error grew with n_crit: {e_small} -> {e_large}"
-    );
+    let e_small = rms_relative_error(&tree_forces_modified(&tree, 0.9, 32, 0.01), &reference);
+    let e_large = rms_relative_error(&tree_forces_modified(&tree, 0.9, 1024, 0.01), &reference);
+    assert!(e_large <= e_small * 1.1, "error grew with n_crit: {e_small} -> {e_large}");
 }
 
 #[test]
 fn quadrupole_tree_exact_for_theta_zero_too() {
     let (pos, mass) = uniform_ball(400, 5);
     let reference = direct_forces(&pos, &mass, 0.02);
-    let tree = Tree::build_with(
-        &pos,
-        &mass,
-        TreeConfig { quadrupole: true, ..TreeConfig::default() },
-    );
+    let tree =
+        Tree::build_with(&pos, &mass, TreeConfig { quadrupole: true, ..TreeConfig::default() });
     let f = tree_forces_original(&tree, 0.0, 0.02);
     for (a, b) in f.iter().zip(&reference) {
         assert!((a.acc - b.acc).norm() < 1e-11);

@@ -128,10 +128,7 @@ impl Fixed {
     #[inline]
     pub fn sat_add(self, o: Fixed) -> Fixed {
         debug_assert_eq!(self.fmt, o.fmt, "fixed-point format mismatch");
-        let raw = self
-            .raw
-            .saturating_add(o.raw)
-            .clamp(self.fmt.raw_min(), self.fmt.raw_max());
+        let raw = self.raw.saturating_add(o.raw).clamp(self.fmt.raw_min(), self.fmt.raw_max());
         Fixed { raw, fmt: self.fmt }
     }
 
@@ -139,10 +136,7 @@ impl Fixed {
     #[inline]
     pub fn sat_sub(self, o: Fixed) -> Fixed {
         debug_assert_eq!(self.fmt, o.fmt, "fixed-point format mismatch");
-        let raw = self
-            .raw
-            .saturating_sub(o.raw)
-            .clamp(self.fmt.raw_min(), self.fmt.raw_max());
+        let raw = self.raw.saturating_sub(o.raw).clamp(self.fmt.raw_min(), self.fmt.raw_max());
         Fixed { raw, fmt: self.fmt }
     }
 

@@ -119,8 +119,8 @@ mod tests {
     #[test]
     fn sb_matches_exact_function_at_high_resolution() {
         let t = GaussLogTable::new(16, 24, 16.0);
-        for &z in &[-0.001, -0.5, -1.0, -3.7, -10.0] {
-            let exact = (1.0 + (z as f64).exp2()).log2();
+        for &z in &[-0.001f64, -0.5, -1.0, -3.7, -10.0] {
+            let exact = (1.0 + z.exp2()).log2();
             assert!((t.sb(z) - exact).abs() < 1e-3, "z={z}: {} vs {exact}", t.sb(z));
         }
     }
@@ -128,8 +128,8 @@ mod tests {
     #[test]
     fn db_matches_exact_function_away_from_pole() {
         let t = GaussLogTable::new(16, 24, 16.0);
-        for &z in &[-0.5, -1.0, -4.0, -12.0] {
-            let exact = (1.0 - (z as f64).exp2()).log2();
+        for &z in &[-0.5f64, -1.0, -4.0, -12.0] {
+            let exact = (1.0 - z.exp2()).log2();
             assert!((t.db(z) - exact).abs() < 1e-3, "z={z}");
         }
     }
@@ -146,10 +146,7 @@ mod tests {
     fn error_shrinks_with_address_bits() {
         let coarse = GaussLogTable::new(6, 20, 16.0).sb_max_error(4096);
         let fine = GaussLogTable::new(12, 20, 16.0).sb_max_error(4096);
-        assert!(
-            fine < coarse / 8.0,
-            "doubling address bits x6 must cut error: {coarse} -> {fine}"
-        );
+        assert!(fine < coarse / 8.0, "doubling address bits x6 must cut error: {coarse} -> {fine}");
     }
 
     #[test]

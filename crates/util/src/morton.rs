@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn morton_order_matches_octree_recursion() {
         // sorting codes must group points by octant first
-        let pts =
-            [(3u32, 3, 3), (COORD_LIMIT - 1, 1, 1), (1, COORD_LIMIT - 1, 1), (2, 2, 2)];
+        let pts = [(3u32, 3, 3), (COORD_LIMIT - 1, 1, 1), (1, COORD_LIMIT - 1, 1), (2, 2, 2)];
         let mut codes: Vec<u64> = pts.iter().map(|&(x, y, z)| encode(x, y, z)).collect();
         codes.sort_unstable();
         let octs: Vec<u8> = codes.iter().map(|&c| octant_at_level(c, 0)).collect();

@@ -8,7 +8,7 @@
 
 use grape5_nbody::core::accuracy::compare;
 use grape5_nbody::core::{DirectGrape, DirectHost, ForceBackend, TreeHost};
-use grape5_nbody::grape5::{Grape5Config};
+use grape5_nbody::grape5::Grape5Config;
 use grape5_nbody::ic::plummer_sphere;
 use grape5_nbody::util::lns::LnsConfig;
 use rand::SeedableRng;

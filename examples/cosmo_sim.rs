@@ -40,7 +40,14 @@ fn main() {
     for chunk in 0..=10u64 {
         let z = (t_0 / sim.time).powf(2.0 / 3.0) - 1.0;
         let r = lagrangian_radii(&sim.state, &[0.1, 0.5, 0.9]);
-        println!("{:>6} {:>8.2} {:>9.4} {:>9.4} {:>9.4}", chunk * (steps / 10), z, r[0], r[1], r[2]);
+        println!(
+            "{:>6} {:>8.2} {:>9.4} {:>9.4} {:>9.4}",
+            chunk * (steps / 10),
+            z,
+            r[0],
+            r[1],
+            r[2]
+        );
         if chunk < 10 {
             let lo = (chunk as usize) * schedule.len() / 10;
             let hi = (chunk as usize + 1) * schedule.len() / 10;

@@ -52,10 +52,8 @@ fn main() {
     for chunk in 0..=12u64 {
         // separation of the two halves' centroids
         let half = sim.state.len() / 2;
-        let c1: Vec3 =
-            sim.state.pos[..half].iter().copied().sum::<Vec3>() / half as f64;
-        let c2: Vec3 =
-            sim.state.pos[half..].iter().copied().sum::<Vec3>() / half as f64;
+        let c1: Vec3 = sim.state.pos[..half].iter().copied().sum::<Vec3>() / half as f64;
+        let c2: Vec3 = sim.state.pos[half..].iter().copied().sum::<Vec3>() / half as f64;
         let d = Diagnostics::measure(&sim.state, sim.pot());
         println!(
             "{:>7.2} {:>12.3} {:>10.3} {:>10.3}",

@@ -56,8 +56,16 @@ fn main() {
     }
     let rms = (sum / n as f64).sqrt();
     println!();
-    println!("rms relative force error vs Ewald: {:.3} %  (worst particle {:.3} %)", rms * 100.0, worst * 100.0);
-    println!("P3M: {:.1} ms,  Ewald reference: {:.1} ms", t_p3m.as_secs_f64() * 1e3, t_ewald.as_secs_f64() * 1e3);
+    println!(
+        "rms relative force error vs Ewald: {:.3} %  (worst particle {:.3} %)",
+        rms * 100.0,
+        worst * 100.0
+    );
+    println!(
+        "P3M: {:.1} ms,  Ewald reference: {:.1} ms",
+        t_p3m.as_secs_f64() * 1e3,
+        t_ewald.as_secs_f64() * 1e3
+    );
 
     let acc = solver.grape_accounting();
     let report = acc.report(&solver.config().grape);

@@ -27,10 +27,11 @@ fn main() {
     let eps = 0.05; // softening regularizes the bounce
 
     println!("cold collapse: N = {n}, eps = {eps}, t_ff = {t_ff:.3}, running to 3 t_ff");
-    let mut sim = Simulation::new(snap, TreeGrape::new(TreeGrapeConfig {
-        n_crit: 500,
-        ..TreeGrapeConfig::paper(eps)
-    }), 0.0);
+    let mut sim = Simulation::new(
+        snap,
+        TreeGrape::new(TreeGrapeConfig { n_crit: 500, ..TreeGrapeConfig::paper(eps) }),
+        0.0,
+    );
     let e0 = sim.total_energy();
 
     println!();

@@ -67,18 +67,12 @@ fn tree_grape_and_tree_host_share_identical_lists() {
 #[test]
 fn momentum_conservation_through_the_full_stack() {
     let (pos, mass) = workload(800);
-    let fs = TreeGrape::new(TreeGrapeConfig {
-        n_crit: 200,
-        ..TreeGrapeConfig::paper(0.01)
-    })
-    .compute(&pos, &mass);
+    let fs = TreeGrape::new(TreeGrapeConfig { n_crit: 200, ..TreeGrapeConfig::paper(0.01) })
+        .compute(&pos, &mass);
     // tree forces are not exactly antisymmetric, but the residual net
     // force must be tiny relative to typical force magnitudes
-    let net = fs
-        .acc
-        .iter()
-        .zip(&mass)
-        .fold(grape5_nbody::util::Vec3::ZERO, |s, (a, &m)| s + *a * m);
+    let net =
+        fs.acc.iter().zip(&mass).fold(grape5_nbody::util::Vec3::ZERO, |s, (a, &m)| s + *a * m);
     let typical: f64 =
         fs.acc.iter().zip(&mass).map(|(a, &m)| (*a * m).norm()).sum::<f64>() / pos.len() as f64;
     assert!(net.norm() < 0.05 * typical * (pos.len() as f64).sqrt(), "net {net:?}");
@@ -87,10 +81,7 @@ fn momentum_conservation_through_the_full_stack() {
 #[test]
 fn grape_accounting_consistent_with_tally() {
     let (pos, mass) = workload(600);
-    let mut tg = TreeGrape::new(TreeGrapeConfig {
-        n_crit: 150,
-        ..TreeGrapeConfig::paper(0.01)
-    });
+    let mut tg = TreeGrape::new(TreeGrapeConfig { n_crit: 150, ..TreeGrapeConfig::paper(0.01) });
     let fs = tg.compute(&pos, &mass);
     let acc = tg.accounting();
     assert_eq!(acc.interactions, fs.tally.interactions);

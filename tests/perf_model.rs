@@ -33,10 +33,7 @@ fn host_cost_falls_and_grape_work_rises_with_ng() {
     let (host_small, pipe_small) = breakdown_at(64, &s.pos, &s.mass);
     let (host_large, pipe_large) = breakdown_at(4096, &s.pos, &s.mass);
 
-    assert!(
-        host_large < host_small,
-        "host cost must fall with n_g: {host_small} -> {host_large}"
-    );
+    assert!(host_large < host_small, "host cost must fall with n_g: {host_small} -> {host_large}");
     assert!(
         pipe_large > pipe_small,
         "GRAPE pipeline work must rise with n_g: {pipe_small} -> {pipe_large}"

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`, implementing the macro/API
+//! surface the workspace benches use: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`] and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery it runs an adaptive
+//! timing loop (warm up, then enough iterations to fill a sampling
+//! window, repeated for `sample_size` samples) and prints mean / best
+//! per-iteration times, plus derived throughput when declared. Honest
+//! wall-clock, no HTML reports, no outlier analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Work-per-iteration declaration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing harness passed to every benchmark closure.
+pub struct Bencher {
+    /// Mean seconds per iteration over all samples.
+    mean_s: f64,
+    /// Best (minimum) sample mean, seconds per iteration.
+    best_s: f64,
+    samples: usize,
+    sample_window: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher { mean_s: 0.0, best_s: 0.0, samples, sample_window: Duration::from_millis(50) }
+    }
+
+    /// Time `f`, adaptively choosing an iteration count per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up + calibration: one timed call
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.sample_window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut best = f64::MAX;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed();
+            total += dt;
+            best = best.min(dt.as_secs_f64() / per_sample as f64);
+            iters += per_sample as u64;
+        }
+        // clamp at one nanosecond so fully optimized-out bodies still
+        // report a nonzero time
+        self.mean_s = (total.as_secs_f64() / iters as f64).max(1e-9);
+        self.best_s = best.max(1e-9);
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let mut line = format!(
+            "{}/{}: mean {} best {}",
+            self.name,
+            label,
+            fmt_time(b.mean_s),
+            fmt_time(b.best_s)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_s > 0.0 => {
+                line += &format!("  ({:.3e} elem/s)", n as f64 / b.mean_s);
+            }
+            Some(Throughput::Bytes(n)) if b.mean_s > 0.0 => {
+                line += &format!("  ({:.3e} B/s)", n as f64 / b.mean_s);
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.label, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        println!("{}: mean {} best {}", name, fmt_time(b.mean_s), fmt_time(b.best_s));
+        self
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint`.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut b = Bencher::new(3);
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.mean_s > 0.0);
+        assert!(b.best_s > 0.0);
+        assert!(b.best_s <= b.mean_s * 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &x| b.iter(|| x + 1));
+        g.bench_function("plain", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for `rayon`, implementing the combinator surface
+//! this workspace uses on top of `std::thread::scope`.
+//!
+//! Differences from the real crate (none observable in-tree):
+//!
+//! * combinators are **eager** — every `map`/`map_init` call fans its
+//!   input out over scoped worker threads immediately and materializes
+//!   the results (in input order), instead of building a lazy plan;
+//! * there is no global thread pool: each operation spawns up to
+//!   [`current_num_threads`] scoped threads, which the OS reuses
+//!   cheaply;
+//! * `par_sort_unstable_by_key` delegates to the (already fast)
+//!   sequential sort.
+//!
+//! Ordering guarantees match rayon: results of indexed combinators are
+//! returned in input order, so all deterministic-output call sites stay
+//! deterministic.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` / `.into_par_iter()` available.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads an operation may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() < 2 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Parallel map preserving input order: split `items` into contiguous
+/// chunks, one scoped thread per chunk, each with its own `init()`
+/// state.
+fn par_map_init_vec<T, R, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let fr = &f;
+    let ir = &init;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    let mut state = ir();
+                    c.into_iter().map(|t| fr(&mut state, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in per_chunk {
+        out.extend(c);
+    }
+    out
+}
+
+/// An eager "parallel iterator": holds already-materialized items; each
+/// combinator processes them across worker threads and returns the next
+/// stage, again materialized in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter { items: par_map_init_vec(self.items, || (), |(), t| f(t)) }
+    }
+
+    /// Parallel map with per-worker scratch state (rayon's `map_init`).
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParIter { items: par_map_init_vec(self.items, init, f) }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Sum the (already computed) items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Fold the items with an identity constructor and an associative
+    /// operator (rayon's `reduce`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Collect the items, preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Run a side-effecting function over every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = par_map_init_vec(self.items, || (), |(), t| f(t));
+    }
+}
+
+/// Conversion into an eager parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par!(usize, u32, u64, i32, i64);
+
+/// `.par_iter()` on slices (and through deref, `Vec`/arrays).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// Iterate by reference.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Parallel in-place slice operations (subset).
+pub trait ParallelSliceMut<T: Send> {
+    /// Unstable sort by key (delegates to the sequential sort).
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<i64> = (0..10_000i64).collect();
+        let out: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000i64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |buf, k| {
+                buf.push(k);
+                buf.len()
+            })
+            .collect();
+        // each worker's buffer grows monotonically within its chunk
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn reduce_and_sum_agree() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        let r = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 499_500);
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn enumerate_indexes_in_order() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+}

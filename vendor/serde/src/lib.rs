@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace actually serializes through serde (the
+//! snapshot format is hand-rolled binary I/O), but many types carry
+//! `#[derive(Serialize, Deserialize)]` so they are ready for real
+//! serde once registry access exists. This stand-in keeps those
+//! derives compiling: the traits are empty markers blanket-implemented
+//! for every type, and the derive macros (re-exported from the
+//! companion `serde_derive` stand-in) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::ser` namespace stub.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// `serde::de` namespace stub.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

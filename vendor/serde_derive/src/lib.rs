@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` stand-in blanket-implements its marker
+//! `Serialize`/`Deserialize` traits for every type, so these derive
+//! macros expand to nothing: `#[derive(Serialize, Deserialize)]`
+//! attributes across the workspace stay valid without pulling in the
+//! real proc-macro stack (syn/quote), which is unavailable offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
