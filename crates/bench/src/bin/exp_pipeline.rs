@@ -91,7 +91,8 @@ fn materialized_eval(pos: &[g5util::vec3::Vec3], mass: &[f64], cfg: &TreeGrapeCo
 
     // resolve everything up front (serial scheduling, but *retained*)
     let mut all: Vec<GroupWork> = Vec::with_capacity(groups.len());
-    let stats = plan::stream(&tree, &tr, &groups, &PlanConfig::serial(), |w| all.push(w));
+    let stats = plan::stream(&tree, &tr, &groups, &PlanConfig::serial(), |w| all.push(w))
+        .expect("materialized plan failed");
 
     let mut g5 = grape5::Grape5::open(cfg.grape);
     let mut session = DeviceSession::open(&mut g5, pos, cfg.eps);

@@ -8,12 +8,19 @@
 //!
 //! ```text
 //! cargo run --release -p g5-bench --bin exp_snapshot -- \
-//!     [--n 17000] [--steps 200] [--out figure4.pgm] [--ascii 64]
+//!     [--n 17000] [--steps 200] [--out figure4.pgm] [--ascii 64] \
+//!     [--checkpoint-every 20] [--checkpoint-dir figure4_ckpt] [--resume]
 //! ```
+//!
+//! With `--checkpoint-every` set, the run writes periodic checkpoints
+//! (checksummed snapshot + manifest); a killed run restarted with
+//! `--resume` continues from the newest valid checkpoint and lands on
+//! the same final state bit-for-bit.
 
 use g5_bench::{cdm, fmt_secs, Args};
 use g5tree::traverse::Traversal;
 use g5tree::tree::Tree;
+use treegrape::checkpoint::{latest, Checkpointer};
 use treegrape::clustering::{two_point_correlation, CorrelationConfig};
 use treegrape::diagnostics::lagrangian_radii;
 use treegrape::halos::{friends_of_friends, FofConfig};
@@ -26,6 +33,9 @@ fn main() {
     let steps: u64 = args.get("steps", 200);
     let out: String = args.get("out", "figure4.pgm".to_string());
     let ascii_px: usize = args.get("ascii", 64);
+    let ckpt_every: u64 = args.get("checkpoint-every", 0);
+    let ckpt_dir: String = args.get("checkpoint-dir", "figure4_ckpt".to_string());
+    let resume = args.flag("resume");
 
     println!("E7: cosmological run to z = 0 (target {n_target} particles, {steps} steps)");
     let ic = cdm(n_target, 4);
@@ -39,28 +49,51 @@ fn main() {
 
     let cfg = TreeGrapeConfig { n_crit: 500, ..TreeGrapeConfig::paper(eps) };
     let wall = std::time::Instant::now();
-    let mut sim = Simulation::new(ic.snapshot, TreeGrape::new(cfg), t_init);
+    let ckpt = (ckpt_every > 0).then(|| {
+        Checkpointer::new(std::path::Path::new(&ckpt_dir), ckpt_every)
+            .expect("create checkpoint dir")
+    });
+    // a checkpoint's step index counts completed schedule entries, so
+    // resuming means skipping that prefix of the (deterministic)
+    // schedule — the restart lands on the same final state bit-for-bit
+    let mut sim = match resume
+        .then_some(())
+        .and(ckpt.as_ref())
+        .and_then(|c| latest(c.dir()).expect("scan checkpoint dir"))
+    {
+        Some(ck) => {
+            let (state, time) = ck.load_snapshot().expect("checkpoint snapshot");
+            println!("resuming from checkpoint at step {} (t = {:.6})", ck.step, time);
+            Simulation::resume(state, TreeGrape::new(cfg), time, ck.step)
+                .expect("resume simulation")
+        }
+        None => Simulation::new(ic.snapshot, TreeGrape::new(cfg), t_init),
+    };
     let fractions = [0.1, 0.5, 0.9];
+    let report_every = (steps / 10).max(1);
     println!();
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "step", "z(t)", "r10%", "r50%", "r90%", "energy"
     );
-    for chunk in 0..10usize {
-        let r = lagrangian_radii(&sim.state, &fractions);
-        let z = redshift_of(sim.time, &ic.units);
-        println!(
-            "{:>8} {:>10.2} {:>10.4} {:>10.4} {:>10.4} {:>12.5}",
-            chunk as u64 * (steps / 10),
-            z,
-            r[0],
-            r[1],
-            r[2],
-            sim.total_energy()
-        );
-        let lo = chunk * schedule.len() / 10;
-        let hi = (chunk + 1) * schedule.len() / 10;
-        sim.run_schedule(&schedule[lo..hi]);
+    for &t in &schedule[sim.steps as usize..] {
+        if sim.steps % report_every == 0 {
+            let r = lagrangian_radii(&sim.state, &fractions);
+            let z = redshift_of(sim.time, &ic.units);
+            println!(
+                "{:>8} {:>10.2} {:>10.4} {:>10.4} {:>10.4} {:>12.5}",
+                sim.steps,
+                z,
+                r[0],
+                r[1],
+                r[2],
+                sim.total_energy()
+            );
+        }
+        sim.step_to(t);
+        if let Some(c) = &ckpt {
+            c.maybe_write(&sim, None).expect("write checkpoint");
+        }
     }
     let r = lagrangian_radii(&sim.state, &fractions);
     println!(

@@ -14,14 +14,50 @@
 
 use crate::perf::PhaseTimers;
 use g5tree::eval::{self, PointForce};
-use g5tree::plan::{self, PlanConfig};
+use g5tree::plan::{self, PlanConfig, PlanError};
 use g5tree::traverse::Traversal;
 use g5tree::tree::{Tree, TreeConfig};
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
-use grape5::{ClockAccounting, DeviceSession, Grape5, Grape5Config};
+use grape5::{
+    ClockAccounting, DeviceError, DeviceSession, Grape5, Grape5Config, RecoveryStats, RetryPolicy,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Why a force evaluation failed: the host-side plan pipeline broke, or
+/// the device exhausted its recovery options. Either way the snapshot
+/// is untouched — the step can be retried or the run checkpointed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForceError {
+    /// A tree-traversal producer failed (panic surfaced as a value).
+    Plan(PlanError),
+    /// The GRAPE layer gave up after retries/quarantine.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for ForceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForceError::Plan(e) => write!(f, "{e}"),
+            ForceError::Device(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ForceError {}
+
+impl From<PlanError> for ForceError {
+    fn from(e: PlanError) -> Self {
+        ForceError::Plan(e)
+    }
+}
+
+impl From<DeviceError> for ForceError {
+    fn from(e: DeviceError) -> Self {
+        ForceError::Device(e)
+    }
+}
 
 /// Per-particle output of one force computation.
 #[derive(Debug, Clone, Default)]
@@ -58,8 +94,18 @@ impl ForceSet {
 
 /// A gravitational force calculator.
 pub trait ForceBackend {
-    /// Compute accelerations and potentials for the snapshot.
-    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet;
+    /// Compute accelerations and potentials for the snapshot,
+    /// surfacing plan/device failures as values. Device-backed
+    /// implementations validate and recover behind this call; an `Err`
+    /// means recovery was exhausted and the snapshot is untouched.
+    fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError>;
+
+    /// Compute accelerations and potentials for the snapshot,
+    /// panicking on unrecoverable failure.
+    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+        self.try_compute(pos, mass)
+            .unwrap_or_else(|e| panic!("unrecoverable force evaluation failure: {e}"))
+    }
 
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -67,6 +113,12 @@ pub trait ForceBackend {
     /// GRAPE-side hardware accounting since construction/reset, if this
     /// backend drives the hardware.
     fn grape_accounting(&self) -> Option<ClockAccounting> {
+        None
+    }
+
+    /// Accumulated fault-recovery actions, if this backend validates
+    /// and recovers device output.
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
         None
     }
 }
@@ -91,14 +143,14 @@ impl DirectHost {
 }
 
 impl ForceBackend for DirectHost {
-    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+    fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
         let t = Instant::now();
         let f = eval::direct_forces(pos, mass, self.eps);
         let n = pos.len() as u64;
         let tally = InteractionTally { interactions: n * n, terms: n * n, lists: n };
         let mut out = ForceSet::from_point_forces(f, tally);
         out.timers.force_wall_s = t.elapsed().as_secs_f64();
-        out
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -119,6 +171,9 @@ pub struct DirectGrape {
     eps: f64,
     /// i-particles are sent in chunks of this size per call.
     pub i_chunk: usize,
+    /// Retry/quarantine escalation for the validated path.
+    pub retry: RetryPolicy,
+    recovery: RecoveryStats,
 }
 
 impl DirectGrape {
@@ -127,20 +182,28 @@ impl DirectGrape {
         assert!(eps >= 0.0, "negative softening");
         let mut g5 = Grape5::open(cfg);
         g5.set_eps(eps);
-        DirectGrape { g5, eps, i_chunk: 2048 }
+        DirectGrape {
+            g5,
+            eps,
+            i_chunk: 2048,
+            retry: RetryPolicy::default(),
+            recovery: RecoveryStats::default(),
+        }
     }
 
-    /// Access the underlying device (e.g. for accounting resets).
+    /// Access the underlying device (e.g. for accounting resets or
+    /// fault-injection arming).
     pub fn grape_mut(&mut self) -> &mut Grape5 {
         &mut self.g5
     }
 }
 
 impl ForceBackend for DirectGrape {
-    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+    fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
         let t_all = Instant::now();
-        let mut session = DeviceSession::open(&mut self.g5, pos, self.eps);
+        let mut session =
+            DeviceSession::try_open(&mut self.g5, pos, self.eps)?.with_retry(self.retry);
 
         let n = pos.len();
         let mut out = ForceSet::zeros(n);
@@ -150,17 +213,30 @@ impl ForceBackend for DirectGrape {
         if resident {
             session.load_j(pos, mass);
         }
+        let mut failure = None;
         for start in (0..n).step_by(self.i_chunk) {
             let end = (start + self.i_chunk).min(n);
             let forces = if resident {
-                session.force_on(&pos[start..end])
+                session.try_force_on(&pos[start..end])
             } else {
-                session.force_for(pos, mass, &pos[start..end])
+                session.try_force_for(pos, mass, &pos[start..end])
             };
-            for (k, f) in forces.into_iter().enumerate() {
-                out.acc[start + k] = f.acc;
-                out.pot[start + k] = f.pot;
+            match forces {
+                Ok(forces) => {
+                    for (k, f) in forces.into_iter().enumerate() {
+                        out.acc[start + k] = f.acc;
+                        out.pot[start + k] = f.pot;
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
             }
+        }
+        self.recovery = self.recovery.merged(session.recovery_stats());
+        if let Some(e) = failure {
+            return Err(e.into());
         }
         out.tally = InteractionTally {
             interactions: (n as u64) * (n as u64),
@@ -169,7 +245,7 @@ impl ForceBackend for DirectGrape {
         };
         out.timers.device_s = t_all.elapsed().as_secs_f64();
         out.timers.force_wall_s = out.timers.device_s;
-        out
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -178,6 +254,10 @@ impl ForceBackend for DirectGrape {
 
     fn grape_accounting(&self) -> Option<ClockAccounting> {
         Some(self.g5.accounting())
+    }
+
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        Some(self.recovery)
     }
 }
 
@@ -234,7 +314,7 @@ impl TreeHost {
 }
 
 impl ForceBackend for TreeHost {
-    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+    fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
         let t_all = Instant::now();
         let tree = Tree::build_with(pos, mass, self.tree_config);
         let build_s = t_all.elapsed().as_secs_f64();
@@ -256,7 +336,7 @@ impl ForceBackend for TreeHost {
         // walk + f64 evaluation are fused on the host: everything past
         // the build is "traverse"
         out.timers.traverse_s = out.timers.force_wall_s - build_s;
-        out
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -286,6 +366,8 @@ pub struct TreeGrapeConfig {
     pub tree_config: TreeConfig,
     /// Streaming-pipeline scheduling (workers and channel depth).
     pub plan: PlanConfig,
+    /// Retry/quarantine escalation for the validated device path.
+    pub retry: RetryPolicy,
 }
 
 impl TreeGrapeConfig {
@@ -300,6 +382,7 @@ impl TreeGrapeConfig {
             grape: Grape5Config::paper_exact(),
             tree_config: TreeConfig::default(),
             plan: PlanConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -319,6 +402,7 @@ pub struct TreeGrape {
     /// Operating parameters.
     pub cfg: TreeGrapeConfig,
     g5: Grape5,
+    recovery: RecoveryStats,
 }
 
 impl TreeGrape {
@@ -326,10 +410,11 @@ impl TreeGrape {
     pub fn new(cfg: TreeGrapeConfig) -> Self {
         let mut g5 = Grape5::open(cfg.grape);
         g5.set_eps(cfg.eps);
-        TreeGrape { cfg, g5 }
+        TreeGrape { cfg, g5, recovery: RecoveryStats::default() }
     }
 
-    /// Access the underlying device (accounting, range inspection).
+    /// Access the underlying device (accounting, range inspection,
+    /// fault-injection arming).
     pub fn grape_mut(&mut self) -> &mut Grape5 {
         &mut self.g5
     }
@@ -341,7 +426,7 @@ impl TreeGrape {
 }
 
 impl ForceBackend for TreeGrape {
-    fn compute(&mut self, pos: &[Vec3], mass: &[f64]) -> ForceSet {
+    fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
         let t_all = Instant::now();
         let tree = Tree::build_with(pos, mass, self.cfg.tree_config);
@@ -349,24 +434,40 @@ impl ForceBackend for TreeGrape {
         let groups = tr.find_groups(&tree, self.cfg.n_crit);
         let build_s = t_all.elapsed().as_secs_f64();
 
-        let mut session = DeviceSession::open(&mut self.g5, pos, self.cfg.eps);
+        let mut session =
+            DeviceSession::try_open(&mut self.g5, pos, self.cfg.eps)?.with_retry(self.cfg.retry);
         let mut out = ForceSet::zeros(pos.len());
         let mut device_s = 0.0;
+        let mut device_err: Option<DeviceError> = None;
 
         // Stream resolved group lists from the plan workers straight
         // into the device: traversal of group k+1 overlaps GRAPE
         // execution of group k, and only `channel_depth` resolved lists
         // ever exist at once. Arrival order is immaterial — each group
-        // writes its own disjoint targets (see `g5tree::plan`).
+        // writes its own disjoint targets (see `g5tree::plan`). An
+        // unrecoverable device error stops consuming (remaining groups
+        // drain unevaluated) and surfaces after the stream winds down.
         let stats = plan::stream(&tree, &tr, &groups, &self.cfg.plan, |work| {
-            let t = Instant::now();
-            let forces = session.force_for(&work.jpos, &work.jmass, &work.xi);
-            device_s += t.elapsed().as_secs_f64();
-            for (t_idx, f) in work.targets.iter().zip(forces) {
-                out.acc[*t_idx] = f.acc;
-                out.pot[*t_idx] = f.pot;
+            if device_err.is_some() {
+                return;
             }
+            let t = Instant::now();
+            match session.try_force_for(&work.jpos, &work.jmass, &work.xi) {
+                Ok(forces) => {
+                    for (t_idx, f) in work.targets.iter().zip(forces) {
+                        out.acc[*t_idx] = f.acc;
+                        out.pot[*t_idx] = f.pot;
+                    }
+                }
+                Err(e) => device_err = Some(e),
+            }
+            device_s += t.elapsed().as_secs_f64();
         });
+        self.recovery = self.recovery.merged(session.recovery_stats());
+        let stats = stats?;
+        if let Some(e) = device_err {
+            return Err(e.into());
+        }
         out.tally = stats.tally;
         out.timers = PhaseTimers {
             build_s,
@@ -375,7 +476,7 @@ impl ForceBackend for TreeGrape {
             force_wall_s: t_all.elapsed().as_secs_f64(),
             step_wall_s: 0.0,
         };
-        out
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -384,6 +485,10 @@ impl ForceBackend for TreeGrape {
 
     fn grape_accounting(&self) -> Option<ClockAccounting> {
         Some(self.g5.accounting())
+    }
+
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        Some(self.recovery)
     }
 }
 
@@ -465,6 +570,7 @@ mod tests {
             grape: Grape5Config::paper_exact(),
             tree_config: TreeConfig::default(),
             plan: PlanConfig::default(),
+            retry: RetryPolicy::default(),
         };
         let mut tg = TreeGrape::new(cfg);
         let fh = th.compute(&pos, &mass);
@@ -515,6 +621,27 @@ mod tests {
         assert!(t.traverse_s > 0.0, "traverse not timed");
         assert!(t.device_s > 0.0, "device not timed");
         assert!(t.force_wall_s >= t.build_s, "wall smaller than build");
+    }
+
+    #[test]
+    fn tree_grape_recovers_transient_faults_bit_identically() {
+        let (pos, mass) = plummer(800, 11);
+        let base = TreeGrapeConfig {
+            n_crit: 64,
+            retry: RetryPolicy::no_wait(),
+            ..TreeGrapeConfig::paper(0.01)
+        };
+        let mut clean = TreeGrape::new(base);
+        let fc = clean.compute(&pos, &mass);
+        assert!(!clean.recovery_stats().unwrap().any());
+
+        let mut faulty = TreeGrape::new(base);
+        faulty.grape_mut().set_fault_injector(grape5::FaultConfig::transient(21, 0.3));
+        let ff = faulty.try_compute(&pos, &mass).unwrap();
+        assert!(faulty.recovery_stats().unwrap().retries > 0, "no fault ever fired");
+        assert_eq!(fc.acc, ff.acc);
+        assert_eq!(fc.pot, ff.pot);
+        assert_eq!(fc.tally, ff.tally);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Periodic checkpoint / restart for long runs.
+//!
+//! The paper's headline run is 8.37 wall-clock hours; a production
+//! force service cannot afford to lose that to one late failure. A
+//! checkpoint is a pair of files in a checkpoint directory:
+//!
+//! * `step_NNNNNNNN.snap` — the particle state in the checksummed
+//!   `G5SNAP2` format ([`crate::snapshot_io`]), self-validating
+//!   against truncation and bit-rot;
+//! * `step_NNNNNNNN.ckpt` — a small text manifest holding the step
+//!   index, the integrator time as an exact `f64` bit pattern, and the
+//!   serialized fault-injector RNG state (when one is armed), so a
+//!   resumed run replays the *same* fault schedule it would have seen
+//!   uninterrupted.
+//!
+//! The snapshot is written first and the manifest second, so a kill
+//! mid-checkpoint leaves no manifest pointing at a complete pair;
+//! [`latest`] additionally verifies the snapshot checksum and falls
+//! back to the newest *valid* checkpoint.
+//!
+//! Restarts are bit-identical: kick–drift–kick holds only `(pos, vel)`
+//! at the top of a step and forces are a pure function of positions, so
+//! [`crate::Simulation::resume`] recomputes exactly the accelerations
+//! the uninterrupted run was carrying (see the resume proptests).
+
+use crate::integrator::Simulation;
+use crate::{backends::ForceBackend, snapshot_io};
+use g5ic::Snapshot;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest format marker (first line of every `.ckpt` file).
+const MANIFEST_MAGIC: &str = "G5CKPT1";
+
+/// A parsed checkpoint manifest plus the path of its snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Steps completed when the checkpoint was taken.
+    pub step: u64,
+    /// Integrator time, bit-exact.
+    pub time: f64,
+    /// Snapshot file the manifest points at.
+    pub snapshot: PathBuf,
+    /// Serialized fault-injector state ([`grape5::Grape5::fault_state_words`]),
+    /// if a fault injector was armed.
+    pub fault_state: Option<Vec<u64>>,
+}
+
+impl Checkpoint {
+    /// Load and validate the particle state this checkpoint points at.
+    pub fn load_snapshot(&self) -> io::Result<(Snapshot, f64)> {
+        let (snap, time) = snapshot_io::load(&self.snapshot)?;
+        if time.to_bits() != self.time.to_bits() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "manifest/snapshot time mismatch",
+            ));
+        }
+        Ok((snap, time))
+    }
+}
+
+/// Writes periodic checkpoints into a directory.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    dir: PathBuf,
+    every: u64,
+}
+
+impl Checkpointer {
+    /// Checkpoint into `dir` every `every` steps (`every` ≥ 1). The
+    /// directory is created if missing.
+    pub fn new(dir: &Path, every: u64) -> io::Result<Checkpointer> {
+        assert!(every >= 1, "checkpoint interval must be at least 1");
+        std::fs::create_dir_all(dir)?;
+        Ok(Checkpointer { dir: dir.to_path_buf(), every })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write a checkpoint for an arbitrary state (snapshot first,
+    /// manifest second). Returns the manifest path.
+    pub fn write(
+        &self,
+        snap: &Snapshot,
+        time: f64,
+        step: u64,
+        fault_state: Option<&[u64]>,
+    ) -> io::Result<PathBuf> {
+        let snap_path = self.dir.join(format!("step_{step:08}.snap"));
+        snapshot_io::save(&snap_path, snap, time)?;
+
+        let manifest_path = self.dir.join(format!("step_{step:08}.ckpt"));
+        let mut f = std::fs::File::create(&manifest_path)?;
+        writeln!(f, "{MANIFEST_MAGIC}")?;
+        writeln!(f, "step {step}")?;
+        // f64 as its exact bit pattern: a text manifest must not round
+        writeln!(f, "time {:016x}", time.to_bits())?;
+        writeln!(f, "snapshot {}", snap_path.file_name().unwrap().to_string_lossy())?;
+        if let Some(words) = fault_state {
+            let hex: Vec<String> = words.iter().map(|w| format!("{w:016x}")).collect();
+            writeln!(f, "fault_state {}", hex.join(" "))?;
+        }
+        f.flush()?;
+        Ok(manifest_path)
+    }
+
+    /// Checkpoint the simulation if its step count hits the interval.
+    /// `fault_state` is whatever the device reports at this instant
+    /// (pass `sim.backend_mut().grape_mut().fault_state_words()` for
+    /// GRAPE backends, `None` otherwise).
+    pub fn maybe_write<B: ForceBackend>(
+        &self,
+        sim: &Simulation<B>,
+        fault_state: Option<&[u64]>,
+    ) -> io::Result<Option<PathBuf>> {
+        if sim.steps > 0 && sim.steps.is_multiple_of(self.every) {
+            return self.write(&sim.state, sim.time, sim.steps, fault_state).map(Some);
+        }
+        Ok(None)
+    }
+}
+
+/// Parse one manifest file.
+pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{m}: {path:?}"));
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(bad("bad manifest magic"));
+    }
+    let mut step = None;
+    let mut time = None;
+    let mut snapshot = None;
+    let mut fault_state = None;
+    for line in lines {
+        let Some((key, value)) = line.split_once(' ') else { continue };
+        match key {
+            "step" => step = Some(value.parse::<u64>().map_err(|_| bad("bad step"))?),
+            "time" => {
+                let bits =
+                    u64::from_str_radix(value, 16).map_err(|_| bad("bad time bit pattern"))?;
+                time = Some(f64::from_bits(bits));
+            }
+            "snapshot" => {
+                snapshot = Some(path.parent().unwrap_or(Path::new(".")).join(value));
+            }
+            "fault_state" => {
+                let words: Result<Vec<u64>, _> =
+                    value.split_whitespace().map(|w| u64::from_str_radix(w, 16)).collect();
+                fault_state = Some(words.map_err(|_| bad("bad fault state"))?);
+            }
+            _ => {} // unknown keys: forward compatibility
+        }
+    }
+    Ok(Checkpoint {
+        step: step.ok_or_else(|| bad("missing step"))?,
+        time: time.ok_or_else(|| bad("missing time"))?,
+        snapshot: snapshot.ok_or_else(|| bad("missing snapshot"))?,
+        fault_state,
+    })
+}
+
+/// Newest *valid* checkpoint in a directory: manifests are scanned in
+/// descending step order and the first whose snapshot passes its CRC is
+/// returned. `Ok(None)` if the directory holds no usable checkpoint.
+pub fn latest(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut manifests: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    manifests.sort();
+    for path in manifests.iter().rev() {
+        let Ok(ckpt) = read_manifest(path) else { continue };
+        if ckpt.load_snapshot().is_ok() {
+            return Ok(Some(ckpt));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g5util::vec3::Vec3;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("g5ckpt_test_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn sample(seed: f64) -> Snapshot {
+        Snapshot {
+            pos: vec![Vec3::new(seed, 2.0, 3.0), Vec3::new(-0.5, seed, 9.9)],
+            vel: vec![Vec3::new(0.1, 0.2, seed), Vec3::ZERO],
+            mass: vec![0.25, 0.75],
+        }
+    }
+
+    #[test]
+    fn write_then_latest_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let ck = Checkpointer::new(&dir, 5).unwrap();
+        // a time value with a messy bit pattern must survive exactly
+        let time = 0.1 + 0.2;
+        ck.write(&sample(1.0), time, 5, Some(&[1, 0xdead_beef, 42])).unwrap();
+        ck.write(&sample(2.0), time * 2.0, 10, None).unwrap();
+
+        let latest = latest(&dir).unwrap().unwrap();
+        assert_eq!(latest.step, 10);
+        assert_eq!(latest.time.to_bits(), (time * 2.0).to_bits());
+        assert_eq!(latest.fault_state, None);
+        let (snap, t) = latest.load_snapshot().unwrap();
+        assert_eq!(snap.pos, sample(2.0).pos);
+        assert_eq!(t.to_bits(), (time * 2.0).to_bits());
+
+        // the older one still parses, with its fault state intact
+        let older = read_manifest(&dir.join("step_00000005.ckpt")).unwrap();
+        assert_eq!(older.fault_state, Some(vec![1, 0xdead_beef, 42]));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = tmpdir("fallback");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        ck.write(&sample(1.0), 1.0, 1, None).unwrap();
+        ck.write(&sample(2.0), 2.0, 2, None).unwrap();
+        // bit-rot the newest snapshot: CRC fails, latest() must fall
+        // back to step 1
+        let snap2 = dir.join("step_00000002.snap");
+        let mut bytes = std::fs::read(&snap2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap2, &bytes).unwrap();
+
+        let got = latest(&dir).unwrap().unwrap();
+        assert_eq!(got.step, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_none() {
+        let dir = tmpdir("empty");
+        assert_eq!(latest(&dir).unwrap(), None);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(latest(&dir).unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn manifest_garbage_rejected() {
+        let dir = tmpdir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("step_00000001.ckpt");
+        std::fs::write(&p, "NOTAMANIFEST\n").unwrap();
+        assert!(read_manifest(&p).is_err());
+        assert_eq!(latest(&dir).unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -55,6 +55,95 @@ impl Diagnostics {
     }
 }
 
+/// The energy-drift watchdog tripped: integrating further would
+/// silently compound garbage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyDriftExceeded {
+    /// Baseline total energy the watchdog was armed with.
+    pub baseline: f64,
+    /// Total energy at the failing check.
+    pub energy: f64,
+    /// `|energy − baseline| / scale` at the failing check.
+    pub drift: f64,
+    /// The configured tolerance the drift exceeded.
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for EnergyDriftExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "energy drift {:.3e} exceeds tolerance {:.3e} (E {} -> {})",
+            self.drift, self.tolerance, self.baseline, self.energy
+        )
+    }
+}
+
+impl std::error::Error for EnergyDriftExceeded {}
+
+/// Watches total energy against a baseline and trips when relative
+/// drift exceeds a tolerance — the signal for a long run to checkpoint
+/// and abort instead of silently integrating a corrupted trajectory
+/// (an undetected device fault, a too-large timestep, a bad resume).
+///
+/// The first [`check`](EnergyWatchdog::check) arms the baseline; each
+/// later call compares against it. The drift scale defaults to
+/// `|baseline|` but can be pinned (e.g. to the initial kinetic energy
+/// for cosmological runs, whose total energy starts near zero).
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyWatchdog {
+    tolerance: f64,
+    scale: Option<f64>,
+    baseline: Option<f64>,
+}
+
+impl EnergyWatchdog {
+    /// Watchdog tripping at relative drift `tolerance`.
+    pub fn new(tolerance: f64) -> EnergyWatchdog {
+        assert!(tolerance > 0.0, "non-positive drift tolerance");
+        EnergyWatchdog { tolerance, scale: None, baseline: None }
+    }
+
+    /// Pin the drift denominator instead of using `|baseline|`.
+    pub fn with_scale(mut self, scale: f64) -> EnergyWatchdog {
+        assert!(scale > 0.0, "non-positive drift scale");
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Record (first call) or test (later calls) a total energy.
+    /// Returns the current relative drift, or `Err` when it exceeds
+    /// the tolerance. A non-finite energy trips immediately.
+    pub fn check(&mut self, energy: f64) -> Result<f64, EnergyDriftExceeded> {
+        let Some(baseline) = self.baseline else {
+            if !energy.is_finite() {
+                return Err(EnergyDriftExceeded {
+                    baseline: energy,
+                    energy,
+                    drift: f64::INFINITY,
+                    tolerance: self.tolerance,
+                });
+            }
+            self.baseline = Some(energy);
+            return Ok(0.0);
+        };
+        let scale = self.scale.unwrap_or_else(|| baseline.abs().max(f64::MIN_POSITIVE));
+        let drift = ((energy - baseline) / scale).abs();
+        // NaN drift (non-finite energy) must trip, not slip through a
+        // false comparison
+        use std::cmp::Ordering::{Equal, Less};
+        if !matches!(drift.partial_cmp(&self.tolerance), Some(Less | Equal)) {
+            return Err(EnergyDriftExceeded { baseline, energy, drift, tolerance: self.tolerance });
+        }
+        Ok(drift)
+    }
+
+    /// The armed baseline, if any check has run.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+}
+
 /// Radii enclosing the given mass fractions, about the center of mass
 /// (Lagrangian radii) — the standard collapse/clustering tracker.
 pub fn lagrangian_radii(state: &Snapshot, fractions: &[f64]) -> Vec<f64> {
@@ -137,5 +226,37 @@ mod tests {
     fn bad_fraction_rejected() {
         let (state, _) = two_body();
         lagrangian_radii(&state, &[1.5]);
+    }
+
+    #[test]
+    fn watchdog_arms_then_trips() {
+        let mut w = EnergyWatchdog::new(0.01);
+        assert_eq!(w.check(-0.25).unwrap(), 0.0); // arms the baseline
+        assert_eq!(w.baseline(), Some(-0.25));
+        assert!(w.check(-0.2501).unwrap() < 0.01); // tiny drift passes
+        let e = w.check(-0.30).unwrap_err(); // 20% drift trips
+        assert!(e.drift > 0.01 && e.tolerance == 0.01);
+        assert!(e.to_string().contains("energy drift"));
+    }
+
+    #[test]
+    fn watchdog_pinned_scale() {
+        // cosmological runs: E_total ≈ 0, so drift is measured against
+        // a pinned scale (initial kinetic energy), not |baseline|
+        let mut w = EnergyWatchdog::new(0.05).with_scale(1.0);
+        w.check(1e-9).unwrap();
+        assert!(w.check(0.04).is_ok());
+        assert!(w.check(0.06).is_err());
+    }
+
+    #[test]
+    fn watchdog_trips_on_non_finite_energy() {
+        let mut w = EnergyWatchdog::new(0.5);
+        assert!(w.check(f64::NAN).is_err());
+
+        let mut w = EnergyWatchdog::new(0.5);
+        w.check(1.0).unwrap();
+        assert!(w.check(f64::NAN).is_err());
+        assert!(w.check(f64::INFINITY).is_err());
     }
 }

@@ -6,7 +6,7 @@
 //! exact force — energy errors are then dominated by the tree/hardware
 //! force approximation, which is what the accuracy experiments measure.
 
-use crate::backends::{ForceBackend, ForceSet};
+use crate::backends::{ForceBackend, ForceError, ForceSet};
 use crate::perf::PhaseTimers;
 use g5ic::Snapshot;
 use g5util::counters::InteractionTally;
@@ -29,13 +29,29 @@ pub struct Simulation<B: ForceBackend> {
 }
 
 impl<B: ForceBackend> Simulation<B> {
-    /// Initialize at `time`, computing the initial forces.
+    /// Initialize at `time`, computing the initial forces; panics on
+    /// unrecoverable force failure.
     pub fn new(state: Snapshot, backend: B, time: f64) -> Self {
+        Simulation::try_new(state, backend, time)
+            .unwrap_or_else(|e| panic!("cannot initialize simulation: {e}"))
+    }
+
+    /// Initialize at `time`, computing the initial forces.
+    pub fn try_new(state: Snapshot, backend: B, time: f64) -> Result<Self, ForceError> {
+        Simulation::resume(state, backend, time, 0)
+    }
+
+    /// Reconstruct a simulation mid-run — e.g. from a checkpoint —
+    /// with the step counter already at `steps`. Forces are recomputed
+    /// from the positions, which is exactly what an uninterrupted KDK
+    /// integration holds at the top of a step: resumed trajectories are
+    /// bit-identical to uninterrupted ones.
+    pub fn resume(state: Snapshot, backend: B, time: f64, steps: u64) -> Result<Self, ForceError> {
         state.validate();
         let mut sim = Simulation {
             state,
             time,
-            steps: 0,
+            steps,
             backend,
             acc: Vec::new(),
             pot: Vec::new(),
@@ -43,32 +59,46 @@ impl<B: ForceBackend> Simulation<B> {
             timers: PhaseTimers::default(),
         };
         let t = Instant::now();
-        let mut ft = sim.refresh_forces();
+        let mut ft = sim.refresh_forces()?;
         ft.step_wall_s = t.elapsed().as_secs_f64();
         sim.timers.accumulate(&ft);
-        sim
+        Ok(sim)
     }
 
-    fn refresh_forces(&mut self) -> PhaseTimers {
-        let fs: ForceSet = self.backend.compute(&self.state.pos, &self.state.mass);
+    fn refresh_forces(&mut self) -> Result<PhaseTimers, ForceError> {
+        let fs: ForceSet = self.backend.try_compute(&self.state.pos, &self.state.mass)?;
         self.tally = self.tally.merged(fs.tally);
         self.acc = fs.acc;
         self.pot = fs.pot;
-        fs.timers
+        Ok(fs.timers)
     }
 
-    /// Advance one kick–drift–kick step of size `dt`.
+    /// Advance one kick–drift–kick step of size `dt`; panics on
+    /// unrecoverable force failure.
     pub fn step(&mut self, dt: f64) {
+        self.try_step(dt).unwrap_or_else(|e| panic!("unrecoverable step failure: {e}"))
+    }
+
+    /// Advance one kick–drift–kick step of size `dt`, surfacing force
+    /// failures as values. On `Err` the simulation state is unchanged
+    /// (the half-kick and drift are staged in scratch buffers and only
+    /// committed once the new forces arrive), so the caller can
+    /// checkpoint the intact pre-step state and abort or retry.
+    pub fn try_step(&mut self, dt: f64) -> Result<(), ForceError> {
         assert!(dt > 0.0, "non-positive timestep");
         let t = Instant::now();
         let half = 0.5 * dt;
-        for (v, a) in self.state.vel.iter_mut().zip(&self.acc) {
-            *v += *a * half;
-        }
-        for (p, v) in self.state.pos.iter_mut().zip(&self.state.vel) {
-            *p += *v * dt;
-        }
-        let mut ft = self.refresh_forces();
+        let vel_half: Vec<Vec3> =
+            self.state.vel.iter().zip(&self.acc).map(|(v, a)| *v + *a * half).collect();
+        let pos_new: Vec<Vec3> =
+            self.state.pos.iter().zip(&vel_half).map(|(p, v)| *p + *v * dt).collect();
+        let fs = self.backend.try_compute(&pos_new, &self.state.mass)?;
+        self.state.vel = vel_half;
+        self.state.pos = pos_new;
+        self.tally = self.tally.merged(fs.tally);
+        self.acc = fs.acc;
+        self.pot = fs.pot;
+        let mut ft = fs.timers;
         for (v, a) in self.state.vel.iter_mut().zip(&self.acc) {
             *v += *a * half;
         }
@@ -76,6 +106,7 @@ impl<B: ForceBackend> Simulation<B> {
         self.steps += 1;
         ft.step_wall_s = t.elapsed().as_secs_f64();
         self.timers.accumulate(&ft);
+        Ok(())
     }
 
     /// Advance `n` equal steps.
@@ -85,11 +116,27 @@ impl<B: ForceBackend> Simulation<B> {
         }
     }
 
+    /// Advance `n` equal steps, stopping at the first failed step (the
+    /// state is then at the last completed step).
+    pub fn try_run(&mut self, dt: f64, n: u64) -> Result<(), ForceError> {
+        for _ in 0..n {
+            self.try_step(dt)?;
+        }
+        Ok(())
+    }
+
     /// Advance to absolute time `t` in one step.
     pub fn step_to(&mut self, t: f64) {
         let dt = t - self.time;
         assert!(dt > 0.0, "step_to target {t} not ahead of current time {}", self.time);
         self.step(dt);
+    }
+
+    /// Fallible form of [`step_to`](Self::step_to).
+    pub fn try_step_to(&mut self, t: f64) -> Result<(), ForceError> {
+        let dt = t - self.time;
+        assert!(dt > 0.0, "step_to target {t} not ahead of current time {}", self.time);
+        self.try_step(dt)
     }
 
     /// Advance through an increasing schedule of absolute times.
@@ -222,5 +269,68 @@ mod tests {
     fn zero_dt_rejected() {
         let mut sim = Simulation::new(two_body_circular(), DirectHost::new(0.0), 0.0);
         sim.step(0.0);
+    }
+
+    /// Backend that can be switched into a failing state mid-run.
+    struct Flaky {
+        inner: DirectHost,
+        fail: bool,
+    }
+
+    impl ForceBackend for Flaky {
+        fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
+            if self.fail {
+                return Err(ForceError::Device(grape5::DeviceError::BoardTimeout { board: 0 }));
+            }
+            self.inner.try_compute(pos, mass)
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn failed_step_leaves_state_untouched() {
+        let backend = Flaky { inner: DirectHost::new(0.0), fail: false };
+        let mut sim = Simulation::new(two_body_circular(), backend, 0.0);
+        sim.run(0.01, 3);
+        let pos = sim.state.pos.clone();
+        let vel = sim.state.vel.clone();
+        let (time, steps) = (sim.time, sim.steps);
+
+        sim.backend_mut().fail = true;
+        assert!(sim.try_step(0.01).is_err());
+        assert_eq!(sim.state.pos, pos, "failed step moved particles");
+        assert_eq!(sim.state.vel, vel, "failed step kicked velocities");
+        assert_eq!((sim.time, sim.steps), (time, steps));
+
+        // the run continues cleanly once the device heals
+        sim.backend_mut().fail = false;
+        sim.try_step(0.01).unwrap();
+        assert_eq!(sim.steps, steps + 1);
+    }
+
+    /// A resumed simulation continues bit-identically: KDK holds only
+    /// (pos, vel) at the top of a step, and forces are a pure function
+    /// of positions.
+    #[test]
+    fn resume_mid_run_is_bit_identical() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let snap = plummer_sphere(150, &mut rng);
+
+        let mut full = Simulation::new(snap.clone(), DirectHost::new(0.02), 0.0);
+        full.run(0.01, 20);
+
+        let mut first = Simulation::new(snap, DirectHost::new(0.02), 0.0);
+        first.run(0.01, 9);
+        let mut resumed =
+            Simulation::resume(first.state.clone(), DirectHost::new(0.02), first.time, first.steps)
+                .unwrap();
+        resumed.run(0.01, 11);
+
+        assert_eq!(resumed.state.pos, full.state.pos);
+        assert_eq!(resumed.state.vel, full.state.vel);
+        assert_eq!(resumed.steps, full.steps);
     }
 }

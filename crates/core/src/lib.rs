@@ -25,10 +25,15 @@
 //! * [`halos`] — friends-of-friends halo finder (Davis et al. 1985)
 //!   turning the z = 0 snapshot into a halo catalog.
 //! * [`render`] — the Figure 4 slab projection (PGM / ASCII).
-//! * [`snapshot_io`] — compact binary snapshot save/load.
+//! * [`snapshot_io`] — compact binary snapshot save/load (checksummed
+//!   `G5SNAP2` records).
+//! * [`checkpoint`] — periodic checkpoint/restart: manifests carrying
+//!   step index, bit-exact integrator time and fault-injector state,
+//!   resumable bit-identically.
 
 pub mod accuracy;
 pub mod backends;
+pub mod checkpoint;
 pub mod clustering;
 pub mod diagnostics;
 pub mod halos;
@@ -38,9 +43,11 @@ pub mod render;
 pub mod snapshot_io;
 
 pub use backends::{
-    DirectGrape, DirectHost, ForceBackend, ForceSet, TreeGrape, TreeGrapeConfig, TreeHost,
+    DirectGrape, DirectHost, ForceBackend, ForceError, ForceSet, TreeGrape, TreeGrapeConfig,
+    TreeHost,
 };
-pub use diagnostics::Diagnostics;
+pub use checkpoint::{Checkpoint, Checkpointer};
+pub use diagnostics::{Diagnostics, EnergyWatchdog};
 pub use g5tree::plan::PlanConfig;
 pub use integrator::Simulation;
 pub use perf::{HostModel, PaperProjection, PhaseTimers, StepBreakdown};

@@ -1,23 +1,126 @@
 //! Compact binary snapshot I/O.
 //!
-//! Format `G5SNAP1\n`: magic, little-endian `u64` particle count and
-//! `f64` simulation time, then positions, velocities and masses as
-//! contiguous `f64` arrays. Simple, versioned, endian-explicit — enough
-//! for checkpointing the experiment runs without an external
-//! serialization dependency.
+//! Format `G5SNAP2\n`: magic, little-endian `u64` particle count and
+//! `f64` simulation time, positions, velocities and masses as
+//! contiguous `f64` arrays, then a CRC32 (IEEE) footer over everything
+//! after the magic. Simple, versioned, endian-explicit — enough for
+//! checkpointing the experiment runs without an external serialization
+//! dependency, and self-validating: a truncated or bit-rotted
+//! checkpoint is rejected at load instead of resuming a run from
+//! garbage. The previous `G5SNAP1\n` format (no footer) is still
+//! readable.
 
 use g5ic::Snapshot;
 use g5util::vec3::Vec3;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"G5SNAP1\n";
+const MAGIC_V1: &[u8; 8] = b"G5SNAP1\n";
+const MAGIC_V2: &[u8; 8] = b"G5SNAP2\n";
 
-/// Save a snapshot and its simulation time.
+// ----------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320)
+// ----------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC32 (IEEE) — the checksum in `G5SNAP2` footers.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Fold `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot checksum of a byte slice.
+    pub fn of(bytes: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(bytes);
+        c.finish()
+    }
+}
+
+/// Writer adapter that checksums everything passing through.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter that checksums everything passing through.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Save / load
+// ----------------------------------------------------------------------
+
+/// Save a snapshot and its simulation time (current `G5SNAP2` format,
+/// with CRC32 footer).
 pub fn save(path: &Path, snap: &Snapshot, time: f64) -> io::Result<()> {
     snap.validate();
     let mut w = BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(MAGIC)?;
+    w.write_all(MAGIC_V2)?;
+    let mut w = CrcWriter { inner: w, crc: Crc32::new() };
     w.write_all(&(snap.len() as u64).to_le_bytes())?;
     w.write_all(&time.to_le_bytes())?;
     for p in &snap.pos {
@@ -29,17 +132,25 @@ pub fn save(path: &Path, snap: &Snapshot, time: f64) -> io::Result<()> {
     for &m in &snap.mass {
         w.write_all(&m.to_le_bytes())?;
     }
-    w.flush()
+    let crc = w.crc.finish();
+    let mut inner = w.inner;
+    inner.write_all(&crc.to_le_bytes())?;
+    inner.flush()
 }
 
-/// Load a snapshot; returns `(snapshot, time)`.
+/// Load a snapshot; returns `(snapshot, time)`. Reads both `G5SNAP2`
+/// (verifying the CRC32 footer) and the legacy unchecksummed
+/// `G5SNAP1`.
 pub fn load(path: &Path) -> io::Result<(Snapshot, f64)> {
-    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut file = BufReader::new(std::fs::File::open(path)?);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
-    }
+    file.read_exact(&mut magic)?;
+    let checksummed = match &magic {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic")),
+    };
+    let mut r = CrcReader { inner: file, crc: Crc32::new() };
     let n = read_u64(&mut r)? as usize;
     let time = read_f64(&mut r)?;
     // sanity bound: refuse absurd counts rather than OOM on a bad file
@@ -59,6 +170,17 @@ pub fn load(path: &Path) -> io::Result<(Snapshot, f64)> {
     }
     for _ in 0..n {
         snap.mass.push(read_f64(&mut r)?);
+    }
+    if checksummed {
+        let computed = r.crc.finish();
+        let mut footer = [0u8; 4];
+        r.inner.read_exact(&mut footer)?;
+        if computed != u32::from_le_bytes(footer) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot checksum mismatch (truncated or corrupted file)",
+            ));
+        }
     }
     Ok((snap, time))
 }
@@ -102,6 +224,13 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vector() {
+        // the classic IEEE test vector
+        assert_eq!(Crc32::of(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::of(b""), 0);
+    }
+
+    #[test]
     fn roundtrip_preserves_everything() {
         let path = tmp("roundtrip");
         let snap = sample();
@@ -111,6 +240,30 @@ mod tests {
         assert_eq!(back.vel, snap.vel);
         assert_eq!(back.mass, snap.mass);
         assert_eq!(time, 12.5);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_still_loads() {
+        // hand-write the old unchecksummed format
+        let path = tmp("legacy");
+        let snap = sample();
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC_V1);
+        data.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        data.extend_from_slice(&3.25f64.to_le_bytes());
+        for p in snap.pos.iter().chain(&snap.vel) {
+            for c in [p.x, p.y, p.z] {
+                data.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        for &m in &snap.mass {
+            data.extend_from_slice(&m.to_le_bytes());
+        }
+        std::fs::write(&path, &data).unwrap();
+        let (back, time) = load(&path).unwrap();
+        assert_eq!(back.pos, snap.pos);
+        assert_eq!(time, 3.25);
         std::fs::remove_file(path).ok();
     }
 
@@ -135,10 +288,31 @@ mod tests {
     }
 
     #[test]
+    fn every_single_flipped_bit_is_caught() {
+        // corrupt each byte of the payload in turn: the CRC must catch
+        // all of them (bit-rot round trip)
+        let path = tmp("bitrot");
+        let snap = sample();
+        save(&path, &snap, 7.0).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for i in 8..clean.len() - 4 {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let res = load(&path);
+            assert!(res.is_err(), "flipped byte {i} loaded successfully");
+        }
+        // and the pristine file still loads
+        std::fs::write(&path, &clean).unwrap();
+        load(&path).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn implausible_count_rejected() {
         let path = tmp("hugecount");
         let mut data = Vec::new();
-        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(MAGIC_V2);
         data.extend_from_slice(&u64::MAX.to_le_bytes());
         data.extend_from_slice(&0.0f64.to_le_bytes());
         std::fs::write(&path, &data).unwrap();

@@ -23,6 +23,10 @@ pub struct ProcessorBoard {
     jmem: Vec<JWord>,
     capacity: usize,
     pipes: usize,
+    /// Pipelines taken out of service by the host (fault quarantine).
+    /// Work is re-spread over the survivors, so the schedule degrades
+    /// gracefully instead of the board dying with its pipe.
+    disabled_pipes: usize,
     latency: u64,
     acc_format: FixedFormat,
     vmp: bool,
@@ -35,10 +39,28 @@ impl ProcessorBoard {
             jmem: Vec::new(),
             capacity: cfg.jmem_capacity,
             pipes: cfg.pipes_per_board(),
+            disabled_pipes: 0,
             latency: cfg.pipeline_latency_cycles,
             acc_format: cfg.acc_format,
             vmp: cfg.vmp,
         }
+    }
+
+    /// Pipelines currently in service.
+    #[inline]
+    pub fn active_pipes(&self) -> usize {
+        self.pipes - self.disabled_pipes
+    }
+
+    /// Take one pipeline out of service; its i-lanes are redistributed
+    /// over the remaining pipes (at a cycle-count penalty). Returns the
+    /// number of pipes still active. The last pipe cannot be disabled —
+    /// a board with nothing left should be quarantined whole.
+    pub fn disable_pipe(&mut self) -> usize {
+        if self.active_pipes() > 1 {
+            self.disabled_pipes += 1;
+        }
+        self.active_pipes()
     }
 
     /// Particles currently in j-memory.
@@ -77,12 +99,13 @@ impl ProcessorBoard {
             return 0;
         }
         let nj = self.jmem.len() as u64;
-        if self.vmp && ni < self.pipes {
+        let pipes = self.active_pipes();
+        if self.vmp && ni < pipes {
             // virtual pipelines: idle pipes take j-subsets, partials
             // combined on-board; work is spread over all pipes
-            (ni as u64 * nj).div_ceil(self.pipes as u64) + self.latency
+            (ni as u64 * nj).div_ceil(pipes as u64) + self.latency
         } else {
-            let chunks = ni.div_ceil(self.pipes) as u64;
+            let chunks = ni.div_ceil(pipes) as u64;
             chunks * (nj + self.latency)
         }
     }
@@ -177,6 +200,27 @@ mod tests {
         let mut plain = plain;
         plain.load_j(&words);
         assert_eq!(plain.cycles_for(1), 1600 + cfg.pipeline_latency_cycles);
+    }
+
+    #[test]
+    fn disabled_pipes_slow_the_schedule_but_keep_the_board() {
+        let cfg = Grape5Config::paper(); // 16 pipes/board, latency 56
+        let mut board = ProcessorBoard::new(&cfg);
+        let pipe = G5Pipeline::new(&cfg, 1e-6, 0.0);
+        let words: Vec<JWord> = (0..100).map(|k| jw(&pipe, [k, 0, 0], 1.0)).collect();
+        board.load_j(&words);
+        assert_eq!(board.cycles_for(16), 156); // one 16-wide pass
+        assert_eq!(board.disable_pipe(), 15);
+        // 16 i over 15 pipes: two passes now
+        assert_eq!(board.cycles_for(16), 312);
+        // forces are unaffected — only the schedule degrades
+        let f = board.compute(&pipe, &[[5, 5, 5]], 1.0);
+        assert_ne!(f[0], Force::ZERO);
+        // the last pipe can never be disabled
+        for _ in 0..40 {
+            board.disable_pipe();
+        }
+        assert_eq!(board.active_pipes(), 1);
     }
 
     #[test]

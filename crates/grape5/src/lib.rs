@@ -38,6 +38,7 @@ pub mod clock;
 pub mod config;
 pub mod cost;
 pub mod cutoff;
+pub mod fault;
 pub mod pipeline;
 pub mod session;
 pub mod system;
@@ -46,6 +47,7 @@ pub use clock::{ClockAccounting, ClockReport};
 pub use config::{ArithMode, Grape5Config};
 pub use cost::{CostModel, PricePerformance};
 pub use cutoff::CutoffTable;
+pub use fault::{BoardDropout, DeviceError, FaultConfig, StuckPipe};
 pub use pipeline::{Force, G5Pipeline};
-pub use session::{bounding_window, DeviceSession};
-pub use system::Grape5;
+pub use session::{bounding_window, DeviceSession, RecoveryStats, RetryPolicy};
+pub use system::{Grape5, SelfTest};

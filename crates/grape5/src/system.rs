@@ -27,6 +27,9 @@ use crate::board::ProcessorBoard;
 use crate::clock::ClockAccounting;
 use crate::config::Grape5Config;
 use crate::cutoff::CutoffTable;
+use crate::fault::{
+    corrupt_mass, corrupt_readback, CallFault, DeviceError, FaultConfig, FaultState,
+};
 use crate::pipeline::{Force, G5Pipeline, JWord};
 use g5util::fixed::RangeScaler;
 use g5util::vec3::Vec3;
@@ -37,6 +40,26 @@ const WORDS_PER_J: u64 = 4;
 const WORDS_PER_I: u64 = 3;
 /// Interface words read back per i-particle (ax, ay, az, pot).
 const WORDS_PER_F: u64 = 4;
+
+/// What the device's built-in self-test reports: persistent faults
+/// currently manifesting on hardware still in active service. The host
+/// recovery layer runs this after repeated failures to decide what to
+/// quarantine (the real library's equivalent is a JTAG/test-pattern
+/// scan of each pipeline).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelfTest {
+    /// `(board, pipe)` pairs returning garbage on their lanes.
+    pub stuck_pipes: Vec<(usize, usize)>,
+    /// Boards not answering DMA.
+    pub dead_boards: Vec<usize>,
+}
+
+impl SelfTest {
+    /// No persistent fault found.
+    pub fn is_clean(&self) -> bool {
+        self.stuck_pipes.is_empty() && self.dead_boards.is_empty()
+    }
+}
 
 /// An open GRAPE-5 system.
 #[derive(Debug, Clone)]
@@ -50,6 +73,12 @@ pub struct Grape5 {
     force_scale: f64,
     clock: ClockAccounting,
     nj_total: usize,
+    /// Injected-fault process, if armed.
+    fault: Option<FaultState>,
+    /// Host quarantine state: `false` = board taken out of service.
+    board_ok: Vec<bool>,
+    /// Host quarantine state: pipes taken out of service.
+    quarantined_pipes: Vec<(usize, usize)>,
 }
 
 impl Grape5 {
@@ -63,6 +92,7 @@ impl Grape5 {
         let boards = (0..cfg.boards).map(|_| ProcessorBoard::new(&cfg)).collect();
         let scaler = RangeScaler::new(-1.0, 1.0, cfg.coord_bits);
         let pipeline = G5Pipeline::new(&cfg, scaler.quantum(), 0.0);
+        let nb = cfg.boards;
         Grape5 {
             cfg,
             boards,
@@ -73,6 +103,9 @@ impl Grape5 {
             force_scale: 1.0,
             clock: ClockAccounting::new(),
             nj_total: 0,
+            fault: None,
+            board_ok: vec![true; nb],
+            quarantined_pipes: Vec::new(),
         }
     }
 
@@ -84,6 +117,92 @@ impl Grape5 {
     /// The configuration this system was opened with.
     pub fn config(&self) -> &Grape5Config {
         &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and quarantine
+    // ------------------------------------------------------------------
+
+    /// Arm (or replace) the deterministic fault injector. Every fault
+    /// the device suffers from here on is drawn from `cfg`'s seeded
+    /// process; the same seed and call sequence reproduce the same
+    /// faults bit for bit.
+    pub fn set_fault_injector(&mut self, cfg: FaultConfig) {
+        self.fault = Some(FaultState::new(cfg));
+    }
+
+    /// Disarm the injector (quarantine state is host-side and stays).
+    pub fn clear_fault_injector(&mut self) {
+        self.fault = None;
+    }
+
+    /// Checkpointable position of the fault process (RNG + counters),
+    /// if an injector is armed. Quarantine state is deliberately *not*
+    /// included: persistent faults re-manifest after a restore and the
+    /// recovery layer re-quarantines them, which affects only the
+    /// timing model, never the forces.
+    pub fn fault_state_words(&self) -> Option<Vec<u64>> {
+        self.fault.as_ref().map(|f| f.to_words())
+    }
+
+    /// Restore a fault-process position saved by
+    /// [`fault_state_words`](Self::fault_state_words). An injector with
+    /// the original [`FaultConfig`] must already be armed.
+    pub fn restore_fault_state(&mut self, words: &[u64]) -> Result<(), DeviceError> {
+        let cfg = *self.fault.as_ref().ok_or(DeviceError::BadFaultState)?.config();
+        self.fault = Some(FaultState::restore(cfg, words)?);
+        Ok(())
+    }
+
+    /// Run the device self-test: report persistent faults manifesting
+    /// on hardware still in active service.
+    pub fn self_test(&self) -> SelfTest {
+        let mut report = SelfTest::default();
+        if let Some(f) = &self.fault {
+            if let Some(s) = f.manifesting_stuck_pipe() {
+                if self.board_ok[s.board] && !self.quarantined_pipes.contains(&(s.board, s.pipe)) {
+                    report.stuck_pipes.push((s.board, s.pipe));
+                }
+            }
+            if let Some(d) = f.manifesting_dropout() {
+                if self.board_ok[d.board] {
+                    report.dead_boards.push(d.board);
+                }
+            }
+        }
+        report
+    }
+
+    /// Take a whole board out of service. Its j-memory share is gone —
+    /// reload the j-set to redistribute over the survivors. Returns the
+    /// number of boards still active.
+    pub fn quarantine_board(&mut self, board: usize) -> usize {
+        if board < self.board_ok.len() && self.board_ok[board] {
+            self.board_ok[board] = false;
+            self.boards[board].load_j(&[]);
+            self.nj_total = self.boards.iter().map(|b| b.nj()).sum();
+        }
+        self.active_boards()
+    }
+
+    /// Take one pipeline out of service: its lanes re-spread over the
+    /// board's remaining pipes at a cycle-count penalty.
+    pub fn quarantine_pipe(&mut self, board: usize, pipe: usize) {
+        if board < self.boards.len() && !self.quarantined_pipes.contains(&(board, pipe)) {
+            self.quarantined_pipes.push((board, pipe));
+            self.boards[board].disable_pipe();
+        }
+    }
+
+    /// Boards currently in service.
+    pub fn active_boards(&self) -> usize {
+        self.board_ok.iter().filter(|&&ok| ok).count()
+    }
+
+    /// Host quarantine state: `(quarantined boards, quarantined pipes)`.
+    pub fn quarantined(&self) -> (Vec<usize>, Vec<(usize, usize)>) {
+        let boards = (0..self.board_ok.len()).filter(|&b| !self.board_ok[b]).collect();
+        (boards, self.quarantined_pipes.clone())
     }
 
     /// Declare the coordinate window (`g5_set_range`). Invalidate any
@@ -140,9 +259,9 @@ impl Grape5 {
         self.force_scale = scale;
     }
 
-    /// Total j-memory capacity across boards, in particles.
+    /// Total j-memory capacity across boards in service, in particles.
     pub fn jmem_capacity(&self) -> usize {
-        self.cfg.jmem_capacity * self.cfg.boards
+        self.cfg.jmem_capacity * self.active_boards()
     }
 
     /// Number of j-particles currently loaded.
@@ -164,7 +283,7 @@ impl Grape5 {
             pos.len(),
             self.jmem_capacity()
         );
-        let words: Vec<JWord> = pos
+        let mut words: Vec<JWord> = pos
             .iter()
             .zip(mass)
             .map(|(p, &m)| JWord {
@@ -177,19 +296,26 @@ impl Grape5 {
                 m,
             })
             .collect();
-        // Even split: board b takes the b-th contiguous share.
-        let nb = self.boards.len();
-        let per = words.len().div_ceil(nb.max(1));
-        let mut max_words_one_iface = 0u64;
-        for (b, chunk) in self.boards.iter_mut().zip(words.chunks(per.max(1))) {
-            b.load_j(chunk);
-            max_words_one_iface = max_words_one_iface.max(chunk.len() as u64 * WORDS_PER_J);
-        }
-        // boards whose chunk is empty after a short set
-        if words.is_empty() {
-            for b in &mut self.boards {
-                b.load_j(&[]);
+        // injected DMA corruption: this load may flip a mass bit upward
+        // in one word; a retry re-drives the transfer with a fresh draw
+        if let Some(f) = &mut self.fault {
+            if let Some(k) = f.on_j_load(words.len()) {
+                let m = corrupt_mass(words[k].m);
+                words[k].m = m;
+                words[k].m_lns = self.pipeline.encode_mass(m);
             }
+        }
+        // Even split: the b-th board in service takes the b-th
+        // contiguous share.
+        for b in &mut self.boards {
+            b.load_j(&[]);
+        }
+        let active: Vec<usize> = (0..self.boards.len()).filter(|&b| self.board_ok[b]).collect();
+        let per = words.len().div_ceil(active.len().max(1));
+        let mut max_words_one_iface = 0u64;
+        for (&b, chunk) in active.iter().zip(words.chunks(per.max(1))) {
+            self.boards[b].load_j(chunk);
+            max_words_one_iface = max_words_one_iface.max(chunk.len() as u64 * WORDS_PER_J);
         }
         self.nj_total = words.len();
         // j-load moves through per-board interfaces in parallel: charge
@@ -200,7 +326,36 @@ impl Grape5 {
 
     /// Compute forces on `xi` from the loaded j-set
     /// (`g5_calculate_force_on_x`).
+    ///
+    /// # Panics
+    /// On an injected device fault that would need host-side recovery;
+    /// use [`try_force_on`](Self::try_force_on) (or the recovering
+    /// [`crate::DeviceSession`]) when an injector is armed.
     pub fn force_on(&mut self, xi: &[Vec3]) -> Vec<Force> {
+        self.try_force_on(xi).unwrap_or_else(|e| panic!("unrecovered device error: {e}"))
+    }
+
+    /// Fallible force call: like [`force_on`](Self::force_on) but a
+    /// dead board surfaces as [`DeviceError::BoardTimeout`] instead of
+    /// a panic, and injected corruption reaches the returned forces for
+    /// the host validation layer to catch.
+    pub fn try_force_on(&mut self, xi: &[Vec3]) -> Result<Vec<Force>, DeviceError> {
+        // the fault process decides this call's fate first; the call
+        // counter advances even on a timeout (the host burned a DMA)
+        let call_fault = match &mut self.fault {
+            None => CallFault::Clean,
+            Some(f) => {
+                let ok = self.board_ok.clone();
+                f.on_force_call(xi.len(), |b| ok.get(b).copied().unwrap_or(false))
+            }
+        };
+        if let CallFault::Timeout { board } = call_fault {
+            // the call dies at the interface: charge the call overhead,
+            // no pipeline work, no data moved
+            self.clock.record_call(0, 0, 0);
+            return Err(DeviceError::BoardTimeout { board });
+        }
+
         let raw: Vec<[i64; 3]> = xi
             .iter()
             .map(|p| {
@@ -208,22 +363,47 @@ impl Grape5 {
             })
             .collect();
 
+        let stuck = self.fault.as_ref().and_then(|f| f.manifesting_stuck_pipe()).filter(|s| {
+            s.board < self.boards.len()
+                && self.board_ok[s.board]
+                && !self.quarantined_pipes.contains(&(s.board, s.pipe))
+        });
+
         let mut total: Vec<Force> = vec![Force::ZERO; xi.len()];
         let mut max_cycles = 0u64;
-        for b in &self.boards {
-            if b.nj() == 0 {
+        let pipes = self.cfg.pipes_per_board();
+        for (bi, b) in self.boards.iter().enumerate() {
+            if !self.board_ok[bi] || b.nj() == 0 {
                 continue;
             }
-            let partial = b.compute(&self.pipeline, &raw, self.force_scale);
+            let mut partial = b.compute(&self.pipeline, &raw, self.force_scale);
+            if let Some(s) = stuck.filter(|s| s.board == bi) {
+                // every lane the stuck pipe serves reads back garbage
+                for k in (s.pipe..partial.len()).step_by(pipes) {
+                    partial[k].acc.x = corrupt_readback(partial[k].acc.x);
+                    partial[k].acc.y = corrupt_readback(partial[k].acc.y);
+                    partial[k].acc.z = corrupt_readback(partial[k].acc.z);
+                    partial[k].pot = corrupt_readback(partial[k].pot);
+                }
+            }
             for (t, p) in total.iter_mut().zip(partial) {
                 *t = t.merged(p);
             }
             max_cycles = max_cycles.max(b.cycles_for(xi.len()));
         }
+        if let CallFault::Transient { index, word } = call_fault {
+            let f = &mut total[index];
+            match word {
+                0 => f.acc.x = corrupt_readback(f.acc.x),
+                1 => f.acc.y = corrupt_readback(f.acc.y),
+                2 => f.acc.z = corrupt_readback(f.acc.z),
+                _ => f.pot = corrupt_readback(f.pot),
+            }
+        }
         let words = xi.len() as u64 * (WORDS_PER_I + WORDS_PER_F);
         let interactions = xi.len() as u64 * self.nj_total as u64;
         self.clock.record_call(max_cycles, words, interactions);
-        total
+        Ok(total)
     }
 
     /// Convenience: compute forces on `xi` from an arbitrarily large
@@ -424,6 +604,167 @@ mod tests {
         let fl = lns.force_on(&pos);
         let rel = (fe[0].acc - fl[0].acc).norm() / fe[0].acc.norm();
         assert!(rel < 0.02, "LNS cutoff path off by {rel}");
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{BoardDropout, FaultConfig, StuckPipe};
+
+        /// Bit patterns of every force component — corrupted outputs are
+        /// NaN, so reproducibility checks cannot use `==` on `f64`.
+        fn force_bits(f: &[Force]) -> Vec<[u64; 4]> {
+            f.iter()
+                .map(|w| [w.acc.x.to_bits(), w.acc.y.to_bits(), w.acc.z.to_bits(), w.pot.to_bits()])
+                .collect()
+        }
+
+        fn loaded_system() -> (Grape5, Vec<Vec3>, Vec<f64>) {
+            let cfg = Grape5Config { mode: ArithMode::Exact, ..Grape5Config::paper() };
+            let mut g5 = Grape5::open(cfg);
+            g5.set_range(-2.0, 2.0);
+            g5.set_eps(0.05);
+            let pos: Vec<Vec3> = (0..40)
+                .map(|k| Vec3::new((k as f64 * 0.04) - 0.8, (k % 5) as f64 * 0.1, 0.2))
+                .collect();
+            let mass = vec![0.025; 40];
+            (g5, pos, mass)
+        }
+
+        #[test]
+        fn transient_corruption_is_non_finite_and_reproducible() {
+            let (mut clean, pos, mass) = loaded_system();
+            clean.set_j_particles(&pos, &mass);
+            let reference = clean.force_on(&pos);
+
+            let mut runs = Vec::new();
+            for _ in 0..2 {
+                let (mut g5, _, _) = loaded_system();
+                g5.set_fault_injector(FaultConfig::transient(42, 0.7));
+                g5.set_j_particles(&pos, &mass);
+                let mut forces = Vec::new();
+                for _ in 0..20 {
+                    forces.push(g5.try_force_on(&pos).unwrap());
+                }
+                runs.push(forces);
+            }
+            for (a, b) in runs[0].iter().zip(&runs[1]) {
+                assert_eq!(force_bits(a), force_bits(b), "same seed must inject identical faults");
+            }
+            let mut corrupted_calls = 0;
+            for f in &runs[0] {
+                let bad: Vec<_> =
+                    f.iter().filter(|w| !(w.acc.is_finite() && w.pot.is_finite())).collect();
+                if !bad.is_empty() {
+                    corrupted_calls += 1;
+                    assert_eq!(bad.len(), 1, "transient corrupts exactly one word");
+                }
+            }
+            assert!(corrupted_calls >= 8, "rate 0.7 corrupted only {corrupted_calls}/20 calls");
+            // uncorrupted calls match the fault-free device bit for bit
+            let clean_call =
+                runs[0].iter().find(|f| f.iter().all(|w| w.acc.is_finite() && w.pot.is_finite()));
+            assert_eq!(clean_call.unwrap(), &reference);
+        }
+
+        #[test]
+        fn jmem_corruption_blows_past_the_mass_scale() {
+            let (mut g5, pos, mass) = loaded_system();
+            g5.set_fault_injector(FaultConfig::jmem(9, 1.0)); // corrupt every load
+            g5.set_j_particles(&pos, &mass);
+            let f = g5.force_on(&pos);
+            // total mass is 1; with eps = 0.05 the force bound is
+            // Σm/ε² = 400 — a 2^600-scaled mass saturates far beyond it
+            let worst = f.iter().map(|w| w.acc.norm().max(w.pot.abs())).fold(0.0, f64::max);
+            assert!(worst > 400.0, "corrupted load stayed under the bound: {worst}");
+        }
+
+        #[test]
+        fn board_dropout_times_out_until_quarantined() {
+            let (mut g5, pos, mass) = loaded_system();
+            g5.set_fault_injector(FaultConfig::dropout(
+                1,
+                BoardDropout { after_call: 2, board: 1 },
+            ));
+            g5.set_j_particles(&pos, &mass);
+            let f0 = g5.try_force_on(&pos).unwrap();
+            let _ = g5.try_force_on(&pos).unwrap();
+            let err = g5.try_force_on(&pos).unwrap_err();
+            assert_eq!(err, DeviceError::BoardTimeout { board: 1 });
+            assert_eq!(g5.self_test().dead_boards, vec![1]);
+            // quarantine halves the machine; the j-set must be reloaded
+            assert_eq!(g5.quarantine_board(1), 1);
+            assert_eq!(g5.jmem_capacity(), g5.config().jmem_capacity);
+            g5.set_j_particles(&pos, &mass);
+            let f1 = g5.try_force_on(&pos).unwrap();
+            assert!(g5.self_test().is_clean());
+            for (a, b) in f0.iter().zip(&f1) {
+                assert!((a.acc - b.acc).norm() <= 1e-12 * a.acc.norm().max(1.0));
+            }
+        }
+
+        #[test]
+        fn stuck_pipe_corrupts_its_lanes_until_quarantined() {
+            let (mut g5, pos, mass) = loaded_system();
+            let stuck = StuckPipe { after_call: 0, board: 0, pipe: 3 };
+            g5.set_fault_injector(FaultConfig::stuck(1, stuck));
+            g5.set_j_particles(&pos, &mass);
+            let f = g5.try_force_on(&pos).unwrap();
+            let pipes = g5.config().pipes_per_board();
+            for (k, w) in f.iter().enumerate() {
+                let on_stuck_lane = k % pipes == stuck.pipe;
+                assert_eq!(
+                    !(w.acc.is_finite() && w.pot.is_finite()),
+                    on_stuck_lane,
+                    "lane {k} corruption mismatch"
+                );
+            }
+            assert_eq!(g5.self_test().stuck_pipes, vec![(0, 3)]);
+            // 32 i-particles: 2 passes over 16 pipes, 3 over 15 — the
+            // quarantine penalty is visible in the schedule
+            let cycles_before = {
+                let mut probe = g5.clone();
+                probe.reset_accounting();
+                let _ = probe.try_force_on(&pos[..32]).unwrap();
+                probe.accounting().pipeline_cycles
+            };
+            g5.quarantine_pipe(0, 3);
+            assert!(g5.self_test().is_clean());
+            g5.reset_accounting();
+            let f2 = g5.try_force_on(&pos[..32]).unwrap();
+            assert!(f2.iter().all(|w| w.acc.is_finite() && w.pot.is_finite()));
+            // graceful degradation: the board runs on, slower
+            assert!(
+                g5.accounting().pipeline_cycles > cycles_before,
+                "quarantine must cost cycles: {} vs {cycles_before}",
+                g5.accounting().pipeline_cycles
+            );
+        }
+
+        #[test]
+        fn fault_state_roundtrip_resumes_the_same_fault_stream() {
+            let (mut g5, pos, mass) = loaded_system();
+            let cfg = FaultConfig::transient(77, 0.5);
+            g5.set_fault_injector(cfg);
+            g5.set_j_particles(&pos, &mass);
+            for _ in 0..7 {
+                let _ = g5.try_force_on(&pos).unwrap();
+            }
+            let words = g5.fault_state_words().unwrap();
+
+            // a "restarted" device armed with the same config + state
+            let (mut resumed, _, _) = loaded_system();
+            resumed.set_fault_injector(cfg);
+            resumed.restore_fault_state(&words).unwrap();
+            resumed.set_j_particles(&pos, &mass);
+            // fault decisions diverge if the j-load advanced only one
+            // process — both counted it, so streams stay aligned
+            g5.set_j_particles(&pos, &mass);
+            for _ in 0..10 {
+                let a = g5.try_force_on(&pos).unwrap();
+                let b = resumed.try_force_on(&pos).unwrap();
+                assert_eq!(force_bits(&a), force_bits(&b));
+            }
+        }
     }
 
     #[test]

@@ -29,9 +29,44 @@ use crate::traverse::{Group, ListTerm, Traversal};
 use crate::tree::Tree;
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::time::Instant;
+
+/// A group resolution failed: the panic payload of the producer,
+/// surfaced as a value so one bad group fails one force evaluation —
+/// the caller can checkpoint and abort, or retry — instead of taking
+/// the whole process down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Tree cell of the group whose resolution failed, when known.
+    pub group: Option<u32>,
+    /// Panic payload or failure description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.group {
+            Some(g) => write!(f, "plan producer failed on group (node {g}): {}", self.message),
+            None => write!(f, "plan producer failed: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Best-effort string form of a caught panic payload.
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One group's fully resolved share of a force evaluation: everything
 /// the device driver needs, with no further tree access.
@@ -134,14 +169,17 @@ fn resolve_group(tree: &Tree, tr: &Traversal, g: Group, scratch: &mut Vec<ListTe
 ///
 /// The consumer runs on the calling thread; producers (if any) run in a
 /// scope that ends before `stream` returns, so borrows of `tree` never
-/// escape.
+/// escape. A panic while resolving a group travels through the channel
+/// as a [`PlanError`] value: the stream shuts down cleanly (producers
+/// notice the closed channel and stop) and the error comes back to the
+/// caller instead of aborting the process.
 pub fn stream<F: FnMut(GroupWork)>(
     tree: &Tree,
     tr: &Traversal,
     groups: &[Group],
     cfg: &PlanConfig,
     mut consume: F,
-) -> PlanStats {
+) -> Result<PlanStats, PlanError> {
     let mut stats = PlanStats::default();
     let workers = cfg.resolved_workers();
 
@@ -151,17 +189,19 @@ pub fn stream<F: FnMut(GroupWork)>(
         let mut scratch = Vec::new();
         for &g in groups {
             let t = Instant::now();
-            let work = resolve_group(tree, tr, g, &mut scratch);
+            let work = catch_unwind(AssertUnwindSafe(|| resolve_group(tree, tr, g, &mut scratch)))
+                .map_err(|p| PlanError { group: Some(g.node), message: payload_msg(&*p) });
             stats.produce_s += t.elapsed().as_secs_f64();
+            let work = work?;
             stats.tally = stats.tally.merged(work.tally);
             consume(work);
         }
-        return stats;
+        return Ok(stats);
     }
 
-    let (tx, rx) = sync_channel::<GroupWork>(cfg.channel_depth.max(1));
+    let (tx, rx) = sync_channel::<Result<GroupWork, PlanError>>(cfg.channel_depth.max(1));
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
+    let failure = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let tx = tx.clone();
@@ -175,10 +215,17 @@ pub fn stream<F: FnMut(GroupWork)>(
                         break;
                     }
                     let t = Instant::now();
-                    let work = resolve_group(tree, tr, groups[i], &mut scratch);
+                    let item = catch_unwind(AssertUnwindSafe(|| {
+                        resolve_group(tree, tr, groups[i], &mut scratch)
+                    }))
+                    .map_err(|p| PlanError {
+                        group: Some(groups[i].node),
+                        message: payload_msg(&*p),
+                    });
                     cpu_s += t.elapsed().as_secs_f64();
-                    if tx.send(work).is_err() {
-                        break; // consumer gone: stop producing
+                    let failed = item.is_err();
+                    if tx.send(item).is_err() || failed {
+                        break; // consumer gone, or nothing sane left to produce
                     }
                 }
                 cpu_s
@@ -186,18 +233,40 @@ pub fn stream<F: FnMut(GroupWork)>(
         }
         drop(tx); // channel closes when the last producer finishes
 
+        let mut failure: Option<PlanError> = None;
         loop {
             let t = Instant::now();
-            let Ok(work) = rx.recv() else { break };
+            let Ok(item) = rx.recv() else { break };
             stats.consume_wait_s += t.elapsed().as_secs_f64();
-            stats.tally = stats.tally.merged(work.tally);
-            consume(work);
+            match item {
+                Ok(work) => {
+                    stats.tally = stats.tally.merged(work.tally);
+                    consume(work);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
         }
+        // unblock any producer parked on a full channel before joining
+        drop(rx);
         for h in handles {
-            stats.produce_s += h.join().expect("plan producer panicked");
+            match h.join() {
+                Ok(cpu_s) => stats.produce_s += cpu_s,
+                Err(p) => {
+                    if failure.is_none() {
+                        failure = Some(PlanError { group: None, message: payload_msg(&*p) });
+                    }
+                }
+            }
         }
+        failure
     });
-    stats
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +304,8 @@ mod tests {
             for &t in &w.targets {
                 per_target[t] += w.jpos.len() as u64;
             }
-        });
+        })
+        .unwrap();
         (per_target, stats.tally)
     }
 
@@ -262,7 +332,7 @@ mod tests {
         let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
         let tr = Traversal::new(0.8);
         let groups = tr.find_groups(&tree, 48);
-        let stats = stream(&tree, &tr, &groups, &PlanConfig::default(), |_| {});
+        let stats = stream(&tree, &tr, &groups, &PlanConfig::default(), |_| {}).unwrap();
         assert_eq!(stats.tally, tr.modified_tally(&tree, 48));
         assert_eq!(stats.tally.lists, groups.len() as u64);
         assert!(stats.produce_s >= 0.0);
@@ -277,7 +347,34 @@ mod tests {
         let tr = Traversal::new(0.7);
         let groups = tr.find_groups(&tree, 16);
         let mut seen = 0usize;
-        stream(&tree, &tr, &groups, &PlanConfig::overlapped(2, 1), |_| seen += 1);
+        stream(&tree, &tr, &groups, &PlanConfig::overlapped(2, 1), |_| seen += 1).unwrap();
         assert_eq!(seen, groups.len());
+    }
+
+    #[test]
+    fn producer_panic_surfaces_as_error() {
+        // groups found on a large tree but resolved against a small one:
+        // node indices run off the end, which panics inside
+        // resolve_group — the stream must return that as a PlanError
+        // and shut down without hanging or aborting
+        let (pos, mass) = cloud(600, 3);
+        let big = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.7);
+        let groups = tr.find_groups(&big, 8);
+        let (pos2, mass2) = cloud(24, 5);
+        let small = Tree::build_with(&pos2, &mass2, TreeConfig::default());
+        assert!(big.nodes().len() > small.nodes().len());
+
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep expected panics quiet
+        let serial = stream(&small, &tr, &groups, &PlanConfig::serial(), |_| {});
+        let overlapped = stream(&small, &tr, &groups, &PlanConfig::overlapped(2, 2), |_| {});
+        std::panic::set_hook(prev_hook);
+
+        let serial = serial.unwrap_err();
+        assert!(serial.group.is_some());
+        assert!(!serial.message.is_empty());
+        assert!(serial.to_string().contains("plan producer failed"));
+        overlapped.unwrap_err();
     }
 }
