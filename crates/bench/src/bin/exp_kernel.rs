@@ -1,0 +1,305 @@
+//! **E10 — batched SoA device kernel vs the pre-batch scalar path.**
+//!
+//! Drives the simulated GRAPE-5 directly (no tree) on a pinned-seed
+//! Plummer workload and measures host-side kernel throughput two ways
+//! *in the same run, against the same resident j-set*:
+//!
+//! * **batch** — the production `force_on` path: table-driven LNS
+//!   converters, SoA j-memory, blocked i×j kernel, LNS-indexed cutoff,
+//!   board-parallel dispatch;
+//! * **reference** — the kept pre-batch scalar path
+//!   (`force_on_reference`): per-pair `JWord` assembly, `libm`
+//!   encode/decode per operand, cutoff LNS→f64→re-encode round trip.
+//!
+//! Both paths are proven bit-identical by `tests/golden_kernel.rs`;
+//! this binary quantifies what the refactor bought. Results go to a
+//! table, a `PhaseTimers` phase split for the headline run, and a
+//! JSON report (default `BENCH_pr3.json`); when the output file already
+//! exists its numbers are read first and a delta is printed, so CI can
+//! diff a fresh `--quick` run against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_kernel -- \
+//!     [--quick] [--out BENCH_pr3.json]
+//! ```
+
+use g5_bench::{fmt_count, fmt_secs, plummer, rule, Args};
+use g5util::counters::{FlopConvention, InteractionRate};
+use grape5::{bounding_window, ArithMode, Grape5, Grape5Config};
+use std::fmt::Write as _;
+use std::time::Instant;
+use treegrape::perf::PhaseTimers;
+
+const SEED: u64 = 42;
+const EPS: f64 = 0.01;
+
+struct KernelResult {
+    n: usize,
+    mode: ArithMode,
+    nj: u64,
+    /// j-quantization + transfer time (the `set_j_particles` call).
+    load_s: f64,
+    batch: InteractionRate,
+    reference: InteractionRate,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.batch.per_second() / self.reference.per_second()
+    }
+}
+
+fn mode_str(mode: ArithMode) -> &'static str {
+    match mode {
+        ArithMode::Exact => "exact",
+        ArithMode::Lns => "lns",
+    }
+}
+
+/// Time one (N, mode) cell: open a device, make the j-set resident,
+/// then run the batch and reference paths back to back on rotating
+/// i-windows until each phase has both a minimum wall-clock and a
+/// minimum interaction count behind it.
+fn measure(n: usize, mode: ArithMode, quick: bool) -> KernelResult {
+    let snap = plummer(n, SEED);
+    let cfg = Grape5Config { mode, ..Grape5Config::paper() };
+    let mut g5 = Grape5::open(cfg);
+    let (lo, hi) = bounding_window(&snap.pos).expect("finite workload");
+    g5.set_range(lo, hi);
+    g5.set_eps(EPS);
+
+    let t_load = Instant::now();
+    g5.set_j_particles(&snap.pos, &snap.mass);
+    let load_s = t_load.elapsed().as_secs_f64();
+    let nj = g5.nj() as u64;
+
+    // per-phase budgets: enough interactions to amortize call overheads
+    // and a minimum wall-clock so fast cells are not quantization noise;
+    // the slow reference path gets a smaller interaction budget. The two
+    // phases are measured in alternating rounds so slow drift of the
+    // machine (thermal, competing load) biases neither side of the ratio.
+    let (batch_target, ref_target, min_s, rounds) = if quick {
+        (4_000_000u64, 1_000_000u64, 0.02, 2u64)
+    } else {
+        (36_000_000u64, 9_000_000u64, 0.12, 3u64)
+    };
+    let ni_for = |target: u64| (target.div_ceil(nj).clamp(16, n as u64)) as usize;
+
+    // warm the device, the converter tables, and the branch predictors
+    let _ = g5.force_on(&snap.pos[..16.min(n)]);
+    let _ = g5.force_on_reference(&snap.pos[..16.min(n)]);
+
+    let run = |g5: &mut Grape5, target: u64, reference: bool, off: &mut usize| {
+        let ni = ni_for(target);
+        let mut interactions = 0u64;
+        let t = Instant::now();
+        while interactions < target || t.elapsed().as_secs_f64() < min_s {
+            let end = (*off + ni).min(n);
+            let xi = &snap.pos[*off..end];
+            let f = if reference { g5.force_on_reference(xi) } else { g5.force_on(xi) };
+            assert_eq!(f.len(), xi.len());
+            interactions += xi.len() as u64 * nj;
+            *off = if end == n { 0 } else { end };
+        }
+        (interactions, t.elapsed().as_secs_f64())
+    };
+
+    let (mut bi, mut bs, mut ri, mut rs) = (0u64, 0.0f64, 0u64, 0.0f64);
+    let (mut off_b, mut off_r) = (0usize, 0usize);
+    for _ in 0..rounds {
+        let (i, s) = run(&mut g5, batch_target / rounds, false, &mut off_b);
+        bi += i;
+        bs += s;
+        let (i, s) = run(&mut g5, ref_target / rounds, true, &mut off_r);
+        ri += i;
+        rs += s;
+    }
+    let batch = InteractionRate::new(bi, bs);
+    let reference = InteractionRate::new(ri, rs);
+    KernelResult { n, mode, nj, load_s, batch, reference }
+}
+
+fn result_row(r: &KernelResult) {
+    println!(
+        "{:>8} {:>6} {:>12.3e} {:>10.1} {:>12.3e} {:>10.1} {:>9.2}x {:>9.2}",
+        r.n,
+        mode_str(r.mode),
+        r.batch.per_second(),
+        r.batch.ns_per_interaction(),
+        r.reference.per_second(),
+        r.reference.ns_per_interaction(),
+        r.speedup(),
+        r.batch.gflops(FlopConvention::WarrenSalmon38),
+    );
+}
+
+/// The headline run's wall-clock split in `PhaseTimers` form: j-load as
+/// the build phase, the batch kernel as the device phase.
+fn phase_split(r: &KernelResult) {
+    let t = PhaseTimers {
+        build_s: r.load_s,
+        device_s: r.batch.seconds,
+        force_wall_s: r.load_s + r.batch.seconds,
+        ..PhaseTimers::default()
+    };
+    println!();
+    println!(
+        "E10 — phase split of the headline cell (N = {}, {} mode)",
+        fmt_count(r.n as u64),
+        mode_str(r.mode)
+    );
+    rule(78);
+    println!("{:<34} {:>10} {:>14} {:>14}", "phase", "wall", "work", "ns/item");
+    rule(78);
+    println!(
+        "{:<34} {:>10} {:>14} {:>14.1}",
+        "j quantize + load (build_s)",
+        fmt_secs(t.build_s),
+        format!("{} words", fmt_count(r.nj)),
+        t.build_s * 1e9 / r.nj as f64
+    );
+    println!(
+        "{:<34} {:>10} {:>14} {:>14.1}",
+        "batch force calls (device_s)",
+        fmt_secs(t.device_s),
+        format!("{:.2e} ints", r.batch.interactions as f64),
+        r.batch.ns_per_interaction()
+    );
+    println!("{:<34} {:>10}", "force wall-clock (force_wall_s)", fmt_secs(t.force_wall_s));
+    rule(78);
+}
+
+fn json_line(r: &KernelResult) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"n\": {}, \"mode\": \"{}\", \"nj\": {}, \"load_s\": {}, \
+         \"batch_interactions\": {}, \"batch_seconds\": {}, \"batch_per_second\": {}, \
+         \"batch_ns_per_interaction\": {}, \"batch_gflops38\": {}, \
+         \"ref_interactions\": {}, \"ref_seconds\": {}, \"ref_per_second\": {}, \
+         \"ref_ns_per_interaction\": {}, \"speedup\": {}}}",
+        r.n,
+        mode_str(r.mode),
+        r.nj,
+        r.load_s,
+        r.batch.interactions,
+        r.batch.seconds,
+        r.batch.per_second(),
+        r.batch.ns_per_interaction(),
+        r.batch.gflops(FlopConvention::WarrenSalmon38),
+        r.reference.interactions,
+        r.reference.seconds,
+        r.reference.per_second(),
+        r.reference.ns_per_interaction(),
+        r.speedup(),
+    )
+    .unwrap();
+    s
+}
+
+/// Pull a numeric field out of one hand-rolled JSON result line.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compare fresh results against a previously written report (the
+/// committed baseline in CI) and print per-cell batch-rate deltas.
+fn print_baseline_delta(results: &[KernelResult], old: &str) {
+    println!();
+    println!("delta vs committed baseline (batch interactions/s):");
+    for r in results {
+        let tag = format!("\"n\": {}, \"mode\": \"{}\"", r.n, mode_str(r.mode));
+        let prior =
+            old.lines().find(|l| l.contains(&tag)).and_then(|l| json_f64(l, "batch_per_second"));
+        match prior {
+            Some(p) if p > 0.0 => {
+                let now = r.batch.per_second();
+                println!(
+                    "  N = {:>7} {:<5}  {:.3e} -> {:.3e}  ({:+.1}%)",
+                    r.n,
+                    mode_str(r.mode),
+                    p,
+                    now,
+                    100.0 * (now - p) / p
+                );
+            }
+            _ => println!("  N = {:>7} {:<5}  (no baseline entry)", r.n, mode_str(r.mode)),
+        }
+    }
+    println!("(wall-clock rates are machine-dependent; the delta is informational, not a gate)");
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let out_path: String = args.get("out", "BENCH_pr3.json".to_string());
+    let base_path: String = args.get("baseline", out_path.clone());
+    let sizes: &[usize] = if quick { &[4_096, 16_384] } else { &[16_384, 65_536, 262_144] };
+
+    // read the comparison report (by default the file about to be
+    // overwritten; CI points --baseline at the committed BENCH_pr3.json)
+    let baseline = std::fs::read_to_string(&base_path).ok();
+
+    println!(
+        "E10: batched SoA kernel vs pre-batch scalar reference (same run, same resident j-set{})",
+        if quick { ", --quick" } else { "" }
+    );
+    println!("     workload: Plummer sphere, seed {SEED}, eps {EPS}; both paths bit-identical");
+    println!();
+    rule(86);
+    println!(
+        "{:>8} {:>6} {:>12} {:>10} {:>12} {:>10} {:>10} {:>9}",
+        "N", "mode", "batch i/s", "ns/int", "ref i/s", "ns/int", "speedup", "Gflops38"
+    );
+    rule(86);
+    let mut results = Vec::new();
+    for &n in sizes {
+        for mode in [ArithMode::Exact, ArithMode::Lns] {
+            let r = measure(n, mode, quick);
+            result_row(&r);
+            results.push(r);
+        }
+    }
+    rule(86);
+    println!("(Gflops38: batch rate priced at the paper's 38 ops/interaction convention)");
+
+    // phase split for the largest LNS cell — the acceptance workload
+    let headline = results
+        .iter()
+        .filter(|r| r.mode == ArithMode::Lns)
+        .max_by_key(|r| r.n)
+        .expect("at least one LNS cell");
+    phase_split(headline);
+    println!();
+    println!(
+        "headline: N = {} LNS batch is {:.2}x the scalar reference (gate: >= 3x at N = 65536)",
+        fmt_count(headline.n as u64),
+        headline.speedup()
+    );
+
+    if let Some(old) = &baseline {
+        print_baseline_delta(&results, old);
+    }
+
+    let mut text = String::new();
+    writeln!(text, "{{").unwrap();
+    writeln!(text, "  \"experiment\": \"exp_kernel\",").unwrap();
+    writeln!(text, "  \"quick\": {quick},").unwrap();
+    writeln!(text, "  \"seed\": {SEED},").unwrap();
+    writeln!(text, "  \"eps\": {EPS},").unwrap();
+    writeln!(text, "  \"ops_per_interaction\": 38,").unwrap();
+    writeln!(text, "  \"results\": [").unwrap();
+    for (k, r) in results.iter().enumerate() {
+        let comma = if k + 1 < results.len() { "," } else { "" };
+        writeln!(text, "{}{comma}", json_line(r)).unwrap();
+    }
+    writeln!(text, "  ]").unwrap();
+    writeln!(text, "}}").unwrap();
+    std::fs::write(&out_path, &text).unwrap();
+    println!();
+    println!("wrote {} results to {out_path}", results.len());
+}

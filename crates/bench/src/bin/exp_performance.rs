@@ -19,7 +19,7 @@
 use g5_bench::{cdm, fmt_count, fmt_secs, rule, Args};
 use g5tree::traverse::Traversal;
 use g5tree::tree::Tree;
-use g5util::counters::InteractionTally;
+use g5util::counters::{FlopConvention, InteractionTally};
 use grape5::{ClockAccounting, CostModel, Grape5Config};
 use treegrape::perf::{HostModel, PaperProjection, PhaseTimers, RunMeasurement};
 use treegrape::{Simulation, TreeGrape, TreeGrapeConfig};
@@ -57,6 +57,16 @@ fn main() {
 
     let modified = sim.tally();
     let grape = sim.backend().accounting();
+
+    // measured machine throughput — the quantity the paper's sustained
+    // speed column is derived from (38 ops/interaction convention)
+    let rate = modified.rate(measured_wall_s);
+    println!(
+        "  measured on this machine: {:.3e} interactions/s ({:.1} ns/interaction, {:.3} Gflops at 38 ops/interaction)",
+        rate.per_second(),
+        rate.ns_per_interaction(),
+        rate.gflops(FlopConvention::WarrenSalmon38)
+    );
 
     // §5's correction: estimate the original-algorithm interaction count
     // on snapshots with the same accuracy parameter.

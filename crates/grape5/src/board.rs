@@ -12,15 +12,24 @@
 //! force scale; only the final sums cross the interface.
 
 use crate::config::Grape5Config;
-use crate::pipeline::{Force, G5Pipeline, JWord};
+use crate::pipeline::{Force, G5Pipeline, JSlices, JWord};
 use g5util::fixed::{Fixed, FixedFormat};
+use g5util::lns::Lns;
 use g5util::vec3::Vec3;
 use rayon::prelude::*;
 
 /// One processor board.
+///
+/// The j-memory is held as structure-of-arrays columns — the layout the
+/// batch kernel streams — rather than an array of [`JWord`]s; `load_j`
+/// still accepts the interface's word form.
 #[derive(Debug, Clone)]
 pub struct ProcessorBoard {
-    jmem: Vec<JWord>,
+    jx: Vec<i64>,
+    jy: Vec<i64>,
+    jz: Vec<i64>,
+    jm: Vec<f64>,
+    jm_lns: Vec<Lns>,
     capacity: usize,
     pipes: usize,
     /// Pipelines taken out of service by the host (fault quarantine).
@@ -36,7 +45,11 @@ impl ProcessorBoard {
     /// Build an empty board per the system configuration.
     pub fn new(cfg: &Grape5Config) -> Self {
         ProcessorBoard {
-            jmem: Vec::new(),
+            jx: Vec::new(),
+            jy: Vec::new(),
+            jz: Vec::new(),
+            jm: Vec::new(),
+            jm_lns: Vec::new(),
             capacity: cfg.jmem_capacity,
             pipes: cfg.pipes_per_board(),
             disabled_pipes: 0,
@@ -66,7 +79,7 @@ impl ProcessorBoard {
     /// Particles currently in j-memory.
     #[inline]
     pub fn nj(&self) -> usize {
-        self.jmem.len()
+        self.jx.len()
     }
 
     /// j-memory capacity in particles.
@@ -87,18 +100,34 @@ impl ProcessorBoard {
             words.len(),
             self.capacity
         );
-        self.jmem.clear();
-        self.jmem.extend_from_slice(words);
+        self.jx.clear();
+        self.jy.clear();
+        self.jz.clear();
+        self.jm.clear();
+        self.jm_lns.clear();
+        for w in words {
+            self.jx.push(w.raw[0]);
+            self.jy.push(w.raw[1]);
+            self.jz.push(w.raw[2]);
+            self.jm.push(w.m);
+            self.jm_lns.push(w.m_lns);
+        }
+    }
+
+    /// The j-memory contents as structure-of-arrays slices.
+    #[inline]
+    pub fn j_slices(&self) -> JSlices<'_> {
+        JSlices { x: &self.jx, y: &self.jy, z: &self.jz, m: &self.jm, m_lns: &self.jm_lns }
     }
 
     /// Chip cycles needed to evaluate `ni` i-particles against the
     /// current j-memory contents.
     #[inline]
     pub fn cycles_for(&self, ni: usize) -> u64 {
-        if ni == 0 || self.jmem.is_empty() {
+        if ni == 0 || self.jx.is_empty() {
             return 0;
         }
-        let nj = self.jmem.len() as u64;
+        let nj = self.jx.len() as u64;
         let pipes = self.active_pipes();
         if self.vmp && ni < pipes {
             // virtual pipelines: idle pipes take j-subsets, partials
@@ -118,6 +147,38 @@ impl ProcessorBoard {
     /// accumulators: accumulated values saturate at
     /// `acc_format.max_value() × force_scale`.
     pub fn compute(&self, pipe: &G5Pipeline, xi: &[[i64; 3]], force_scale: f64) -> Vec<Force> {
+        let mut out = Vec::new();
+        self.compute_into(pipe, xi, force_scale, &mut out);
+        out
+    }
+
+    /// [`compute`](Self::compute) into a caller-owned buffer, so a
+    /// steady-state force loop performs no per-call allocation. The
+    /// buffer is cleared and refilled to `xi.len()`.
+    pub fn compute_into(
+        &self,
+        pipe: &G5Pipeline,
+        xi: &[[i64; 3]],
+        force_scale: f64,
+        out: &mut Vec<Force>,
+    ) {
+        assert!(force_scale > 0.0, "non-positive force scale");
+        out.clear();
+        out.resize(xi.len(), Force::ZERO);
+        pipe.interact_block(xi, &self.j_slices(), force_scale, self.acc_format, out);
+    }
+
+    /// The pre-batch board compute, verbatim: one scalar
+    /// [`G5Pipeline::interact_reference`] call per (i, j) pair with
+    /// per-i fixed-point accumulation. The batch kernel must reproduce
+    /// its output bit for bit; kept callable for the golden-vector
+    /// tests and the perf harness's same-run baseline.
+    pub fn compute_reference(
+        &self,
+        pipe: &G5Pipeline,
+        xi: &[[i64; 3]],
+        force_scale: f64,
+    ) -> Vec<Force> {
         assert!(force_scale > 0.0, "non-positive force scale");
         let fmt = self.acc_format;
         xi.par_iter()
@@ -126,8 +187,13 @@ impl ProcessorBoard {
                 let mut ay = Fixed::zero(fmt);
                 let mut az = Fixed::zero(fmt);
                 let mut ap = Fixed::zero(fmt);
-                for j in &self.jmem {
-                    let f = pipe.interact(x, j);
+                for jj in 0..self.jx.len() {
+                    let w = JWord {
+                        raw: [self.jx[jj], self.jy[jj], self.jz[jj]],
+                        m_lns: self.jm_lns[jj],
+                        m: self.jm[jj],
+                    };
+                    let f = pipe.interact_reference(x, &w);
                     ax = ax.accumulate(f.acc.x / force_scale);
                     ay = ay.accumulate(f.acc.y / force_scale);
                     az = az.accumulate(f.acc.z / force_scale);

@@ -21,9 +21,12 @@
 
 use crate::config::{ArithMode, Grape5Config};
 use crate::cutoff::CutoffTable;
+use g5util::fixed::{Fixed, FixedFormat};
 use g5util::lns::{Lns, LnsConfig};
+use g5util::lns_table::{conv_tables, LnsConvTables};
 use g5util::vec3::Vec3;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-particle pipeline output: acceleration contribution and (positive)
 /// potential sum `Σ m_j / r`. The host applies the −G convention.
@@ -59,6 +62,92 @@ pub struct JWord {
     pub m: f64,
 }
 
+/// The j-particle memory of one board viewed as structure-of-arrays
+/// slices — the layout the batch kernel streams.
+#[derive(Debug, Clone, Copy)]
+pub struct JSlices<'a> {
+    /// Fixed-point x coordinates.
+    pub x: &'a [i64],
+    /// Fixed-point y coordinates.
+    pub y: &'a [i64],
+    /// Fixed-point z coordinates.
+    pub z: &'a [i64],
+    /// Masses in `f64` (exact mode).
+    pub m: &'a [f64],
+    /// Masses in the pipeline's logarithmic format (LNS mode).
+    pub m_lns: &'a [Lns],
+}
+
+impl JSlices<'_> {
+    /// Number of j-particles in the slices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when no j-particles are loaded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// The cutoff table re-addressed by the LNS r² word: one pre-encoded
+/// (force, potential) factor pair per representable squared distance,
+/// plus the pair for an underflowed-to-zero r². Replaces the
+/// per-interaction LNS → `f64` → re-encode round trip of the scalar
+/// path with a single indexed load; every entry is exactly
+/// `encode(factor(r2_word.to_f64()))`, so the bits cannot differ.
+pub(crate) struct LnsCutoffTable {
+    raw_min: i64,
+    force: Vec<Lns>,
+    pot: Vec<Lns>,
+    zero_force: Lns,
+    zero_pot: Lns,
+}
+
+impl std::fmt::Debug for LnsCutoffTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LnsCutoffTable")
+            .field("raw_min", &self.raw_min)
+            .field("entries", &self.force.len())
+            .finish()
+    }
+}
+
+impl LnsCutoffTable {
+    fn build(cfg: LnsConfig, t: &CutoffTable) -> LnsCutoffTable {
+        let q = cfg.quantum();
+        let (raw_min, raw_max) = (cfg.raw_word_min(), cfg.raw_word_max());
+        let n = (raw_max - raw_min + 1) as usize;
+        let mut force = Vec::with_capacity(n);
+        let mut pot = Vec::with_capacity(n);
+        for raw in raw_min..=raw_max {
+            let r2 = (raw as f64 * q).exp2(); // == Lns::to_f64 of the word
+            force.push(cfg.encode(t.force_factor(r2)));
+            pot.push(cfg.encode(t.pot_factor(r2)));
+        }
+        LnsCutoffTable {
+            raw_min,
+            force,
+            pot,
+            zero_force: cfg.encode(t.force_factor(0.0)),
+            zero_pot: cfg.encode(t.pot_factor(0.0)),
+        }
+    }
+
+    /// The pre-encoded (force, potential) factors for a squared-distance
+    /// word.
+    #[inline]
+    fn factors(&self, r2: Lns) -> (Lns, Lns) {
+        if r2.is_zero() {
+            return (self.zero_force, self.zero_pot);
+        }
+        let i = (r2.raw() - self.raw_min) as usize;
+        (self.force[i], self.pot[i])
+    }
+}
+
 /// The functional model of one G5 pipeline.
 ///
 /// Stateless apart from the softening, scale and cutoff registers, so a
@@ -75,6 +164,13 @@ pub struct G5Pipeline {
     eps2_lns: Lns,
     /// Optional hardware cutoff table (P³M/TreePM short-range support).
     cutoff: Option<CutoffTable>,
+    /// Table-driven LNS converter set (`None` for formats too wide to
+    /// tabulate, which fall back to the formula converters).
+    conv: Option<&'static LnsConvTables>,
+    /// Cutoff factors re-indexed by the LNS r² word; built whenever the
+    /// pipeline runs LNS arithmetic with a cutoff loaded and the format
+    /// is tabulable.
+    lns_cutoff: Option<Arc<LnsCutoffTable>>,
 }
 
 impl G5Pipeline {
@@ -91,12 +187,20 @@ impl G5Pipeline {
             eps2,
             eps2_lns: cfg.lns.encode(eps2),
             cutoff: None,
+            conv: conv_tables(cfg.lns),
+            lns_cutoff: None,
         }
     }
 
     /// Load (or clear) the cutoff table — `g5_set_cutoff_table` in the
     /// real library's P³M mode.
     pub fn with_cutoff(mut self, cutoff: Option<CutoffTable>) -> Self {
+        self.lns_cutoff = match (&cutoff, self.mode, self.conv) {
+            (Some(t), ArithMode::Lns, Some(_)) => {
+                Some(Arc::new(LnsCutoffTable::build(self.lns, t)))
+            }
+            _ => None,
+        };
         self.cutoff = cutoff;
         self
     }
@@ -126,43 +230,115 @@ impl G5Pipeline {
         if d == [0, 0, 0] {
             return Force::ZERO; // zero-distance guard
         }
+        match (self.mode, self.conv) {
+            (ArithMode::Exact, _) => {
+                Self::pair_exact(self.quantum, self.eps2, self.cutoff.as_ref(), d, j.m)
+            }
+            (ArithMode::Lns, Some(conv)) => Self::pair_lns_tab(
+                conv,
+                self.lns_cutoff.as_deref(),
+                self.eps2_lns,
+                self.quantum,
+                d,
+                j.m_lns,
+            ),
+            (ArithMode::Lns, None) => self.pair_lns_formula(d, j.m_lns),
+        }
+    }
+
+    /// Evaluate one pairwise interaction through the pre-batch scalar
+    /// path: formula LNS converters (`f64::log2`/`exp2` per operand) and
+    /// the LNS → `f64` → re-encode cutoff round trip. The batch kernel
+    /// and the table converters are required to reproduce this path bit
+    /// for bit; it is kept callable so the golden-vector tests and the
+    /// perf harness can compare against it in the same build.
+    #[inline]
+    pub fn interact_reference(&self, xi: [i64; 3], j: &JWord) -> Force {
+        let d = [j.raw[0] - xi[0], j.raw[1] - xi[1], j.raw[2] - xi[2]];
+        if d == [0, 0, 0] {
+            return Force::ZERO; // zero-distance guard
+        }
         match self.mode {
-            ArithMode::Exact => self.interact_exact(d, j.m),
-            ArithMode::Lns => self.interact_lns(d, j.m_lns),
+            ArithMode::Exact => {
+                Self::pair_exact(self.quantum, self.eps2, self.cutoff.as_ref(), d, j.m)
+            }
+            ArithMode::Lns => self.pair_lns_reference(d, j.m_lns),
         }
     }
 
     /// `f64` path: position quantization only.
-    #[inline]
-    fn interact_exact(&self, d: [i64; 3], m: f64) -> Force {
-        let dx = Vec3::new(
-            d[0] as f64 * self.quantum,
-            d[1] as f64 * self.quantum,
-            d[2] as f64 * self.quantum,
-        );
+    #[inline(always)]
+    fn pair_exact(
+        quantum: f64,
+        eps2: f64,
+        cutoff: Option<&CutoffTable>,
+        d: [i64; 3],
+        m: f64,
+    ) -> Force {
+        let dx = Vec3::new(d[0] as f64 * quantum, d[1] as f64 * quantum, d[2] as f64 * quantum);
         let r2_raw = dx.norm2();
-        let r2 = r2_raw + self.eps2;
+        let r2 = r2_raw + eps2;
         let rinv = 1.0 / r2.sqrt();
         let rinv3 = rinv / r2;
-        let (gf, gp) = match &self.cutoff {
+        let (gf, gp) = match cutoff {
             None => (1.0, 1.0),
             Some(t) => (t.force_factor(r2_raw), t.pot_factor(r2_raw)),
         };
         Force { acc: dx * (m * rinv3 * gf), pot: m * rinv * gp }
     }
 
-    /// Bit-faithful LNS path: one rounding to the log grid after each
-    /// functional unit, exactly like the hardware tables.
-    fn interact_lns(&self, d: [i64; 3], m: Lns) -> Force {
-        let c = self.lns;
+    /// Table-driven LNS path: same functional units as the formula path
+    /// but every converter and adder is an integer table lookup, and the
+    /// cutoff factors come pre-encoded from the LNS-indexed table. Each
+    /// table is proven bit-identical to its formula counterpart, so this
+    /// path reproduces [`pair_lns_reference`](Self::pair_lns_reference)
+    /// exactly.
+    #[inline(always)]
+    fn pair_lns_tab(
+        conv: &LnsConvTables,
+        cutoff: Option<&LnsCutoffTable>,
+        eps2_lns: Lns,
+        quantum: f64,
+        d: [i64; 3],
+        m: Lns,
+    ) -> Force {
         // dx enters the LNS converter after the exact fixed-point subtract
+        let dx = conv.encode(d[0] as f64 * quantum);
+        let dy = conv.encode(d[1] as f64 * quantum);
+        let dz = conv.encode(d[2] as f64 * quantum);
+        // squarers are exact in LNS (log doubling)
+        let r2 = conv.add(conv.add(dx.square(), dy.square()), dz.square());
+        let r2e = conv.add(r2, eps2_lns);
+        // combined sqrt + reciprocal-cube unit (integer log scaling)
+        let rinv3 = r2e.pow_neg_3_2();
+        let rinv = r2e.powi_rational(-1, 2);
+        let mut mf = m.mul(rinv3);
+        let mut mp = m.mul(rinv);
+        if let Some(t) = cutoff {
+            let (gf, gp) = t.factors(r2);
+            mf = mf.mul(gf);
+            mp = mp.mul(gp);
+        }
+        Force {
+            acc: Vec3::new(
+                conv.decode(dx.mul(mf)),
+                conv.decode(dy.mul(mf)),
+                conv.decode(dz.mul(mf)),
+            ),
+            pot: conv.decode(mp),
+        }
+    }
+
+    /// Formula LNS path for formats too wide to tabulate: one rounding
+    /// to the log grid after each functional unit, exactly like the
+    /// hardware tables.
+    fn pair_lns_formula(&self, d: [i64; 3], m: Lns) -> Force {
+        let c = self.lns;
         let dx = c.encode(d[0] as f64 * self.quantum);
         let dy = c.encode(d[1] as f64 * self.quantum);
         let dz = c.encode(d[2] as f64 * self.quantum);
-        // squarers are exact in LNS (log doubling)
         let r2 = dx.square().add(dy.square()).add(dz.square());
         let r2e = r2.add(self.eps2_lns);
-        // combined sqrt + reciprocal-cube unit
         let rinv3 = r2e.pow_neg_3_2();
         let rinv = r2e.powi_rational(-1, 2);
         // hardware cutoff unit: table addressed by the LNS r^2, factors
@@ -185,6 +361,160 @@ impl G5Pipeline {
         Force {
             acc: Vec3::new(dx.mul(mf).to_f64(), dy.mul(mf).to_f64(), dz.mul(mf).to_f64()),
             pot: mp.to_f64(),
+        }
+    }
+
+    /// The pre-batch scalar LNS path, verbatim: libm converters and the
+    /// cutoff round trip through `f64`.
+    fn pair_lns_reference(&self, d: [i64; 3], m: Lns) -> Force {
+        let c = self.lns;
+        let dx = c.encode_libm(d[0] as f64 * self.quantum);
+        let dy = c.encode_libm(d[1] as f64 * self.quantum);
+        let dz = c.encode_libm(d[2] as f64 * self.quantum);
+        let r2 = dx.square().add(dy.square()).add(dz.square());
+        let r2e = r2.add(self.eps2_lns);
+        let rinv3 = r2e.pow_neg_3_2();
+        let rinv = r2e.powi_rational(-1, 2);
+        let (gf, gp) = match &self.cutoff {
+            None => (None, None),
+            Some(t) => {
+                let r2_val = r2.to_f64();
+                (
+                    Some(c.encode_libm(t.force_factor(r2_val))),
+                    Some(c.encode_libm(t.pot_factor(r2_val))),
+                )
+            }
+        };
+        let mut mf = m.mul(rinv3);
+        if let Some(g) = gf {
+            mf = mf.mul(g);
+        }
+        let mut mp = m.mul(rinv);
+        if let Some(g) = gp {
+            mp = mp.mul(g);
+        }
+        Force {
+            acc: Vec3::new(dx.mul(mf).to_f64(), dy.mul(mf).to_f64(), dz.mul(mf).to_f64()),
+            pot: mp.to_f64(),
+        }
+    }
+
+    /// Batch kernel: evaluate the force from every j-particle in `j` on
+    /// every i-particle in `xi`, accumulating in the board's fixed-point
+    /// format and writing one readback word per i-particle into `out`.
+    ///
+    /// The loop is tiled — a pipeline-width group of i-particles shares
+    /// each streamed block of j-data, the structure Makino's modified
+    /// tree algorithm feeds the real hardware — and all per-call
+    /// invariants (mode and cutoff dispatch, converter/adder tables,
+    /// ε² word, quantum) are hoisted out of the pair loop. Per-i
+    /// accumulation order over j is ascending, identical to the scalar
+    /// path, so every saturating fixed-point sum matches bit for bit.
+    pub fn interact_block(
+        &self,
+        xi: &[[i64; 3]],
+        j: &JSlices<'_>,
+        force_scale: f64,
+        fmt: FixedFormat,
+        out: &mut [Force],
+    ) {
+        assert_eq!(xi.len(), out.len(), "output length mismatch");
+        assert!(force_scale > 0.0, "non-positive force scale");
+        debug_assert!(
+            j.x.len() == j.y.len()
+                && j.x.len() == j.z.len()
+                && j.x.len() == j.m.len()
+                && j.x.len() == j.m_lns.len(),
+            "ragged j-slices"
+        );
+        match (self.mode, self.conv) {
+            (ArithMode::Exact, _) => {
+                let (quantum, eps2, cutoff) = (self.quantum, self.eps2, self.cutoff.as_ref());
+                Self::block_with(xi, j, force_scale, fmt, out, |d, jj| {
+                    Self::pair_exact(quantum, eps2, cutoff, d, j.m[jj])
+                });
+            }
+            (ArithMode::Lns, Some(conv)) => {
+                let (cutoff, eps2_lns, quantum) =
+                    (self.lns_cutoff.as_deref(), self.eps2_lns, self.quantum);
+                Self::block_with(xi, j, force_scale, fmt, out, |d, jj| {
+                    Self::pair_lns_tab(conv, cutoff, eps2_lns, quantum, d, j.m_lns[jj])
+                });
+            }
+            (ArithMode::Lns, None) => {
+                Self::block_with(xi, j, force_scale, fmt, out, |d, jj| {
+                    self.pair_lns_formula(d, j.m_lns[jj])
+                });
+            }
+        }
+    }
+
+    /// Shared tiling skeleton of the batch kernel: i-tiles the width of
+    /// one chip's pipeline set, j-blocks sized to stay cache-resident,
+    /// per-i fixed-point accumulators carried across j-blocks in
+    /// ascending j order.
+    #[inline(always)]
+    fn block_with(
+        xi: &[[i64; 3]],
+        j: &JSlices<'_>,
+        force_scale: f64,
+        fmt: FixedFormat,
+        out: &mut [Force],
+        pair: impl Fn([i64; 3], usize) -> Force,
+    ) {
+        /// i-particles sharing one streamed j-block (pipelines per chip set).
+        const I_TILE: usize = 16;
+        /// j-particles per block; 5 SoA streams stay well inside L1.
+        const J_BLOCK: usize = 512;
+        let nj = j.x.len();
+        // When the scale is a power of two its reciprocal is exact, and
+        // multiplying by it rounds the same real value division would —
+        // bit-identical, one multiply instead of four divides per pair.
+        let inv_scale = 1.0 / force_scale;
+        let pow2_scale = force_scale.to_bits() & ((1u64 << 52) - 1) == 0
+            && force_scale.is_normal()
+            && inv_scale.is_normal();
+        let unscale = |t: f64| {
+            if force_scale == 1.0 {
+                t
+            } else if pow2_scale {
+                t * inv_scale
+            } else {
+                t / force_scale
+            }
+        };
+        for (xc, oc) in xi.chunks(I_TILE).zip(out.chunks_mut(I_TILE)) {
+            let mut acc = [[Fixed::zero(fmt); 4]; I_TILE];
+            let mut js = 0;
+            while js < nj {
+                let je = (js + J_BLOCK).min(nj);
+                let (bx, by, bz) = (&j.x[js..je], &j.y[js..je], &j.z[js..je]);
+                for (ii, &x) in xc.iter().enumerate() {
+                    let a = &mut acc[ii];
+                    for (k, ((&jx, &jy), &jz)) in bx.iter().zip(by).zip(bz).enumerate() {
+                        let d = [jx - x[0], jy - x[1], jz - x[2]];
+                        if (d[0] | d[1] | d[2]) == 0 {
+                            continue; // zero-distance guard
+                        }
+                        let f = pair(d, js + k);
+                        a[0] = a[0].accumulate(unscale(f.acc.x));
+                        a[1] = a[1].accumulate(unscale(f.acc.y));
+                        a[2] = a[2].accumulate(unscale(f.acc.z));
+                        a[3] = a[3].accumulate(unscale(f.pot));
+                    }
+                }
+                js = je;
+            }
+            for (o, a) in oc.iter_mut().zip(&acc) {
+                *o = Force {
+                    acc: Vec3::new(
+                        a[0].to_f64() * force_scale,
+                        a[1].to_f64() * force_scale,
+                        a[2].to_f64() * force_scale,
+                    ),
+                    pot: a[3].to_f64() * force_scale,
+                };
+            }
         }
     }
 }

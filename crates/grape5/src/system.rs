@@ -33,6 +33,7 @@ use crate::fault::{
 use crate::pipeline::{Force, G5Pipeline, JWord};
 use g5util::fixed::RangeScaler;
 use g5util::vec3::Vec3;
+use rayon::prelude::*;
 
 /// Interface words per j-particle (x, y, z, m).
 const WORDS_PER_J: u64 = 4;
@@ -79,6 +80,13 @@ pub struct Grape5 {
     board_ok: Vec<bool>,
     /// Host quarantine state: pipes taken out of service.
     quarantined_pipes: Vec<(usize, usize)>,
+    /// Reusable per-board partial-force buffers: the b-th board's batch
+    /// kernel writes its share here, the merge loop reads them back in
+    /// board order. Capacity persists across calls, so the steady-state
+    /// force loop never allocates.
+    partials: Vec<Vec<Force>>,
+    /// Reusable quantized i-coordinate buffer.
+    i_scratch: Vec<[i64; 3]>,
 }
 
 impl Grape5 {
@@ -106,6 +114,8 @@ impl Grape5 {
             fault: None,
             board_ok: vec![true; nb],
             quarantined_pipes: Vec::new(),
+            partials: vec![Vec::new(); nb],
+            i_scratch: Vec::new(),
         }
     }
 
@@ -356,18 +366,38 @@ impl Grape5 {
             return Err(DeviceError::BoardTimeout { board });
         }
 
-        let raw: Vec<[i64; 3]> = xi
-            .iter()
-            .map(|p| {
-                [self.scaler.quantize(p.x), self.scaler.quantize(p.y), self.scaler.quantize(p.z)]
-            })
-            .collect();
+        self.i_scratch.clear();
+        self.i_scratch.extend(xi.iter().map(|p| {
+            [self.scaler.quantize(p.x), self.scaler.quantize(p.y), self.scaler.quantize(p.z)]
+        }));
 
         let stuck = self.fault.as_ref().and_then(|f| f.manifesting_stuck_pipe()).filter(|s| {
             s.board < self.boards.len()
                 && self.board_ok[s.board]
                 && !self.quarantined_pipes.contains(&(s.board, s.pipe))
         });
+
+        // Dispatch every in-service board concurrently; each writes its
+        // partials into its own scratch buffer, so the later host merge
+        // runs in fixed board order no matter which board finishes
+        // first — forces are deterministic under any thread schedule.
+        {
+            let pipeline = &self.pipeline;
+            let raw = &self.i_scratch[..];
+            let force_scale = self.force_scale;
+            let board_ok = &self.board_ok;
+            let tasks: Vec<_> = self
+                .boards
+                .iter()
+                .zip(self.partials.iter_mut())
+                .enumerate()
+                .filter(|(bi, (b, _))| board_ok[*bi] && b.nj() > 0)
+                .map(|(_, t)| t)
+                .collect();
+            tasks
+                .into_par_iter()
+                .for_each(|(b, out)| b.compute_into(pipeline, raw, force_scale, out));
+        }
 
         let mut total: Vec<Force> = vec![Force::ZERO; xi.len()];
         let mut max_cycles = 0u64;
@@ -376,7 +406,7 @@ impl Grape5 {
             if !self.board_ok[bi] || b.nj() == 0 {
                 continue;
             }
-            let mut partial = b.compute(&self.pipeline, &raw, self.force_scale);
+            let partial = &mut self.partials[bi];
             if let Some(s) = stuck.filter(|s| s.board == bi) {
                 // every lane the stuck pipe serves reads back garbage
                 for k in (s.pipe..partial.len()).step_by(pipes) {
@@ -386,8 +416,8 @@ impl Grape5 {
                     partial[k].pot = corrupt_readback(partial[k].pot);
                 }
             }
-            for (t, p) in total.iter_mut().zip(partial) {
-                *t = t.merged(p);
+            for (t, p) in total.iter_mut().zip(partial.iter()) {
+                *t = t.merged(*p);
             }
             max_cycles = max_cycles.max(b.cycles_for(xi.len()));
         }
@@ -421,6 +451,32 @@ impl Grape5 {
                 *t = t.merged(p);
             }
             start = end;
+        }
+        total
+    }
+
+    /// Compute forces on `xi` through the pre-batch scalar path:
+    /// sequential per-board [`ProcessorBoard::compute_reference`] with
+    /// formula LNS converters, merged in board order. No fault
+    /// injection and no accounting — this exists so the perf harness
+    /// can measure the pre-batch baseline in the same run and the
+    /// golden tests can pin `force_on` to it bit for bit.
+    pub fn force_on_reference(&self, xi: &[Vec3]) -> Vec<Force> {
+        let raw: Vec<[i64; 3]> = xi
+            .iter()
+            .map(|p| {
+                [self.scaler.quantize(p.x), self.scaler.quantize(p.y), self.scaler.quantize(p.z)]
+            })
+            .collect();
+        let mut total: Vec<Force> = vec![Force::ZERO; xi.len()];
+        for (bi, b) in self.boards.iter().enumerate() {
+            if !self.board_ok[bi] || b.nj() == 0 {
+                continue;
+            }
+            let partial = b.compute_reference(&self.pipeline, &raw, self.force_scale);
+            for (t, p) in total.iter_mut().zip(partial) {
+                *t = t.merged(p);
+            }
         }
         total
     }

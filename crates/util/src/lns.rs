@@ -87,8 +87,25 @@ impl LnsConfig {
     }
 
     /// Encode an `f64` into this LNS format.
+    ///
+    /// Formats small enough to tabulate go through the table-driven
+    /// converter (the real chip's input stage is a ROM, not a `log`
+    /// unit); other formats use [`encode_libm`](Self::encode_libm).
+    /// The two agree bit-for-bit on every tabulated format — see the
+    /// conversion-table tests in [`crate::lns_table`].
     #[inline]
     pub fn encode(self, x: f64) -> Lns {
+        match crate::lns_table::conv_tables(self) {
+            Some(t) => t.encode(x),
+            None => self.encode_libm(x),
+        }
+    }
+
+    /// Encode via `f64::log2`, the pre-table reference converter. Kept
+    /// callable so the conversion tables can be validated against it
+    /// and so perf harnesses can measure the untabled path.
+    #[inline]
+    pub fn encode_libm(self, x: f64) -> Lns {
         if x == 0.0 || x.is_nan() {
             return Lns { sign: 0, raw: 0, cfg: self };
         }
@@ -96,6 +113,18 @@ impl LnsConfig {
             None => Lns { sign: 0, raw: 0, cfg: self },
             Some(raw) => Lns { sign: if x > 0.0 { 1 } else { -1 }, raw, cfg: self },
         }
+    }
+
+    /// Smallest representable raw log word (`exp_min` scaled to the grid).
+    #[inline]
+    pub fn raw_word_min(self) -> i64 {
+        self.raw_min()
+    }
+
+    /// Largest representable raw log word (`exp_max` scaled to the grid).
+    #[inline]
+    pub fn raw_word_max(self) -> i64 {
+        self.raw_max()
     }
 }
 
@@ -118,6 +147,31 @@ impl Lns {
     #[inline]
     pub fn zero(cfg: LnsConfig) -> Self {
         Lns { sign: 0, raw: 0, cfg }
+    }
+
+    /// Assemble a value from its hardware words: a sign and a raw
+    /// fixed-point log₂ word already on the format's grid. `sign == 0`
+    /// yields the distinguished zero regardless of `raw`.
+    ///
+    /// This is the interface the table-driven converters and the batch
+    /// device kernel use; `raw` must lie within the format's word range.
+    #[inline]
+    pub fn from_raw(sign: i8, raw: i64, cfg: LnsConfig) -> Lns {
+        debug_assert!((-1..=1).contains(&sign), "bad LNS sign {sign}");
+        if sign == 0 {
+            return Lns::zero(cfg);
+        }
+        debug_assert!(
+            (cfg.raw_min()..=cfg.raw_max()).contains(&raw),
+            "raw log word {raw} outside format range"
+        );
+        Lns { sign, raw, cfg }
+    }
+
+    /// The raw fixed-point log₂ word (meaningless for zero values).
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.raw
     }
 
     /// Sign of the value: −1, 0 or +1.
@@ -224,8 +278,21 @@ impl Lns {
             return Lns::zero(self.cfg);
         }
         let sign = if self.sign < 0 && num % 2 != 0 { -1 } else { 1 };
+        let t = self.raw as i128 * num as i128;
+        // Half-denominators (the pipeline's roots) stay in integer
+        // arithmetic: for |t| < 2^53 both the i128→f64 cast and the
+        // division by ±2 are exact, so round-half-away-from-zero on
+        // integers reproduces the f64 rounding bit for bit.
+        if den.abs() == 2 && t.abs() < (1i128 << 53) {
+            let t = if den < 0 { -t } else { t } as i64;
+            let raw = if t % 2 == 0 { t / 2 } else { t / 2 + t.signum() };
+            if raw < self.cfg.raw_min() {
+                return Lns::zero(self.cfg);
+            }
+            return Lns { sign, raw: raw.min(self.cfg.raw_max()), cfg: self.cfg };
+        }
         // round-to-nearest rational scaling of the raw log word
-        let scaled = (self.raw as i128 * num as i128) as f64 / den as f64;
+        let scaled = t as f64 / den as f64;
         let raw = scaled.round();
         if raw < self.cfg.raw_min() as f64 {
             return Lns::zero(self.cfg);

@@ -14,7 +14,9 @@
 //! below `-range` return the asymptote (0 for `sb`, handled sign-side
 //! for `db`). Stored values are rounded to `frac_bits` fractional bits.
 
+use crate::lns::{Lns, LnsConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::{OnceLock, RwLock};
 
 /// A quantized Gaussian-logarithm table pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -112,6 +114,311 @@ impl GaussLogTable {
     }
 }
 
+// ---------------------------------------------------------------------
+// Table-driven format converters and integer adder tables
+// ---------------------------------------------------------------------
+
+/// Sentinel marking an adder-table entry whose rounding sits too close
+/// to a half-integer to be hoisted out of the per-operand `f64` sum;
+/// lookups hitting it fall back to the formula path.
+const FALLBACK: i64 = i64::MIN;
+
+/// Sentinel mantissa for "no breakpoint": far outside the 52-bit
+/// mantissa range, so neither the `>=` classification nor the guard
+/// distance can ever trigger on it.
+const NO_BP: i64 = i64::MAX / 4;
+
+/// Half-width (in mantissa ulps) of the guard band around each encoder
+/// breakpoint. Within the band the encoder defers to `f64::log2`; the
+/// band is ~180× wider than the worst-case zone where a ≤few-ulp `log2`
+/// error could flip the rounded log word, so outside it the table and
+/// the libm reference provably agree.
+const ENC_GUARD: u64 = 1 << 16;
+
+/// One mantissa cell of the encoder table.
+#[derive(Clone, Copy)]
+struct EncCell {
+    /// Log-word fraction at the cell's left edge.
+    k_lo: i64,
+    /// Mantissa threshold where the fraction steps to `k_lo + 1`
+    /// (`NO_BP` when the cell contains no breakpoint).
+    bp: i64,
+    /// Nearest breakpoint for the guard-band test (`NO_BP` when none is
+    /// within reach of this cell).
+    near_bp: i64,
+}
+
+/// Table-driven LNS format converters plus integer Gaussian-log adder
+/// tables for one [`LnsConfig`] — the ROM set a real G5 input/output
+/// stage carries, built once per format and shared process-wide.
+///
+/// Every lookup is constructed to reproduce the `f64`-formula reference
+/// ([`LnsConfig::encode_libm`], [`Lns::to_f64`], [`Lns::add`]) bit for
+/// bit: the decoder and adder tables memoize the reference computation
+/// per word / per operand distance, and the encoder's breakpoints are
+/// binary-searched against the reference with a guard-band fallback
+/// where rounding ties could otherwise flip a word.
+pub struct LnsConvTables {
+    cfg: LnsConfig,
+    raw_min: i64,
+    raw_max: i64,
+    cell_shift: u32,
+    cells: Vec<EncCell>,
+    /// Decoded magnitude per raw word, indexed by `raw - raw_min`.
+    dec: Vec<f64>,
+    /// `round(sb(-d·q)·2^f)` per raw operand distance `d`.
+    sb: Vec<i64>,
+    /// `round(db(-d·q)·2^f)` per raw operand distance `d` (entry 0 unused).
+    db: Vec<i64>,
+}
+
+impl std::fmt::Debug for LnsConvTables {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LnsConvTables")
+            .field("cfg", &self.cfg)
+            .field("cells", &self.cells.len())
+            .field("dec", &self.dec.len())
+            .field("sb", &self.sb.len())
+            .field("db", &self.db.len())
+            .finish()
+    }
+}
+
+/// `true` if `cfg` is small enough to tabulate (the hardware formats
+/// are; pathological wide formats fall back to the formula converters).
+fn tables_supported(cfg: LnsConfig) -> bool {
+    let span = (cfg.exp_max as i64 - cfg.exp_min as i64 + 1) << cfg.frac_bits;
+    cfg.frac_bits <= 12 && span <= (1 << 22)
+}
+
+static CONV_CACHE: OnceLock<RwLock<Vec<&'static LnsConvTables>>> = OnceLock::new();
+
+/// The process-wide conversion-table set for `cfg`, built on first use;
+/// `None` when the format is too wide to tabulate.
+pub fn conv_tables(cfg: LnsConfig) -> Option<&'static LnsConvTables> {
+    if !tables_supported(cfg) {
+        return None;
+    }
+    let cache = CONV_CACHE.get_or_init(|| RwLock::new(Vec::new()));
+    if let Some(t) = cache.read().unwrap().iter().find(|t| t.cfg == cfg) {
+        return Some(t);
+    }
+    let built: &'static LnsConvTables = Box::leak(Box::new(LnsConvTables::build(cfg)));
+    let mut w = cache.write().unwrap();
+    if let Some(t) = w.iter().find(|t| t.cfg == cfg) {
+        return Some(t); // lost a build race; the duplicate leaks once
+    }
+    w.push(built);
+    Some(built)
+}
+
+impl LnsConvTables {
+    /// The format these tables serve.
+    #[inline]
+    pub fn config(&self) -> LnsConfig {
+        self.cfg
+    }
+
+    fn build(cfg: LnsConfig) -> LnsConvTables {
+        let f = cfg.frac_bits;
+        let scale = (f as f64).exp2();
+        let q = cfg.quantum();
+        let raw_min = cfg.raw_word_min();
+        let raw_max = cfg.raw_word_max();
+
+        // --- encoder: breakpoint mantissas against the libm reference ---
+        // reference fraction word for mantissa bits at exponent 0
+        let k_ref = |mant: i64| -> i64 {
+            let x = f64::from_bits((1023u64 << 52) | mant as u64);
+            (x.log2() * scale).round() as i64
+        };
+        let nk = 1i64 << f;
+        let mut bps: Vec<i64> = Vec::with_capacity(nk as usize);
+        for k in 1..=nk {
+            let (mut lo, mut hi) = (0i64, (1i64 << 52) - 1);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if k_ref(mid) >= k {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            // libm noise can make the predicate locally non-monotone;
+            // nudge to the true first crossing (any residue stays well
+            // inside the guard band)
+            let mut bp = lo;
+            let mut fuel = 128;
+            while fuel > 0 && bp > 0 && k_ref(bp - 1) >= k {
+                bp -= 1;
+                fuel -= 1;
+            }
+            fuel = 128;
+            while fuel > 0 && k_ref(bp) < k {
+                bp += 1;
+                fuel -= 1;
+            }
+            bps.push(bp);
+        }
+        assert!(bps.windows(2).all(|w| w[0] < w[1]), "encoder breakpoints not increasing");
+
+        let cells_bits = f + 1; // ≤ 0.73 breakpoints per cell
+        let cell_shift = 52 - cells_bits;
+        let width = 1i64 << cell_shift;
+        let guard = ENC_GUARD as i64;
+        let mut cells = Vec::with_capacity(1usize << cells_bits);
+        for c in 0..(1i64 << cells_bits) {
+            let s = c << cell_shift;
+            let e = s + width;
+            let k_lo = bps.partition_point(|&b| b <= s) as i64;
+            let idx = k_lo as usize;
+            let bp = match bps.get(idx) {
+                Some(&b) if b < e => b,
+                _ => NO_BP,
+            };
+            assert!(
+                bps.get(idx + 1).is_none_or(|&b| b >= e),
+                "two encoder breakpoints in one cell"
+            );
+            let ni = bps.partition_point(|&b| b < s - guard);
+            let near_bp = match bps.get(ni) {
+                Some(&b) if b < e + guard => b,
+                _ => NO_BP,
+            };
+            cells.push(EncCell { k_lo, bp, near_bp });
+        }
+
+        // --- decoder: memoized reference decode per raw word ---
+        let n_dec = (raw_max - raw_min + 1) as usize;
+        let mut dec = Vec::with_capacity(n_dec);
+        for raw in raw_min..=raw_max {
+            dec.push((raw as f64 * q).exp2());
+        }
+
+        // --- adders: integer Gaussian-log increments per distance ---
+        let round_step = |s: f64| -> i64 {
+            let scaled = s * scale;
+            let k = scaled.round();
+            // the increment is safe to hoist only when no representable
+            // operand sum can push `scaled` across a rounding boundary
+            if 0.5 - (scaled - k).abs() > 1e-9 {
+                k as i64
+            } else {
+                FALLBACK
+            }
+        };
+        let mut sb = Vec::new();
+        for d in 0..(1i64 << 21) {
+            let z = (-d) as f64 * q;
+            let k = round_step(z.exp2().ln_1p() / std::f64::consts::LN_2);
+            sb.push(k);
+            if k == 0 {
+                break;
+            }
+        }
+        assert_eq!(*sb.last().unwrap(), 0, "sb table did not reach its asymptote");
+        let mut db = vec![FALLBACK];
+        for d in 1..(1i64 << 21) {
+            let z = (-d) as f64 * q;
+            let k = round_step((-z.exp2()).ln_1p() / std::f64::consts::LN_2);
+            db.push(k);
+            if k == 0 {
+                break;
+            }
+        }
+        assert_eq!(*db.last().unwrap(), 0, "db table did not reach its asymptote");
+
+        LnsConvTables { cfg, raw_min, raw_max, cell_shift, cells, dec, sb, db }
+    }
+
+    /// Table-driven encode; bit-identical to
+    /// [`LnsConfig::encode_libm`] (guard-band inputs are delegated).
+    #[inline]
+    pub fn encode(&self, x: f64) -> Lns {
+        if x == 0.0 || x.is_nan() {
+            return Lns::zero(self.cfg);
+        }
+        let bits = x.to_bits();
+        let eb = ((bits >> 52) & 0x7ff) as i64;
+        if eb == 0 || eb == 0x7ff {
+            return self.cfg.encode_libm(x); // subnormal / infinite
+        }
+        let mant = (bits & ((1u64 << 52) - 1)) as i64;
+        let cell = &self.cells[(mant >> self.cell_shift) as usize];
+        if mant.abs_diff(cell.near_bp) < ENC_GUARD {
+            return self.cfg.encode_libm(x);
+        }
+        let k = cell.k_lo + i64::from(mant >= cell.bp);
+        let raw = ((eb - 1023) << self.cfg.frac_bits) + k;
+        if raw < self.raw_min {
+            return Lns::zero(self.cfg);
+        }
+        let sign: i8 = if bits >> 63 == 0 { 1 } else { -1 };
+        Lns::from_raw(sign, raw.min(self.raw_max), self.cfg)
+    }
+
+    /// Table-driven decode; bit-identical to [`Lns::to_f64`] by
+    /// construction (full-word memoization of the reference decode).
+    #[inline]
+    pub fn decode(&self, v: Lns) -> f64 {
+        let s = v.signum();
+        if s == 0 {
+            return 0.0;
+        }
+        let m = self.dec[(v.raw() - self.raw_min) as usize];
+        if s < 0 {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Table-driven addition; bit-identical to [`Lns::add`] (entries
+    /// whose rounding cannot be hoisted fall back to the formula).
+    #[inline]
+    pub fn add(&self, a: Lns, b: Lns) -> Lns {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let (hi, lo) = if a.raw() >= b.raw() { (a, b) } else { (b, a) };
+        let d = (hi.raw() - lo.raw()) as usize;
+        if hi.signum() == lo.signum() {
+            let k = if d < self.sb.len() { self.sb[d] } else { 0 };
+            if k == FALLBACK {
+                return a.add(b);
+            }
+            let raw = hi.raw() + k;
+            Lns::from_raw(hi.signum(), raw.min(self.raw_max), self.cfg)
+        } else {
+            if d == 0 {
+                return Lns::zero(self.cfg);
+            }
+            let k = if d < self.db.len() { self.db[d] } else { 0 };
+            if k == FALLBACK {
+                return a.add(b);
+            }
+            let raw = hi.raw() + k;
+            if raw < self.raw_min {
+                return Lns::zero(self.cfg);
+            }
+            Lns::from_raw(hi.signum(), raw, self.cfg)
+        }
+    }
+
+    #[cfg(test)]
+    fn breakpoints(&self) -> Vec<i64> {
+        self.cells.iter().map(|c| c.bp).filter(|&b| b != NO_BP).collect()
+    }
+
+    #[cfg(test)]
+    fn adder_lens(&self) -> (usize, usize) {
+        (self.sb.len(), self.db.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +482,212 @@ mod tests {
     #[should_panic(expected = "non-positive table range")]
     fn bad_range_rejected() {
         GaussLogTable::new(8, 8, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod conv_tests {
+    use super::*;
+
+    const CFGS: [LnsConfig; 3] = [
+        LnsConfig::GRAPE5,
+        LnsConfig::GRAPE3,
+        LnsConfig { frac_bits: 11, exp_min: -64, exp_max: 63 },
+    ];
+
+    // deterministic pseudo-random f64 bit patterns (splitmix64)
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn sweeps() -> usize {
+        if cfg!(debug_assertions) {
+            20_000
+        } else {
+            400_000
+        }
+    }
+
+    fn assert_same(t: &LnsConvTables, cfg: LnsConfig, x: f64) {
+        let tab = t.encode(x);
+        let refv = cfg.encode_libm(x);
+        assert_eq!(
+            (tab.signum(), if tab.is_zero() { 0 } else { tab.raw() }),
+            (refv.signum(), if refv.is_zero() { 0 } else { refv.raw() }),
+            "encode divergence at x = {x:e} ({:016x}) cfg {cfg:?}",
+            x.to_bits()
+        );
+    }
+
+    #[test]
+    fn decode_table_exhaustive_vs_reference() {
+        for cfg in CFGS {
+            let t = conv_tables(cfg).expect("test formats are tabulable");
+            for raw in cfg.raw_word_min()..=cfg.raw_word_max() {
+                for sign in [-1i8, 1] {
+                    let v = Lns::from_raw(sign, raw, cfg);
+                    assert_eq!(
+                        t.decode(v).to_bits(),
+                        v.to_f64().to_bits(),
+                        "decode divergence at sign {sign} raw {raw} cfg {cfg:?}"
+                    );
+                }
+            }
+            assert_eq!(t.decode(Lns::zero(cfg)).to_bits(), 0.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn encode_specials_match_reference() {
+        for cfg in CFGS {
+            let t = conv_tables(cfg).unwrap();
+            for x in [
+                0.0,
+                -0.0,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,
+                f64::MIN_POSITIVE / 2.0, // subnormal
+                f64::MAX,
+                -f64::MAX,
+                1.0,
+                -1.0,
+                1.0 + f64::EPSILON,
+                1.0 - f64::EPSILON / 2.0,
+            ] {
+                assert_same(t, cfg, x);
+            }
+            for e in -700..700 {
+                let x = f64::exp2(e as f64);
+                assert_same(t, cfg, x);
+                assert_same(t, cfg, -x);
+                assert_same(t, cfg, x * 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_random_bit_patterns_match_reference() {
+        let mut state = 0x5eed_u64;
+        for cfg in CFGS {
+            let t = conv_tables(cfg).unwrap();
+            for _ in 0..sweeps() {
+                // random finite f64: random sign/mantissa, exponent biased
+                // toward the representable band
+                let bits = splitmix(&mut state);
+                let eb = 1023i64 + ((bits >> 52) as i64 % 1400) - 700;
+                let eb = eb.clamp(1, 0x7fe) as u64;
+                let x = f64::from_bits((bits & !(0x7ffu64 << 52)) | (eb << 52));
+                assert_same(t, cfg, x);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_breakpoint_edges_match_reference() {
+        // scan every mantissa in a window around each breakpoint, just
+        // inside and just outside the guard band, at several exponents
+        for cfg in [LnsConfig::GRAPE5, LnsConfig::GRAPE3] {
+            let t = conv_tables(cfg).unwrap();
+            let bps = t.breakpoints();
+            assert!(bps.len() > (1 << (cfg.frac_bits - 1)) as usize);
+            let window: Vec<i64> = [
+                -(ENC_GUARD as i64) - 2,
+                -(ENC_GUARD as i64),
+                -(ENC_GUARD as i64) + 1,
+                -3,
+                -1,
+                0,
+                1,
+                3,
+                ENC_GUARD as i64 - 1,
+                ENC_GUARD as i64,
+                ENC_GUARD as i64 + 2,
+            ]
+            .to_vec();
+            for &bp in &bps {
+                for &off in &window {
+                    let mant = bp + off;
+                    if !(0..(1i64 << 52)).contains(&mant) {
+                        continue;
+                    }
+                    for eb in [1i64, 512, 1023, 1024, 1534, 2046] {
+                        let x = f64::from_bits(((eb as u64) << 52) | mant as u64);
+                        assert_same(t, cfg, x);
+                        assert_same(t, cfg, -x);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_tables_exhaustive_vs_reference() {
+        for cfg in [LnsConfig::GRAPE5, LnsConfig::GRAPE3] {
+            let t = conv_tables(cfg).unwrap();
+            let (sb_len, db_len) = t.adder_lens();
+            let max_d = sb_len.max(db_len) as i64 + 64;
+            let raws = [
+                cfg.raw_word_min(),
+                cfg.raw_word_min() + 1,
+                -1,
+                0,
+                1,
+                cfg.raw_word_max() / 2,
+                cfg.raw_word_max() - 1,
+                cfg.raw_word_max(),
+            ];
+            for d in 0..max_d {
+                for hi_raw in raws {
+                    let lo_raw = hi_raw - d;
+                    if lo_raw < cfg.raw_word_min() {
+                        continue;
+                    }
+                    for (sa, sb_sign) in [(1i8, 1i8), (1, -1), (-1, 1), (-1, -1)] {
+                        let a = Lns::from_raw(sa, hi_raw, cfg);
+                        let b = Lns::from_raw(sb_sign, lo_raw, cfg);
+                        for (x, y) in [(a, b), (b, a)] {
+                            let got = t.add(x, y);
+                            let want = x.add(y);
+                            assert_eq!(
+                                (got.signum(), if got.is_zero() { 0 } else { got.raw() }),
+                                (want.signum(), if want.is_zero() { 0 } else { want.raw() }),
+                                "add divergence d={d} hi={hi_raw} signs=({sa},{sb_sign}) cfg {cfg:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            // zero identities
+            let a = Lns::from_raw(1, 0, cfg);
+            let z = Lns::zero(cfg);
+            assert_eq!(t.add(a, z), a);
+            assert_eq!(t.add(z, a), a);
+            assert!(t.add(z, z).is_zero());
+        }
+    }
+
+    #[test]
+    fn routed_encode_uses_tables_and_cache_is_shared() {
+        let a = conv_tables(LnsConfig::GRAPE5).unwrap();
+        let b = conv_tables(LnsConfig::GRAPE5).unwrap();
+        assert!(std::ptr::eq(a, b), "cache must hand out one table set per format");
+        assert_eq!(a.config(), LnsConfig::GRAPE5);
+        // LnsConfig::encode routes through the same tables
+        let x = 0.12345;
+        assert_eq!(LnsConfig::GRAPE5.encode(x), a.encode(x));
+    }
+
+    #[test]
+    fn oversized_format_falls_back_to_libm() {
+        let wide = LnsConfig { frac_bits: 20, exp_min: -512, exp_max: 511 };
+        assert!(conv_tables(wide).is_none());
+        let x = 2.5;
+        assert_eq!(wide.encode(x), wide.encode_libm(x));
     }
 }
