@@ -17,5 +17,21 @@ fn bench_tree_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tree_build);
+/// Incremental refresh on a frozen topology (the K-amortized step of
+/// the host overhaul) vs the full rebuild it replaces.
+fn bench_tree_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_refresh");
+    for n in [50_000usize, 200_000] {
+        let snap = plummer(n, 1);
+        let moved: Vec<_> = snap.pos.iter().zip(&snap.vel).map(|(p, v)| *p + *v * 1e-3).collect();
+        let mut tree = Tree::build(&snap.pos, &snap.mass);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tree.refresh(black_box(&moved), black_box(&snap.mass)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_tree_refresh);
 criterion_main!(benches);

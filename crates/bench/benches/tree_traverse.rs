@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use g5_bench::plummer;
-use g5tree::traverse::Traversal;
+use g5tree::traverse::{Traversal, TraverseScratch};
 use g5tree::tree::Tree;
 use std::hint::black_box;
 
@@ -23,5 +23,41 @@ fn bench_traverse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_traverse);
+/// SoA explicit-stack walk vs the kept recursive reference, serial over
+/// all groups with retained buffers — the per-group cost the host
+/// overhaul targets.
+fn bench_walk_paths(c: &mut Criterion) {
+    let snap = plummer(100_000, 2);
+    let tree = Tree::build(&snap.pos, &snap.mass);
+    let tr = Traversal::new(0.75);
+    let groups = tr.find_groups(&tree, 2000);
+    let mut scratch = TraverseScratch::default();
+    let mut out = Vec::new();
+
+    let mut g = c.benchmark_group("walk_paths");
+    g.sample_size(20);
+    g.bench_function("soa_stack", |b| {
+        b.iter(|| {
+            let mut terms = 0usize;
+            for &gr in &groups {
+                tr.modified_list_with(&tree, gr, &mut scratch, &mut out);
+                terms += out.len();
+            }
+            black_box(terms)
+        });
+    });
+    g.bench_function("recursive_reference", |b| {
+        b.iter(|| {
+            let mut terms = 0usize;
+            for &gr in &groups {
+                tr.modified_list_reference(&tree, gr, &mut out);
+                terms += out.len();
+            }
+            black_box(terms)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traverse, bench_walk_paths);
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! cargo run --release -p g5-bench --bin exp_faults -- \
 //!     [--n 8000] [--steps 40] [--dt 0.005] [--eps 0.01] \
 //!     [--transient 0.05] [--jmem 0.05] \
+//!     [--plan-workers W] [--channel-depth D] \
 //!     [--checkpoint-every 10] [--checkpoint-dir dir] [--resume]
 //! ```
 //!
@@ -25,7 +26,7 @@
 //! subdirectory; `--resume` continues each case from its newest valid
 //! checkpoint, reproducing the uninterrupted run bit-for-bit.
 
-use g5_bench::{fmt_secs, plummer, rule, Args};
+use g5_bench::{fmt_secs, plan_from_args, plummer, rule, Args};
 use grape5::fault::{BoardDropout, FaultConfig, StuckPipe};
 use grape5::RetryPolicy;
 use treegrape::checkpoint::{latest, Checkpointer};
@@ -40,6 +41,9 @@ struct CaseResult {
     energy_drift: f64,
     final_state: Option<g5ic::Snapshot>,
     resumed_from: Option<u64>,
+    /// Seconds the device consumer spent starved on an empty plan
+    /// channel, summed over the run.
+    blocked_s: f64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -122,6 +126,7 @@ fn run_case(
         energy_drift: drift,
         final_state: Some(sim.state.clone()),
         resumed_from,
+        blocked_s: sim.phase_timers().consumer_blocked_s,
     }
 }
 
@@ -136,12 +141,14 @@ fn main() {
     let ckpt_every: u64 = args.get("checkpoint-every", 0);
     let ckpt_dir: String = args.get("checkpoint-dir", "faults_ckpt".to_string());
     let resume = args.flag("resume");
+    let plan = plan_from_args(&args);
 
     println!("E9: fault injection and recovery (N = {n}, {steps} steps, dt = {dt}, eps = {eps})");
     let snap0 = plummer(n, 2);
     let cfg = TreeGrapeConfig {
         n_crit: 500,
         retry: RetryPolicy::default(),
+        plan,
         ..TreeGrapeConfig::paper(eps)
     };
     let ckpt = (ckpt_every > 0).then(|| (std::path::Path::new(&ckpt_dir), ckpt_every));
@@ -171,7 +178,7 @@ fn main() {
 
     println!();
     println!(
-        "{:>12} {:>6} {:>10} {:>8} {:>8} {:>7} {:>8} {:>11} {:>10} {:>9}",
+        "{:>12} {:>6} {:>10} {:>8} {:>8} {:>7} {:>8} {:>11} {:>9} {:>10} {:>9}",
         "fault",
         "steps",
         "wall",
@@ -180,10 +187,11 @@ fn main() {
         "q-pipe",
         "q-board",
         "|dE/E0|",
+        "blocked",
         "overhead",
         "vs clean"
     );
-    rule(98);
+    rule(108);
     for r in &results {
         let overhead = r.wall_s / clean.wall_s - 1.0;
         let identical = match (&r.final_state, &clean.final_state) {
@@ -197,7 +205,7 @@ fn main() {
             _ => "n/a",
         };
         println!(
-            "{:>12} {:>6} {:>10} {:>8} {:>8} {:>7} {:>8} {:>11.2e} {:>9.1}% {:>9}",
+            "{:>12} {:>6} {:>10} {:>8} {:>8} {:>7} {:>8} {:>11.2e} {:>9} {:>9.1}% {:>9}",
             r.label,
             r.completed,
             fmt_secs(r.wall_s),
@@ -206,6 +214,7 @@ fn main() {
             r.stats.quarantined_pipes,
             r.stats.quarantined_boards,
             r.energy_drift,
+            fmt_secs(r.blocked_s),
             overhead * 100.0,
             identical,
         );

@@ -1,0 +1,429 @@
+//! **E11 — host-phase throughput: SoA traversal, scratch reuse, and
+//! tree refresh vs the pre-overhaul path.**
+//!
+//! PR 3 made the device kernel 3.3× faster, so by Amdahl the host tree
+//! phase — full rebuild every step, an allocation per walk, a fresh
+//! `Vec` per list — became the wall-clock ceiling, exactly the regime
+//! §3 of the paper describes where the workstation saturates before
+//! GRAPE does. This harness measures what the overhaul bought, A/B in
+//! the same process on the same drifting snapshot:
+//!
+//! * **reference** — the pre-PR host phase: `Tree::build_with` every
+//!   step, allocating `find_groups`, and the kept recursive
+//!   `modified_list_reference` walk with a fresh output `Vec` per
+//!   group;
+//! * **new** — full build every K-th step and `Tree::refresh` (moment
+//!   re-accumulation on the frozen topology, drift-inflated group
+//!   spheres) in between, groups found into retained buffers, and the
+//!   explicit-stack `modified_list_with` walk over the SoA node
+//!   columns with one `TraverseScratch` + list buffer per worker.
+//!
+//! Both traversals must produce the same number of terms on rebuild
+//! steps (the walks are bit-identical there — enforced); refresh steps
+//! may produce slightly longer lists because the inflated spheres are
+//! conservative. Results go to a table, per-phase rates, and a JSON
+//! report (default `BENCH_pr4.json`); when a baseline file exists its
+//! numbers are read first and a delta is printed, so CI can diff a
+//! fresh `--quick` run against the committed report.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_host -- \
+//!     [--quick] [--out BENCH_pr4.json] [--baseline BENCH_pr4.json]
+//! ```
+
+use g5_bench::{fmt_count, plummer, rule, Args};
+use g5tree::traverse::{Traversal, TraverseScratch};
+use g5tree::tree::{Tree, TreeConfig};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const THETA: f64 = 0.6;
+/// Per-step displacement scale, in units of the Plummer core radius —
+/// small enough that a 4-step refresh interval stays inside the default
+/// drift valve, large enough that moments genuinely change.
+const DT: f64 = 1e-3;
+
+/// Per-phase medians of one (N, n_crit, K) cell. Medians, not means:
+/// the harness shares the machine with whatever else runs, and a single
+/// preempted step would otherwise smear into every reported rate. The
+/// per-step host times are reconstructed from the phase medians.
+struct HostCell {
+    n: usize,
+    n_crit: usize,
+    /// Refresh interval K of the new path (1 = rebuild every step).
+    k: u32,
+    steps: u64,
+    /// Full build + group finding, median seconds. Both legs run the
+    /// identical build, so their samples are pooled into one median:
+    /// at K = 8 the new leg builds only once per window, and a single
+    /// preempted sample would otherwise dominate its amortized term.
+    build_s: f64,
+    builds: u64,
+    /// Median seconds per refresh (new path only).
+    refresh_s: f64,
+    refreshes: u64,
+    groups: u64,
+    /// Reference traversal, median seconds per step.
+    trav_ref_s: f64,
+    /// SoA-stack traversal, median seconds per step.
+    trav_new_s: f64,
+    terms: u64,
+}
+
+impl HostCell {
+    /// Reference host phase: full build + recursive walk, every step.
+    fn host_ref_s(&self) -> f64 {
+        self.build_s + self.trav_ref_s
+    }
+    /// New host phase per step: builds amortized over the interval,
+    /// refreshes in between, stack walk every step.
+    fn host_new_s(&self) -> f64 {
+        let update = (self.builds as f64 * self.build_s + self.refreshes as f64 * self.refresh_s)
+            / self.steps as f64;
+        update + self.trav_new_s
+    }
+    fn speedup(&self) -> f64 {
+        self.host_ref_s() / self.host_new_s()
+    }
+    fn build_ns_per_particle(&self) -> f64 {
+        self.build_s * 1e9 / self.n as f64
+    }
+    fn refresh_ns_per_particle(&self) -> f64 {
+        self.refresh_s * 1e9 / self.n as f64
+    }
+    fn trav_ns_per_group(&self, per_step_s: f64) -> f64 {
+        per_step_s * 1e9 / self.groups as f64
+    }
+}
+
+/// Median of timing samples (n ≥ 1).
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        0.5 * (s[mid - 1] + s[mid])
+    }
+}
+
+/// The pre-overhaul traversal: recursive walk over `Node`s, fresh
+/// output `Vec` per group (what `modified_lists` compiled to before
+/// this PR). Returns total term count.
+fn reference_lists(tree: &Tree, tr: &Traversal, groups: &[g5tree::traverse::Group]) -> u64 {
+    groups
+        .par_iter()
+        .map(|&g| {
+            let mut out = Vec::new();
+            tr.modified_list_reference(tree, g, &mut out);
+            out.len() as u64
+        })
+        .sum()
+}
+
+/// The overhauled traversal: explicit-stack walk over the SoA columns,
+/// one retained scratch + list buffer per worker.
+fn soa_lists(tree: &Tree, tr: &Traversal, groups: &[g5tree::traverse::Group]) -> u64 {
+    groups
+        .par_iter()
+        .map_init(
+            || (TraverseScratch::default(), Vec::new()),
+            |(scratch, buf), &g| {
+                tr.modified_list_with(tree, g, scratch, buf);
+                buf.len() as u64
+            },
+        )
+        .sum()
+}
+
+/// Run one (N, n_crit, K) cell: `steps` host phases over a snapshot
+/// drifting along its Plummer velocities, reference and new path back
+/// to back on identical positions each step.
+fn measure(n: usize, n_crit: usize, k: u32, steps: u64) -> HostCell {
+    let snap = plummer(n, SEED);
+    let tr = Traversal::new(THETA);
+    let cfg = TreeConfig::default();
+    assert!(cfg.leaf_capacity <= n_crit, "cell violates the leaf_capacity <= n_crit invariant");
+
+    let mut pos = snap.pos.clone();
+    let mut build_ref = Vec::new();
+    let mut build_new = Vec::new();
+    let mut refresh = Vec::new();
+    let mut trav_ref = Vec::new();
+    let mut trav_new = Vec::new();
+    let mut total_terms = 0u64;
+    let mut n_groups = 0u64;
+
+    // the new path's cached state, living across steps like TreeGrape's
+    let mut cached: Option<Tree> = None;
+    let mut groups_new = Vec::new();
+    let mut gscratch = TraverseScratch::default();
+
+    // untimed warmup: one full pass of each path so the timed loop sees
+    // warm caches and faulted-in pages rather than cold-start costs
+    {
+        let tree = Tree::build_with(&pos, &snap.mass, cfg);
+        let groups = tr.find_groups(&tree, n_crit);
+        reference_lists(&tree, &tr, &groups);
+        soa_lists(&tree, &tr, &groups);
+    }
+
+    for step in 0..steps {
+        // ---- reference host phase: full build + recursive walk ----
+        let t0 = Instant::now();
+        let tree_ref = Tree::build_with(&pos, &snap.mass, cfg);
+        let groups_ref = tr.find_groups(&tree_ref, n_crit);
+        build_ref.push(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        let terms_ref = reference_lists(&tree_ref, &tr, &groups_ref);
+        trav_ref.push(t1.elapsed().as_secs_f64());
+
+        // ---- new host phase: K-amortized build + SoA stack walk ----
+        let rebuild = step % k as u64 == 0 || cached.as_ref().is_none();
+        if rebuild {
+            // retire the expired tree outside the timed window, like the
+            // reference leg drops its tree outside its timed build
+            cached = None;
+        }
+        let t2 = Instant::now();
+        if rebuild {
+            let tree = Tree::build_with(&pos, &snap.mass, cfg);
+            tr.find_groups_into(&tree, n_crit, &mut gscratch, &mut groups_new);
+            cached = Some(tree);
+            build_new.push(t2.elapsed().as_secs_f64());
+        } else {
+            let tree = cached.as_mut().unwrap();
+            tree.refresh(&pos, &snap.mass);
+            refresh.push(t2.elapsed().as_secs_f64());
+        }
+        let tree_new = cached.as_ref().unwrap();
+        let t3 = Instant::now();
+        let terms_new = soa_lists(tree_new, &tr, &groups_new);
+        trav_new.push(t3.elapsed().as_secs_f64());
+
+        if rebuild {
+            // on rebuild steps both paths walk identical trees with
+            // zero drift: the stack walk must emit identical lists
+            assert_eq!(
+                terms_ref, terms_new,
+                "SoA walk diverged from recursive reference on a fresh tree"
+            );
+        }
+        total_terms += terms_new;
+        n_groups = groups_new.len() as u64;
+
+        // drift the snapshot along its own velocities for the next step
+        for (p, v) in pos.iter_mut().zip(&snap.vel) {
+            *p += *v * DT;
+        }
+    }
+    let builds = build_new.len() as u64;
+    // one pooled median for the identical build operation of both legs
+    let mut build_all = build_ref;
+    build_all.extend_from_slice(&build_new);
+    HostCell {
+        n,
+        n_crit,
+        k,
+        steps,
+        build_s: median(&build_all),
+        builds,
+        refresh_s: if refresh.is_empty() { 0.0 } else { median(&refresh) },
+        refreshes: refresh.len() as u64,
+        groups: n_groups,
+        trav_ref_s: median(&trav_ref),
+        trav_new_s: median(&trav_new),
+        terms: total_terms,
+    }
+}
+
+fn result_row(c: &HostCell) {
+    println!(
+        "{:>8} {:>6} {:>3} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10.2} {:>10.2} {:>8.2}x",
+        c.n,
+        c.n_crit,
+        c.k,
+        c.build_ns_per_particle(),
+        c.refresh_ns_per_particle(),
+        c.trav_ns_per_group(c.trav_ref_s),
+        c.trav_ns_per_group(c.trav_new_s),
+        c.host_ref_s() * 1e3,
+        c.host_new_s() * 1e3,
+        c.speedup(),
+    );
+}
+
+fn json_line(c: &HostCell) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"n\": {}, \"n_crit\": {}, \"k\": {}, \"steps\": {}, \
+         \"build_ns_per_particle\": {}, \"refresh_ns_per_particle\": {}, \
+         \"groups\": {}, \"terms\": {}, \
+         \"trav_ref_ns_per_group\": {}, \"trav_new_ns_per_group\": {}, \
+         \"host_ref_s_per_step\": {}, \"host_new_s_per_step\": {}, \"speedup\": {}}}",
+        c.n,
+        c.n_crit,
+        c.k,
+        c.steps,
+        c.build_ns_per_particle(),
+        c.refresh_ns_per_particle(),
+        c.groups,
+        c.terms,
+        c.trav_ns_per_group(c.trav_ref_s),
+        c.trav_ns_per_group(c.trav_new_s),
+        c.host_ref_s(),
+        c.host_new_s(),
+        c.speedup(),
+    )
+    .unwrap();
+    s
+}
+
+/// Pull a numeric field out of one hand-rolled JSON result line.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compare fresh results against a previously written report (the
+/// committed baseline in CI) and print per-cell host-phase deltas.
+fn print_baseline_delta(results: &[HostCell], old: &str) {
+    println!();
+    println!("delta vs committed baseline (new-path host seconds per step):");
+    for c in results {
+        let tag = format!("\"n\": {}, \"n_crit\": {}, \"k\": {}", c.n, c.n_crit, c.k);
+        let prior =
+            old.lines().find(|l| l.contains(&tag)).and_then(|l| json_f64(l, "host_new_s_per_step"));
+        match prior {
+            Some(p) if p > 0.0 => {
+                println!(
+                    "  N = {:>7} n_crit = {:>5} K = {}  {:.3e} -> {:.3e} s/step  ({:+.1}%)",
+                    c.n,
+                    c.n_crit,
+                    c.k,
+                    p,
+                    c.host_new_s(),
+                    100.0 * (c.host_new_s() - p) / p
+                );
+            }
+            _ => println!(
+                "  N = {:>7} n_crit = {:>5} K = {}  (no baseline entry)",
+                c.n, c.n_crit, c.k
+            ),
+        }
+    }
+    println!("(wall-clock rates are machine-dependent; the delta is informational, not a gate)");
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let out_path: String = args.get("out", "BENCH_pr4.json".to_string());
+    let base_path: String = args.get("baseline", out_path.clone());
+    let baseline = std::fs::read_to_string(&base_path).ok();
+
+    // headline size, the paper-optimum group size, and the sweeps
+    let (n_head, steps) = if quick { (32_768, 4u64) } else { (262_144, 8u64) };
+    let ncrit_sweep: &[usize] = if quick { &[500, 2000] } else { &[250, 500, 1000, 2000, 4000] };
+    let k_sweep: &[u32] = &[1, 2, 4, 8];
+
+    println!(
+        "E11: host-phase overhaul — SoA stack traversal + K-step tree refresh vs \
+         rebuild-every-step recursive path{}",
+        if quick { " (--quick)" } else { "" }
+    );
+    println!(
+        "     workload: Plummer sphere, seed {SEED}, theta {THETA}, drifting at dt = {DT}/step"
+    );
+    println!();
+    rule(100);
+    println!(
+        "{:>8} {:>6} {:>3} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "N",
+        "ncrit",
+        "K",
+        "build",
+        "refresh",
+        "walk-ref",
+        "walk-new",
+        "host-ref",
+        "host-new",
+        "speedup"
+    );
+    println!(
+        "{:>8} {:>6} {:>3} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "", "", "", "ns/part", "ns/part", "ns/grp", "ns/grp", "ms/step", "ms/step", ""
+    );
+    rule(100);
+
+    let mut results = Vec::new();
+    // n_crit sweep at K = 4: the paper's §3 trade-off measured on the
+    // new host phase (n_g ≈ 2000 is the paper's optimum)
+    for &n_crit in ncrit_sweep {
+        let c = measure(n_head, n_crit, 4, steps);
+        result_row(&c);
+        results.push(c);
+    }
+    rule(100);
+    // K sweep at the paper's n_crit: what refresh amortization buys
+    for &k in k_sweep {
+        let c = measure(n_head, 2000, k, steps);
+        result_row(&c);
+        results.push(c);
+    }
+    rule(100);
+    // the combined best operating point: large groups + full amortization
+    if !quick {
+        let c = measure(n_head, 4000, 8, steps);
+        result_row(&c);
+        results.push(c);
+        rule(100);
+    }
+
+    // headline: the best amortized operating point at the headline size —
+    // the pre-PR path rebuilt and re-walked from scratch every step, so
+    // each cell's ref leg is the old path at that cell's own n_crit
+    let headline = results
+        .iter()
+        .filter(|c| c.n == n_head)
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+        .expect("headline cell");
+    println!();
+    println!(
+        "headline: N = {} host phase is {:.2}x the pre-PR path at n_crit = {} K = {} \
+         (gate: >= 1.5x at N = 262144)",
+        fmt_count(headline.n as u64),
+        headline.speedup(),
+        headline.n_crit,
+        headline.k
+    );
+
+    if let Some(old) = &baseline {
+        print_baseline_delta(&results, old);
+    }
+
+    let mut text = String::new();
+    writeln!(text, "{{").unwrap();
+    writeln!(text, "  \"experiment\": \"exp_host\",").unwrap();
+    writeln!(text, "  \"quick\": {quick},").unwrap();
+    writeln!(text, "  \"seed\": {SEED},").unwrap();
+    writeln!(text, "  \"theta\": {THETA},").unwrap();
+    writeln!(text, "  \"dt\": {DT},").unwrap();
+    writeln!(text, "  \"results\": [").unwrap();
+    for (i, c) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        writeln!(text, "{}{comma}", json_line(c)).unwrap();
+    }
+    writeln!(text, "  ]").unwrap();
+    writeln!(text, "}}").unwrap();
+    std::fs::write(&out_path, &text).unwrap();
+    println!();
+    println!("wrote {} results to {out_path}", results.len());
+}

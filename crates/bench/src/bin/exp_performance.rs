@@ -9,14 +9,18 @@
 //!
 //! ```text
 //! cargo run --release -p g5-bench --bin exp_performance -- \
-//!     [--n 200000] [--steps 4] [--theta 0.75] [--ncrit 2000] [--paper-scale]
+//!     [--n 200000] [--steps 4] [--theta 0.75] [--ncrit 2000] [--paper-scale] \
+//!     [--plan-workers W] [--channel-depth D]
 //! ```
+//!
+//! `--plan-workers 0` selects the serial in-order plan; omitting the
+//! flag keeps the default (cores − 1 producers).
 //!
 //! `--paper-scale` additionally rescales the measured per-step counts
 //! to N = 2,159,038 / 999 steps using the N log N interaction-count law
 //! before projecting, reproducing the full-run numbers.
 
-use g5_bench::{cdm, fmt_count, fmt_secs, rule, Args};
+use g5_bench::{cdm, fmt_count, fmt_secs, plan_from_args, rule, Args};
 use g5tree::traverse::Traversal;
 use g5tree::tree::Tree;
 use g5util::counters::{FlopConvention, InteractionTally};
@@ -35,6 +39,7 @@ fn main() {
     let theta: f64 = args.get("theta", 0.6);
     let n_crit: usize = args.get("ncrit", 2000);
     let paper_scale = args.flag("paper-scale");
+    let plan = plan_from_args(&args);
 
     println!("E1: generating standard-CDM sphere (target {n_target} particles)...");
     let ic = cdm(n_target, 1999);
@@ -47,7 +52,7 @@ fn main() {
 
     println!("  N = {n}, z_init = {}, eps = {eps}", ic.cosmo.z_init);
 
-    let cfg = TreeGrapeConfig { theta, n_crit, eps, ..TreeGrapeConfig::paper(eps) };
+    let cfg = TreeGrapeConfig { theta, n_crit, eps, plan, ..TreeGrapeConfig::paper(eps) };
     let backend = TreeGrape::new(cfg);
     let wall = std::time::Instant::now();
     let mut sim = Simulation::new(ic.snapshot, backend, t_init);
@@ -250,6 +255,7 @@ fn print_phase_table(t: &PhaseTimers, m: &RunMeasurement) {
         "wall saved by traversal/device overlap",
         fmt_secs(t.overlap_saved_s())
     );
+    println!("{:<38} {:>10}", "device blocked on empty channel", fmt_secs(t.consumer_blocked_s));
     rule(78);
     println!("(modeled column: DS10 host model + GRAPE-5 clocks; the modeled host walk");
     println!(" corresponds to the measured list-production phase)");

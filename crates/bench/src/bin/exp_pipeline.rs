@@ -91,7 +91,7 @@ fn materialized_eval(pos: &[g5util::vec3::Vec3], mass: &[f64], cfg: &TreeGrapeCo
 
     // resolve everything up front (serial scheduling, but *retained*)
     let mut all: Vec<GroupWork> = Vec::with_capacity(groups.len());
-    let stats = plan::stream(&tree, &tr, &groups, &PlanConfig::serial(), |w| all.push(w))
+    let stats = plan::stream(&tree, &tr, &groups, &PlanConfig::serial(), |w| all.push(w.clone()))
         .expect("materialized plan failed");
 
     let mut g5 = grape5::Grape5::open(cfg.grape);
@@ -117,7 +117,7 @@ fn materialized_eval(pos: &[g5util::vec3::Vec3], mass: &[f64], cfg: &TreeGrapeCo
             traverse_s: stats.produce_s,
             device_s,
             force_wall_s: t_all.elapsed().as_secs_f64(),
-            step_wall_s: 0.0,
+            ..PhaseTimers::default()
         },
     }
 }

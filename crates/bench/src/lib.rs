@@ -62,6 +62,18 @@ pub fn plummer(n: usize, seed: u64) -> Snapshot {
     plummer_sphere(n, &mut rng)
 }
 
+/// Streaming-plan scheduling from the shared CLI surface:
+/// `--plan-workers W` (0 = serial in-order reference, omitted = default
+/// cores − 1) and `--channel-depth D`.
+pub fn plan_from_args(args: &Args) -> g5tree::plan::PlanConfig {
+    let depth: usize = args.get("channel-depth", g5tree::plan::PlanConfig::default().channel_depth);
+    match args.get::<i64>("plan-workers", -1) {
+        -1 => g5tree::plan::PlanConfig { channel_depth: depth, ..Default::default() },
+        0 => g5tree::plan::PlanConfig::serial(),
+        w => g5tree::plan::PlanConfig::overlapped(w as usize, depth),
+    }
+}
+
 /// A standard-CDM sphere realization with at least `n_target` particles.
 pub fn cdm(n_target: usize, seed: u64) -> CosmologicalIc {
     CosmologicalIc::generate(&ZeldovichConfig::for_target_particles(n_target, seed))

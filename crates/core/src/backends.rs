@@ -14,8 +14,8 @@
 
 use crate::perf::PhaseTimers;
 use g5tree::eval::{self, PointForce};
-use g5tree::plan::{self, PlanConfig, PlanError};
-use g5tree::traverse::Traversal;
+use g5tree::plan::{self, PlanConfig, PlanError, PlanPool};
+use g5tree::traverse::{Group, Traversal, TraverseScratch};
 use g5tree::tree::{Tree, TreeConfig};
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
@@ -291,14 +291,18 @@ pub struct TreeHost {
 
 impl TreeHost {
     /// Modified-algorithm host treecode (the paper's default host path).
+    ///
+    /// Panics unless `leaf_capacity <= n_crit`: a leaf larger than
+    /// `n_crit` cannot be split into groups, so the group-size knob
+    /// would silently stop binding (see `Traversal::find_groups`).
     pub fn modified(theta: f64, n_crit: usize, eps: f64) -> Self {
-        TreeHost {
-            theta,
-            n_crit,
-            eps,
-            algorithm: TreeAlgorithm::Modified,
-            tree_config: TreeConfig::default(),
-        }
+        let tree_config = TreeConfig::default();
+        assert!(
+            tree_config.leaf_capacity <= n_crit,
+            "leaf_capacity {} > n_crit {n_crit}: groups could not honor n_crit",
+            tree_config.leaf_capacity
+        );
+        TreeHost { theta, n_crit, eps, algorithm: TreeAlgorithm::Modified, tree_config }
     }
 
     /// Original-algorithm host treecode.
@@ -351,6 +355,44 @@ impl ForceBackend for TreeHost {
 // The paper's system: modified treecode on GRAPE-5
 // ----------------------------------------------------------------------
 
+/// When [`TreeGrape`] rebuilds its octree versus refreshing the one it
+/// already has.
+///
+/// A *refresh* keeps the topology, Morton order, and group partition of
+/// the last full build and only re-accumulates moments from the current
+/// positions (`Tree::refresh`); traversal inflates every group sphere
+/// by the accumulated drift bound so MAC decisions stay conservative.
+/// This is the GRAPE-host playbook of amortizing tree work across
+/// steps: a refresh costs a fraction of a build, at the price of
+/// slightly longer lists as drift accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshPolicy {
+    /// Full rebuilds happen every `interval` force evaluations; the
+    /// `interval - 1` evaluations in between refresh the frozen
+    /// topology. `1` rebuilds every step — bit-identical to the
+    /// pre-refresh backend.
+    pub interval: u32,
+    /// Safety valve: an early rebuild triggers when the accumulated
+    /// drift bound exceeds this fraction of the root cell's half-width,
+    /// whatever the interval says.
+    pub max_drift_frac: f64,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy { interval: 1, max_drift_frac: 0.05 }
+    }
+}
+
+impl RefreshPolicy {
+    /// Rebuild every `k` evaluations (refresh in between), with the
+    /// default drift valve.
+    pub fn every(k: u32) -> Self {
+        assert!(k >= 1, "refresh interval must be positive");
+        RefreshPolicy { interval: k, ..RefreshPolicy::default() }
+    }
+}
+
 /// Configuration of the [`TreeGrape`] backend.
 #[derive(Debug, Clone, Copy)]
 pub struct TreeGrapeConfig {
@@ -368,6 +410,8 @@ pub struct TreeGrapeConfig {
     pub plan: PlanConfig,
     /// Retry/quarantine escalation for the validated device path.
     pub retry: RetryPolicy,
+    /// Tree reuse across force evaluations.
+    pub refresh: RefreshPolicy,
 }
 
 impl TreeGrapeConfig {
@@ -383,6 +427,7 @@ impl TreeGrapeConfig {
             tree_config: TreeConfig::default(),
             plan: PlanConfig::default(),
             retry: RetryPolicy::default(),
+            refresh: RefreshPolicy::default(),
         }
     }
 }
@@ -403,14 +448,44 @@ pub struct TreeGrape {
     pub cfg: TreeGrapeConfig,
     g5: Grape5,
     recovery: RecoveryStats,
+    /// Cached octree from the last full build, refreshed in place on
+    /// non-rebuild steps.
+    tree: Option<Tree>,
+    /// Force evaluations served by the cached topology.
+    tree_age: u32,
+    /// Group partition of the cached topology (valid until rebuild).
+    groups: Vec<Group>,
+    gscratch: TraverseScratch,
+    /// Recycled streaming buffers (husks + per-worker arenas).
+    pool: PlanPool,
 }
 
 impl TreeGrape {
     /// Open the simulated hardware with the given configuration.
+    ///
+    /// Panics unless `tree_config.leaf_capacity <= n_crit`: a leaf
+    /// larger than `n_crit` cannot be split into groups, so the
+    /// group-size knob would silently stop binding.
     pub fn new(cfg: TreeGrapeConfig) -> Self {
+        assert!(
+            cfg.tree_config.leaf_capacity <= cfg.n_crit,
+            "leaf_capacity {} > n_crit {}: groups could not honor n_crit",
+            cfg.tree_config.leaf_capacity,
+            cfg.n_crit
+        );
+        assert!(cfg.refresh.interval >= 1, "refresh interval must be positive");
         let mut g5 = Grape5::open(cfg.grape);
         g5.set_eps(cfg.eps);
-        TreeGrape { cfg, g5, recovery: RecoveryStats::default() }
+        TreeGrape {
+            cfg,
+            g5,
+            recovery: RecoveryStats::default(),
+            tree: None,
+            tree_age: 0,
+            groups: Vec::new(),
+            gscratch: TraverseScratch::default(),
+            pool: PlanPool::new(),
+        }
     }
 
     /// Access the underlying device (accounting, range inspection,
@@ -423,16 +498,56 @@ impl TreeGrape {
     pub fn accounting(&self) -> ClockAccounting {
         self.g5.accounting()
     }
+
+    /// The streaming buffer pool (its `minted` counter is the
+    /// zero-allocation invariant in observable form).
+    pub fn plan_pool(&self) -> &PlanPool {
+        &self.pool
+    }
+
+    /// Evaluations served by the current tree topology (1 right after a
+    /// full build, counting up between rebuilds).
+    pub fn tree_age(&self) -> u32 {
+        self.tree_age
+    }
+
+    /// Bring the cached tree up to date with the snapshot: refresh the
+    /// frozen topology when the policy allows it, rebuild otherwise.
+    /// Returns `(build_s, refresh_s)` — exactly one is nonzero.
+    fn update_tree(&mut self, pos: &[Vec3], mass: &[f64], tr: &Traversal) -> (f64, f64) {
+        let mut refresh_s = 0.0;
+        if let Some(tree) = self.tree.as_mut() {
+            if self.tree_age < self.cfg.refresh.interval && tree.len() == pos.len() {
+                let t0 = Instant::now();
+                let drift = tree.refresh(pos, mass);
+                refresh_s = t0.elapsed().as_secs_f64();
+                // root half-width is the natural length scale of the
+                // frozen topology
+                let limit = self.cfg.refresh.max_drift_frac * tree.nodes()[0].half;
+                if drift <= limit {
+                    self.tree_age += 1;
+                    return (0.0, refresh_s);
+                }
+                // drift blew the valve: the refresh work is discarded
+                // and this step pays for a fresh build instead
+            }
+        }
+        let t0 = Instant::now();
+        let tree = Tree::build_with(pos, mass, self.cfg.tree_config);
+        tr.find_groups_into(&tree, self.cfg.n_crit, &mut self.gscratch, &mut self.groups);
+        self.tree = Some(tree);
+        self.tree_age = 1;
+        (t0.elapsed().as_secs_f64() + refresh_s, 0.0)
+    }
 }
 
 impl ForceBackend for TreeGrape {
     fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
         let t_all = Instant::now();
-        let tree = Tree::build_with(pos, mass, self.cfg.tree_config);
         let tr = Traversal::new(self.cfg.theta);
-        let groups = tr.find_groups(&tree, self.cfg.n_crit);
-        let build_s = t_all.elapsed().as_secs_f64();
+        let (build_s, refresh_s) = self.update_tree(pos, mass, &tr);
+        let tree = self.tree.as_ref().expect("update_tree always leaves a tree");
 
         let mut session =
             DeviceSession::try_open(&mut self.g5, pos, self.cfg.eps)?.with_retry(self.cfg.retry);
@@ -443,26 +558,28 @@ impl ForceBackend for TreeGrape {
         // Stream resolved group lists from the plan workers straight
         // into the device: traversal of group k+1 overlaps GRAPE
         // execution of group k, and only `channel_depth` resolved lists
-        // ever exist at once. Arrival order is immaterial — each group
-        // writes its own disjoint targets (see `g5tree::plan`). An
-        // unrecoverable device error stops consuming (remaining groups
-        // drain unevaluated) and surfaces after the stream winds down.
-        let stats = plan::stream(&tree, &tr, &groups, &self.cfg.plan, |work| {
-            if device_err.is_some() {
-                return;
-            }
-            let t = Instant::now();
-            match session.try_force_for(&work.jpos, &work.jmass, &work.xi) {
-                Ok(forces) => {
-                    for (t_idx, f) in work.targets.iter().zip(forces) {
-                        out.acc[*t_idx] = f.acc;
-                        out.pot[*t_idx] = f.pot;
-                    }
+        // ever exist at once, every one a recycled husk from the pool.
+        // Arrival order is immaterial — each group writes its own
+        // disjoint targets (see `g5tree::plan`). An unrecoverable
+        // device error stops consuming (remaining groups drain
+        // unevaluated) and surfaces after the stream winds down.
+        let stats =
+            plan::stream_with(tree, &tr, &self.groups, &self.cfg.plan, &self.pool, |work| {
+                if device_err.is_some() {
+                    return;
                 }
-                Err(e) => device_err = Some(e),
-            }
-            device_s += t.elapsed().as_secs_f64();
-        });
+                let t = Instant::now();
+                match session.try_force_for(&work.jpos, &work.jmass, &work.xi) {
+                    Ok(forces) => {
+                        for (t_idx, f) in work.targets.iter().zip(forces) {
+                            out.acc[*t_idx] = f.acc;
+                            out.pot[*t_idx] = f.pot;
+                        }
+                    }
+                    Err(e) => device_err = Some(e),
+                }
+                device_s += t.elapsed().as_secs_f64();
+            });
         self.recovery = self.recovery.merged(session.recovery_stats());
         let stats = stats?;
         if let Some(e) = device_err {
@@ -471,8 +588,10 @@ impl ForceBackend for TreeGrape {
         out.tally = stats.tally;
         out.timers = PhaseTimers {
             build_s,
+            refresh_s,
             traverse_s: stats.produce_s,
             device_s,
+            consumer_blocked_s: stats.consumer_blocked_s,
             force_wall_s: t_all.elapsed().as_secs_f64(),
             step_wall_s: 0.0,
         };
@@ -571,6 +690,7 @@ mod tests {
             tree_config: TreeConfig::default(),
             plan: PlanConfig::default(),
             retry: RetryPolicy::default(),
+            refresh: RefreshPolicy::default(),
         };
         let mut tg = TreeGrape::new(cfg);
         let fh = th.compute(&pos, &mass);
@@ -649,5 +769,85 @@ mod tests {
         assert_eq!(DirectHost::new(0.0).name(), "direct-host");
         assert_eq!(TreeHost::original(0.5, 0.0).name(), "tree-host-original");
         assert_eq!(TreeHost::modified(0.5, 8, 0.0).name(), "tree-host-modified");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_crit")]
+    fn leaf_capacity_above_ncrit_rejected() {
+        let _ = TreeGrape::new(TreeGrapeConfig { n_crit: 4, ..TreeGrapeConfig::paper(0.01) });
+    }
+
+    #[test]
+    fn refresh_interval_one_is_bit_identical_across_steps() {
+        // interval 1 must reproduce the old build-every-step backend
+        // exactly, even though the tree is now cached between calls
+        let (pos, mass) = plummer(900, 9);
+        let base = TreeGrapeConfig { n_crit: 64, ..TreeGrapeConfig::paper(0.01) };
+        let mut tg = TreeGrape::new(base);
+        let first = tg.compute(&pos, &mass);
+        let second = tg.compute(&pos, &mass);
+        assert_eq!(first.acc, second.acc);
+        assert_eq!(first.pot, second.pot);
+        assert_eq!(tg.tree_age(), 1, "interval 1 must rebuild every step");
+        assert_eq!(second.timers.refresh_s, 0.0);
+    }
+
+    #[test]
+    fn refreshed_steps_reuse_topology_and_recycle_buffers() {
+        let (pos, mass) = plummer(900, 10);
+        let cfg = TreeGrapeConfig {
+            n_crit: 64,
+            refresh: RefreshPolicy::every(4),
+            ..TreeGrapeConfig::paper(0.01)
+        };
+        let mut tg = TreeGrape::new(cfg);
+        let fresh = tg.compute(&pos, &mass);
+        assert_eq!(tg.tree_age(), 1);
+
+        // unmoved particles: the refreshed tree is bitwise the built
+        // tree, so forces are bit-identical to the fresh evaluation
+        let refreshed = tg.compute(&pos, &mass);
+        assert_eq!(tg.tree_age(), 2, "second call must refresh, not rebuild");
+        assert!(refreshed.timers.refresh_s > 0.0);
+        assert_eq!(refreshed.timers.build_s, 0.0);
+        assert_eq!(fresh.acc, refreshed.acc);
+        assert_eq!(fresh.pot, refreshed.pot);
+        assert_eq!(fresh.tally, refreshed.tally);
+
+        // steady state: the pool stops minting husks
+        let minted = tg.plan_pool().minted();
+        let _ = tg.compute(&pos, &mass);
+        assert_eq!(tg.plan_pool().minted(), minted, "steady state must not mint");
+
+        // the interval rolls over into a rebuild
+        let _ = tg.compute(&pos, &mass);
+        assert_eq!(tg.tree_age(), 4);
+        let rolled = tg.compute(&pos, &mass);
+        assert_eq!(tg.tree_age(), 1, "interval exhausted: full rebuild");
+        assert!(rolled.timers.build_s > 0.0);
+    }
+
+    #[test]
+    fn refresh_with_moved_particles_stays_close_to_fresh_build() {
+        // leapfrog-ish motion: each call sees slightly drifted positions;
+        // the refreshed tree must stay within tree-code error of a fresh
+        // build because spheres are inflated by the drift bound
+        let (pos, mass) = plummer(1200, 12);
+        let base = TreeGrapeConfig { n_crit: 64, ..TreeGrapeConfig::paper(0.01) };
+        let mut fresh = TreeGrape::new(base);
+        let mut reused =
+            TreeGrape::new(TreeGrapeConfig { refresh: RefreshPolicy::every(4), ..base });
+        let mut moved = pos.clone();
+        for step in 0..4 {
+            let k = 1e-3 * (step as f64 + 1.0);
+            for p in &mut moved {
+                *p += Vec3::new(k, -0.5 * k, 0.25 * k);
+            }
+            let ff = fresh.compute(&moved, &mass);
+            let fr = reused.compute(&moved, &mass);
+            let e = rms_relative_error(&to_point(&fr), &to_point(&ff));
+            assert!(e < 2e-3, "step {step}: refresh drifted {e} from fresh build");
+        }
+        assert!(reused.tree_age() > 1, "refresh path never engaged");
     }
 }

@@ -43,8 +43,8 @@ pub mod render;
 pub mod snapshot_io;
 
 pub use backends::{
-    DirectGrape, DirectHost, ForceBackend, ForceError, ForceSet, TreeGrape, TreeGrapeConfig,
-    TreeHost,
+    DirectGrape, DirectHost, ForceBackend, ForceError, ForceSet, RefreshPolicy, TreeGrape,
+    TreeGrapeConfig, TreeHost,
 };
 pub use checkpoint::{Checkpoint, Checkpointer};
 pub use diagnostics::{Diagnostics, EnergyWatchdog};

@@ -29,6 +29,6 @@ pub mod traverse;
 pub mod tree;
 
 pub use mac::{GroupSphere, Mac};
-pub use plan::{GroupWork, PlanConfig, PlanStats};
-pub use traverse::{Group, ListTerm, ModifiedLists, Traversal};
-pub use tree::{Node, Tree, TreeConfig, NONE};
+pub use plan::{GroupWork, PlanConfig, PlanPool, PlanStats, ResolveScratch};
+pub use traverse::{Group, ListTerm, ModifiedLists, Traversal, TraverseScratch};
+pub use tree::{Node, NodeColumns, Tree, TreeConfig, NONE};

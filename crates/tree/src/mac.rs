@@ -32,8 +32,23 @@ pub struct GroupSphere {
 
 impl GroupSphere {
     /// Tight bounding sphere of a point set around a given center.
+    ///
+    /// The scan keeps four running maxima so the distance computations
+    /// overlap instead of serializing on one accumulator; max is a
+    /// selection (associative, no rounding), so the result is
+    /// bit-identical to a single-accumulator fold.
     pub fn around(center: Vec3, points: &[Vec3]) -> GroupSphere {
-        let r2max = points.iter().map(|p| p.dist2(center)).fold(0.0, f64::max);
+        let mut m = [0.0f64; 4];
+        let mut chunks = points.chunks_exact(4);
+        for c in &mut chunks {
+            for (acc, p) in m.iter_mut().zip(c) {
+                *acc = acc.max(p.dist2(center));
+            }
+        }
+        let mut r2max = m[0].max(m[1]).max(m[2].max(m[3]));
+        for p in chunks.remainder() {
+            r2max = r2max.max(p.dist2(center));
+        }
         GroupSphere { center, radius: r2max.sqrt() }
     }
 }
@@ -103,13 +118,53 @@ impl Mac {
     /// Modified-algorithm test: may `node` stand in for its particles
     /// as seen from *anywhere inside* the group sphere? The distance is
     /// measured to the nearest point of the sphere.
+    ///
+    /// The Barnes–Hut case evaluates `s/(dist − r) < θ` in the
+    /// square-root-free form `dist² > (r + s/θ)²` — both sides of the
+    /// threshold are nonnegative, so the squared comparison selects the
+    /// same cells (up to the last-ulp rounding of either form) without
+    /// a `sqrt` on the traversal's critical path.
     #[inline]
     pub fn accepts_sphere(&self, node: &Node, sphere: &GroupSphere) -> bool {
-        let d = match self.kind {
-            MacKind::BarnesHut => sphere.center.dist(node.com) - sphere.radius,
-            MacKind::MinDistance => Self::cube_distance(node, sphere.center) - sphere.radius,
-        };
-        d > 0.0 && node.side() < self.theta * d
+        match self.kind {
+            MacKind::BarnesHut => {
+                let t = sphere.radius + node.half * (2.0 / self.theta);
+                sphere.center.dist2(node.com) > t * t
+            }
+            MacKind::MinDistance => {
+                let d = Self::cube_distance(node, sphere.center) - sphere.radius;
+                d > 0.0 && node.side() < self.theta * d
+            }
+        }
+    }
+
+    /// [`accepts_sphere`](Self::accepts_sphere) against the SoA node
+    /// columns (`geom = [cx, cy, cz, half]`, `moment = [mx, my, mz, mass]`)
+    /// — same arithmetic in the same order, so the answer is
+    /// bit-identical to the `Node` form. This is the form the
+    /// explicit-stack traversal calls: one 32-byte column read per
+    /// test instead of a whole `Node`.
+    #[inline]
+    pub fn accepts_sphere_cols(
+        &self,
+        geom: &[f64; 4],
+        moment: &[f64; 4],
+        sphere: &GroupSphere,
+    ) -> bool {
+        let half = geom[3];
+        match self.kind {
+            MacKind::BarnesHut => {
+                let com = Vec3::new(moment[0], moment[1], moment[2]);
+                let t = sphere.radius + half * (2.0 / self.theta);
+                sphere.center.dist2(com) > t * t
+            }
+            MacKind::MinDistance => {
+                let center = Vec3::new(geom[0], geom[1], geom[2]);
+                let d = (sphere.center - center).abs() - Vec3::splat(half);
+                let d = Vec3::new(d.x.max(0.0), d.y.max(0.0), d.z.max(0.0)).norm() - sphere.radius;
+                d > 0.0 && 2.0 * half < self.theta * d
+            }
+        }
     }
 }
 

@@ -24,14 +24,27 @@
 //! bit-identical results in any arrival order. [`PlanConfig::serial`]
 //! gives the in-order single-thread reference path used by the property
 //! tests to check exactly that.
+//!
+//! ## Buffer recycling
+//!
+//! Steady-state streaming does **zero heap allocation per group**. A
+//! [`PlanPool`] owns drained [`GroupWork`] husks and per-worker
+//! [`ResolveScratch`] arenas; producers take a husk, resolve into its
+//! retained buffers, and send it, and after the consumer callback
+//! returns (it sees `&GroupWork`, never ownership) the husk goes back
+//! to the pool. After the first step every vector has reached its
+//! high-water capacity and the pool's [`minted`](PlanPool::minted)
+//! counter stops moving — which `tests/plan_alloc.rs` verifies with a
+//! counting allocator.
 
-use crate::traverse::{Group, ListTerm, Traversal};
+use crate::traverse::{Group, ListTerm, Traversal, TraverseScratch};
 use crate::tree::Tree;
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A group resolution failed: the panic payload of the producer,
@@ -88,6 +101,82 @@ pub struct GroupWork {
     pub tally: InteractionTally,
 }
 
+impl GroupWork {
+    /// An empty husk whose buffers will be grown on first use and then
+    /// retained across recycles.
+    fn husk() -> GroupWork {
+        GroupWork {
+            group: Group { node: 0 },
+            targets: Vec::new(),
+            xi: Vec::new(),
+            jpos: Vec::new(),
+            jmass: Vec::new(),
+            tally: InteractionTally::default(),
+        }
+    }
+}
+
+/// Per-worker resolution arena: the interaction-list term buffer and
+/// the traversal walk stack, both of which keep their high-water
+/// capacity across groups and across steps.
+#[derive(Debug, Default)]
+pub struct ResolveScratch {
+    terms: Vec<ListTerm>,
+    walk: TraverseScratch,
+}
+
+/// Recycler for streaming buffers, owned by the caller and handed to
+/// [`stream_with`] every step so capacities persist across force
+/// evaluations.
+///
+/// Two free lists live behind mutexes: drained [`GroupWork`] husks and
+/// per-worker [`ResolveScratch`] arenas. Contention is negligible —
+/// each producer touches the husk lock once per group (a pop and, on
+/// the consumer side, a push), orders of magnitude less often than the
+/// work it brackets. The pool never shrinks; its footprint is bounded
+/// by `channel_depth + workers + 1` husks, each at the longest list it
+/// ever carried.
+#[derive(Debug, Default)]
+pub struct PlanPool {
+    husks: Mutex<Vec<GroupWork>>,
+    scratches: Mutex<Vec<ResolveScratch>>,
+    minted: AtomicU64,
+}
+
+impl PlanPool {
+    /// An empty pool. Buffers are minted on demand during the first
+    /// stream and recycled thereafter.
+    pub fn new() -> PlanPool {
+        PlanPool::default()
+    }
+
+    /// Total `GroupWork` husks ever allocated. Flat across steady-state
+    /// steps: the zero-allocation invariant in counter form.
+    pub fn minted(&self) -> u64 {
+        self.minted.load(Ordering::Relaxed)
+    }
+
+    fn take_husk(&self) -> GroupWork {
+        if let Some(h) = self.husks.lock().unwrap().pop() {
+            return h;
+        }
+        self.minted.fetch_add(1, Ordering::Relaxed);
+        GroupWork::husk()
+    }
+
+    fn put_husk(&self, h: GroupWork) {
+        self.husks.lock().unwrap().push(h);
+    }
+
+    fn take_scratch(&self) -> ResolveScratch {
+        self.scratches.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&self, s: ResolveScratch) {
+        self.scratches.lock().unwrap().push(s);
+    }
+}
+
 /// How a [`stream`] call schedules its producers.
 #[derive(Debug, Clone, Copy)]
 pub struct PlanConfig {
@@ -139,64 +228,111 @@ pub struct PlanStats {
     pub produce_s: f64,
     /// Seconds the consumer spent blocked waiting for work — how
     /// traversal-starved the device was.
-    pub consume_wait_s: f64,
+    pub consumer_blocked_s: f64,
+    /// Fresh `GroupWork` allocations this call; 0 once the pool has
+    /// warmed up.
+    pub husks_minted: u64,
 }
 
-/// Resolve one group against the tree: shared list, member targets and
-/// positions, tally contribution.
-fn resolve_group(tree: &Tree, tr: &Traversal, g: Group, scratch: &mut Vec<ListTerm>) -> GroupWork {
-    tr.modified_list(tree, g, scratch);
-    let mut jpos = Vec::with_capacity(scratch.len());
-    let mut jmass = Vec::with_capacity(scratch.len());
-    for &term in scratch.iter() {
+/// Resolve one group against the tree into a recycled husk: shared
+/// list, member targets and positions, tally contribution. Only grows
+/// buffers past their retained capacity; steady state allocates
+/// nothing.
+fn resolve_group_into(
+    tree: &Tree,
+    tr: &Traversal,
+    g: Group,
+    scratch: &mut ResolveScratch,
+    work: &mut GroupWork,
+) {
+    tr.modified_list_with(tree, g, &mut scratch.walk, &mut scratch.terms);
+    work.group = g;
+    work.jpos.clear();
+    work.jmass.clear();
+    work.jpos.reserve(scratch.terms.len());
+    work.jmass.reserve(scratch.terms.len());
+    for &term in scratch.terms.iter() {
         let (p, m) = term.resolve(tree);
-        jpos.push(p);
-        jmass.push(m);
+        work.jpos.push(p);
+        work.jmass.push(m);
     }
     let node = &tree.nodes()[g.node as usize];
-    let targets: Vec<usize> = node.range().map(|k| tree.original_index(k)).collect();
-    let xi: Vec<Vec3> = node.range().map(|k| tree.pos()[k]).collect();
-    let tally = InteractionTally {
-        interactions: jpos.len() as u64 * targets.len() as u64,
-        terms: jpos.len() as u64,
+    work.targets.clear();
+    work.targets.extend(node.range().map(|k| tree.original_index(k)));
+    work.xi.clear();
+    work.xi.extend(node.range().map(|k| tree.pos()[k]));
+    work.tally = InteractionTally {
+        interactions: work.jpos.len() as u64 * work.targets.len() as u64,
+        terms: work.jpos.len() as u64,
         lists: 1,
     };
-    GroupWork { group: g, targets, xi, jpos, jmass, tally }
 }
 
-/// Stream every group's resolved work into `consume`, overlapping
-/// production with consumption according to `cfg`.
-///
-/// The consumer runs on the calling thread; producers (if any) run in a
-/// scope that ends before `stream` returns, so borrows of `tree` never
-/// escape. A panic while resolving a group travels through the channel
-/// as a [`PlanError`] value: the stream shuts down cleanly (producers
-/// notice the closed channel and stop) and the error comes back to the
-/// caller instead of aborting the process.
-pub fn stream<F: FnMut(GroupWork)>(
+/// Stream every group's resolved work into `consume` through a
+/// throwaway [`PlanPool`] — buffers are still shared within the call,
+/// but capacities are not retained across calls. Long-lived drivers
+/// should own a pool and call [`stream_with`].
+pub fn stream<F: FnMut(&GroupWork)>(
     tree: &Tree,
     tr: &Traversal,
     groups: &[Group],
     cfg: &PlanConfig,
+    consume: F,
+) -> Result<PlanStats, PlanError> {
+    let pool = PlanPool::new();
+    stream_with(tree, tr, groups, cfg, &pool, consume)
+}
+
+/// Stream every group's resolved work into `consume`, overlapping
+/// production with consumption according to `cfg` and recycling every
+/// buffer through `pool`.
+///
+/// The consumer runs on the calling thread and sees each [`GroupWork`]
+/// by reference; when the callback returns, the husk goes back to the
+/// pool for the next group. Producers (if any) run in a scope that ends
+/// before `stream_with` returns, so borrows of `tree` never escape. A
+/// panic while resolving a group travels through the channel as a
+/// [`PlanError`] value: the stream shuts down cleanly (producers notice
+/// the closed channel and stop) and the error comes back to the caller
+/// instead of aborting the process.
+pub fn stream_with<F: FnMut(&GroupWork)>(
+    tree: &Tree,
+    tr: &Traversal,
+    groups: &[Group],
+    cfg: &PlanConfig,
+    pool: &PlanPool,
     mut consume: F,
 ) -> Result<PlanStats, PlanError> {
     let mut stats = PlanStats::default();
+    let minted_before = pool.minted();
     let workers = cfg.resolved_workers();
 
     if workers == 0 {
-        // serial reference: produce and consume one group at a time,
-        // in find_groups order
-        let mut scratch = Vec::new();
+        // serial reference: produce and consume one group at a time, in
+        // find_groups order, through a single recycled husk + scratch
+        let mut scratch = pool.take_scratch();
+        let mut work = pool.take_husk();
+        let mut failure = None;
         for &g in groups {
             let t = Instant::now();
-            let work = catch_unwind(AssertUnwindSafe(|| resolve_group(tree, tr, g, &mut scratch)))
-                .map_err(|p| PlanError { group: Some(g.node), message: payload_msg(&*p) });
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                resolve_group_into(tree, tr, g, &mut scratch, &mut work)
+            }));
             stats.produce_s += t.elapsed().as_secs_f64();
-            let work = work?;
+            if let Err(p) = ok {
+                failure = Some(PlanError { group: Some(g.node), message: payload_msg(&*p) });
+                break;
+            }
             stats.tally = stats.tally.merged(work.tally);
-            consume(work);
+            consume(&work);
         }
-        return Ok(stats);
+        pool.put_husk(work);
+        pool.put_scratch(scratch);
+        stats.husks_minted = pool.minted() - minted_before;
+        return match failure {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        };
     }
 
     let (tx, rx) = sync_channel::<Result<GroupWork, PlanError>>(cfg.channel_depth.max(1));
@@ -207,16 +343,18 @@ pub fn stream<F: FnMut(GroupWork)>(
             let tx = tx.clone();
             let next = &next;
             handles.push(s.spawn(move || {
-                let mut scratch = Vec::new();
+                let mut scratch = pool.take_scratch();
                 let mut cpu_s = 0.0;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= groups.len() {
                         break;
                     }
+                    let mut work = pool.take_husk();
                     let t = Instant::now();
                     let item = catch_unwind(AssertUnwindSafe(|| {
-                        resolve_group(tree, tr, groups[i], &mut scratch)
+                        resolve_group_into(tree, tr, groups[i], &mut scratch, &mut work);
+                        work
                     }))
                     .map_err(|p| PlanError {
                         group: Some(groups[i].node),
@@ -228,6 +366,7 @@ pub fn stream<F: FnMut(GroupWork)>(
                         break; // consumer gone, or nothing sane left to produce
                     }
                 }
+                pool.put_scratch(scratch);
                 cpu_s
             }));
         }
@@ -237,11 +376,12 @@ pub fn stream<F: FnMut(GroupWork)>(
         loop {
             let t = Instant::now();
             let Ok(item) = rx.recv() else { break };
-            stats.consume_wait_s += t.elapsed().as_secs_f64();
+            stats.consumer_blocked_s += t.elapsed().as_secs_f64();
             match item {
                 Ok(work) => {
                     stats.tally = stats.tally.merged(work.tally);
-                    consume(work);
+                    consume(&work);
+                    pool.put_husk(work);
                 }
                 Err(e) => {
                     failure = Some(e);
@@ -263,6 +403,7 @@ pub fn stream<F: FnMut(GroupWork)>(
         }
         failure
     });
+    stats.husks_minted = pool.minted() - minted_before;
     match failure {
         Some(e) => Err(e),
         None => Ok(stats),
@@ -336,6 +477,31 @@ mod tests {
         assert_eq!(stats.tally, tr.modified_tally(&tree, 48));
         assert_eq!(stats.tally.lists, groups.len() as u64);
         assert!(stats.produce_s >= 0.0);
+    }
+
+    #[test]
+    fn pool_mints_once_then_recycles() {
+        let (pos, mass) = cloud(800, 6);
+        let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.7);
+        let groups = tr.find_groups(&tree, 32);
+        let pool = PlanPool::new();
+        // serial scheduling is deterministic: one husk, then pure reuse
+        let warm = stream_with(&tree, &tr, &groups, &PlanConfig::serial(), &pool, |_| {}).unwrap();
+        let steady =
+            stream_with(&tree, &tr, &groups, &PlanConfig::serial(), &pool, |_| {}).unwrap();
+        assert_eq!(warm.husks_minted, 1, "first serial pass mints exactly one husk");
+        assert_eq!(steady.husks_minted, 0, "steady state must recycle");
+        assert_eq!(warm.tally, steady.tally);
+        // overlapped minting depends on producer/consumer interleaving,
+        // but in-flight demand — and so total mints across any number of
+        // passes — is bounded by workers + depth + 1
+        let cfg = PlanConfig::overlapped(2, 4);
+        for _ in 0..3 {
+            let s = stream_with(&tree, &tr, &groups, &cfg, &pool, |_| {}).unwrap();
+            assert_eq!(s.tally, warm.tally);
+        }
+        assert!(pool.minted() <= 1 + 2 + 4 + 1, "minted {}", pool.minted());
     }
 
     #[test]

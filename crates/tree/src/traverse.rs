@@ -18,12 +18,24 @@
 //! the summed list mass always equals the total mass. The tests enforce
 //! this closure property.
 
-use crate::mac::{GroupSphere, Mac};
-use crate::tree::{Tree, NONE};
+use crate::mac::{GroupSphere, Mac, MacKind};
+use crate::tree::{NodeColumns, Tree, NONE};
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Reusable traversal state: the explicit walk stack whose capacity is
+/// carried across calls, so steady-state traversals do no heap
+/// allocation. One scratch per worker thread; see
+/// [`Traversal::modified_list_with`] and
+/// [`Traversal::find_groups_into`].
+#[derive(Debug, Clone, Default)]
+pub struct TraverseScratch {
+    stack: Vec<u32>,
+    /// Root→group node path, rebuilt per walk (≤ tree depth entries).
+    path: Vec<u32>,
+}
 
 /// One term of an interaction list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -160,34 +172,216 @@ impl Traversal {
 
     /// Partition the tree into groups of at most `n_crit` particles:
     /// the shallowest cells whose population fits.
+    ///
+    /// Pair `n_crit` with the tree's `leaf_capacity`: a leaf larger than
+    /// `n_crit` cannot be split further, so it becomes an oversized
+    /// group and the n_crit knob silently stops binding. Keep
+    /// `leaf_capacity <= n_crit` (the grouped backends assert this);
+    /// only coincident-particle leaves may then exceed `n_crit`.
     pub fn find_groups(&self, tree: &Tree, n_crit: usize) -> Vec<Group> {
-        assert!(n_crit >= 1, "n_crit must be positive");
+        let mut scratch = TraverseScratch::default();
         let mut groups = Vec::new();
-        let mut stack = vec![0u32];
+        self.find_groups_into(tree, n_crit, &mut scratch, &mut groups);
+        groups
+    }
+
+    /// [`find_groups`](Self::find_groups) into caller-owned buffers:
+    /// the walk stack and the group vector keep their capacity across
+    /// calls, so repeated grouping (one per step, or per refresh
+    /// interval) allocates nothing in steady state.
+    pub fn find_groups_into(
+        &self,
+        tree: &Tree,
+        n_crit: usize,
+        scratch: &mut TraverseScratch,
+        out: &mut Vec<Group>,
+    ) {
+        assert!(n_crit >= 1, "n_crit must be positive");
+        out.clear();
+        let cols = tree.columns();
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
         while let Some(idx) = stack.pop() {
-            let node = &tree.nodes()[idx as usize];
-            if node.count as usize <= n_crit || node.is_leaf() {
-                groups.push(Group { node: idx });
+            let i = idx as usize;
+            if cols.span[i][1] as usize <= n_crit || cols.is_leaf(i) {
+                out.push(Group { node: idx });
             } else {
-                for &c in node.children.iter().rev() {
+                for &c in cols.children[i].iter().rev() {
                     if c != NONE {
                         stack.push(c);
                     }
                 }
             }
         }
-        groups
     }
 
     /// Bounding sphere of a group's members (center at the cell center,
     /// radius to the farthest member — tighter than the cell diagonal).
+    ///
+    /// On a refreshed tree the radius is inflated by
+    /// [`Tree::drift_bound`], so MAC decisions stay valid for every
+    /// position the members could have reached since the topology was
+    /// frozen. Freshly built trees have zero drift, and `r + 0.0 == r`
+    /// keeps the fresh path bit-identical.
     pub fn group_sphere(&self, tree: &Tree, group: Group) -> GroupSphere {
         let node = &tree.nodes()[group.node as usize];
-        GroupSphere::around(node.center, &tree.pos()[node.range()])
+        let mut sphere = GroupSphere::around(node.center, &tree.pos()[node.range()]);
+        sphere.radius += tree.drift_bound();
+        sphere
     }
 
     /// Build the shared interaction list for one group.
+    ///
+    /// Convenience wrapper over
+    /// [`modified_list_with`](Self::modified_list_with) that allocates a
+    /// fresh walk stack; hot paths should hold a [`TraverseScratch`]
+    /// per worker instead.
     pub fn modified_list(&self, tree: &Tree, group: Group, out: &mut Vec<ListTerm>) {
+        let mut scratch = TraverseScratch::default();
+        self.modified_list_with(tree, group, &mut scratch, out);
+    }
+
+    /// Build the shared interaction list for one group with an explicit
+    /// stack over the tree's SoA columns.
+    ///
+    /// The hot loop reads one packed 32-byte `walk` entry
+    /// (`[com, half]`) per opening test; `span` is touched only when a
+    /// cell is accepted (the ancestor guard) or a leaf is expanded, and
+    /// `children` only when a cell is opened. Children are pushed in
+    /// reverse octant order so pops replay the recursive depth-first
+    /// order exactly: the emitted term sequence is bit-identical to
+    /// [`modified_list_reference`](Self::modified_list_reference).
+    pub fn modified_list_with(
+        &self,
+        tree: &Tree,
+        group: Group,
+        scratch: &mut TraverseScratch,
+        out: &mut Vec<ListTerm>,
+    ) {
+        out.clear();
+        let cols = tree.columns();
+        let sphere = self.group_sphere(tree, group);
+        let inv2_theta = 2.0 / self.mac.theta;
+        match self.mac.kind {
+            // the paper's criterion, inlined against the packed column:
+            // same arithmetic in the same order as `Mac::accepts_sphere`
+            MacKind::BarnesHut => {
+                Self::walk_stack(cols, group, scratch, out, |cols, i| {
+                    let [cx, cy, cz, half] = cols.walk[i];
+                    let t = sphere.radius + half * inv2_theta;
+                    sphere.center.dist2(Vec3::new(cx, cy, cz)) > t * t
+                });
+            }
+            MacKind::MinDistance => {
+                Self::walk_stack(cols, group, scratch, out, |cols, i| {
+                    self.mac.accepts_sphere_cols(&cols.geom[i], &cols.moment[i], &sphere)
+                });
+            }
+        }
+    }
+
+    /// The explicit-stack DFS shared by both opening criteria. `accept`
+    /// sees only the node index, so each criterion reads just the
+    /// columns it needs.
+    ///
+    /// Nodes are classified when their parent is opened, not when they
+    /// are popped: the up-to-eight independent opening tests run
+    /// back-to-back (good instruction-level overlap of the distance
+    /// chains), and the verdict rides in the stack entry's top bit —
+    /// popping an accepted cell emits its term with no further column
+    /// reads.
+    ///
+    /// The group's ancestors (which may never stand in as cells, since
+    /// they overlap the sphere) are exactly the nodes of the root→group
+    /// path, and a depth-first walk meets them in path order. So the
+    /// path is resolved once up front and the ancestor test is a single
+    /// register compare per node — the span column drops out of the hot
+    /// loop entirely, leaving one packed `walk` read per opening test.
+    /// Evaluation order is the only thing that moves relative to the
+    /// recursive reference; the per-node decisions and the emitted DFS
+    /// sequence are unchanged.
+    fn walk_stack(
+        cols: &NodeColumns,
+        group: Group,
+        scratch: &mut TraverseScratch,
+        out: &mut Vec<ListTerm>,
+        accept: impl Fn(&NodeColumns, usize) -> bool,
+    ) {
+        /// Stack-entry flag: this node passed the opening test and is
+        /// not an ancestor of the group, so it stands in as a cell.
+        const ACC: u32 = 1 << 31;
+        debug_assert!(cols.span.len() < ACC as usize, "node index overflows the flag bit");
+        let [gfirst, gcount] = cols.span[group.node as usize];
+        let gend = gfirst + gcount;
+        // Resolve the root→group path by span containment: spans nest,
+        // siblings are disjoint, and every group holds ≥ 1 particle, so
+        // exactly one child contains the group's span at each level.
+        let path = &mut scratch.path;
+        path.clear();
+        let mut at = 0u32;
+        loop {
+            path.push(at);
+            if at == group.node {
+                break;
+            }
+            let mut next = NONE;
+            for &c in &cols.children[at as usize] {
+                if c != NONE {
+                    let [first, count] = cols.span[c as usize];
+                    if first <= gfirst && first + count >= gend {
+                        next = c;
+                        break;
+                    }
+                }
+            }
+            debug_assert!(next != NONE, "group node must be reachable from the root");
+            at = next;
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        // index into `path` of the next ancestor the DFS will meet
+        let mut anc_ptr = 0usize;
+        while let Some(entry) = stack.pop() {
+            if entry & ACC != 0 {
+                out.push(ListTerm::Cell(entry & !ACC));
+                continue;
+            }
+            let i = entry as usize;
+            if entry == group.node {
+                // the group itself: members interact directly
+                out.extend((gfirst..gend).map(ListTerm::Body));
+                continue;
+            }
+            // ancestor's path-child: never a stand-in cell, pushed bare
+            let anc_child = if entry == path[anc_ptr] {
+                // an ancestor is never a leaf (the group is below it)
+                debug_assert!(!cols.is_leaf(i), "ancestor of a group cannot be a leaf");
+                anc_ptr += 1;
+                path[anc_ptr]
+            } else if cols.is_leaf(i) {
+                let [first, count] = cols.span[i];
+                out.extend((first..first + count).map(ListTerm::Body));
+                continue;
+            } else {
+                NONE
+            };
+            for &c in cols.children[i].iter().rev() {
+                if c != NONE {
+                    if c != anc_child && accept(cols, c as usize) {
+                        stack.push(c | ACC);
+                    } else {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-overhaul recursive walk over the `Node` array, kept as
+    /// the A/B reference for `exp_host` and the bit-identity tests.
+    pub fn modified_list_reference(&self, tree: &Tree, group: Group, out: &mut Vec<ListTerm>) {
         out.clear();
         let sphere = self.group_sphere(tree, group);
         let gnode = &tree.nodes()[group.node as usize];
@@ -234,14 +428,15 @@ impl Traversal {
         }
     }
 
-    /// Build every group's shared list (parallel over groups).
+    /// Build every group's shared list (parallel over groups, one
+    /// reused walk stack per worker thread).
     pub fn modified_lists(&self, tree: &Tree, n_crit: usize) -> ModifiedLists {
         let groups = self.find_groups(tree, n_crit);
         let lists: Vec<Vec<ListTerm>> = groups
             .par_iter()
-            .map(|&g| {
+            .map_init(TraverseScratch::default, |scratch, &g| {
                 let mut out = Vec::new();
-                self.modified_list(tree, g, &mut out);
+                self.modified_list_with(tree, g, scratch, &mut out);
                 out
             })
             .collect();
@@ -254,11 +449,14 @@ impl Traversal {
         let groups = self.find_groups(tree, n_crit);
         let (interactions, terms, lists) = groups
             .par_iter()
-            .map_init(Vec::new, |buf, &g| {
-                self.modified_list(tree, g, buf);
-                let members = tree.nodes()[g.node as usize].count as u64;
-                (buf.len() as u64 * members, buf.len() as u64, 1u64)
-            })
+            .map_init(
+                || (TraverseScratch::default(), Vec::new()),
+                |(scratch, buf), &g| {
+                    self.modified_list_with(tree, g, scratch, buf);
+                    let members = tree.nodes()[g.node as usize].count as u64;
+                    (buf.len() as u64 * members, buf.len() as u64, 1u64)
+                },
+            )
             .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
         InteractionTally { interactions, terms, lists }
     }
@@ -446,6 +644,61 @@ mod tests {
         let (pos, mass) = cloud(10, 18);
         let tree = Tree::build(&pos, &mass);
         Traversal::new(0.75).find_groups(&tree, 0);
+    }
+
+    #[test]
+    fn stack_walk_matches_recursive_reference_exactly() {
+        let (pos, mass) = cloud(900, 19);
+        let tree = Tree::build(&pos, &mass);
+        for theta in [0.0, 0.5, 1.0] {
+            let tr = Traversal::new(theta);
+            let mut scratch = TraverseScratch::default();
+            let (mut stack_out, mut rec_out) = (Vec::new(), Vec::new());
+            for g in tr.find_groups(&tree, 48) {
+                tr.modified_list_with(&tree, g, &mut scratch, &mut stack_out);
+                tr.modified_list_reference(&tree, g, &mut rec_out);
+                assert_eq!(stack_out, rec_out, "term sequence diverged at theta {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_groups_into_reuses_buffers() {
+        let (pos, mass) = cloud(600, 20);
+        let tree = Tree::build(&pos, &mass);
+        let tr = Traversal::new(0.75);
+        let mut scratch = TraverseScratch::default();
+        let mut groups = Vec::new();
+        tr.find_groups_into(&tree, 32, &mut scratch, &mut groups);
+        assert_eq!(groups, tr.find_groups(&tree, 32));
+        let cap = groups.capacity();
+        tr.find_groups_into(&tree, 32, &mut scratch, &mut groups);
+        assert_eq!(groups.capacity(), cap, "second pass must not reallocate");
+    }
+
+    #[test]
+    fn refreshed_tree_lists_keep_closure_with_inflated_spheres() {
+        let (pos, mass) = cloud(500, 21);
+        let mut tree = Tree::build(&pos, &mass);
+        // nudge every particle and refresh in place
+        let moved: Vec<Vec3> = pos.iter().map(|p| *p + Vec3::new(0.01, -0.02, 0.015)).collect();
+        let drift = tree.refresh(&moved, &mass);
+        assert!(drift > 0.0);
+        let total: f64 = mass.iter().sum();
+        let tr = Traversal::new(0.75);
+        let ml = tr.modified_lists(&tree, 48);
+        for list in &ml.lists {
+            let m = list_mass(&tree, list);
+            assert!((m - total).abs() < 1e-9 * total);
+        }
+        // inflated spheres still contain every (moved) member
+        for g in tr.find_groups(&tree, 48) {
+            let sphere = tr.group_sphere(&tree, g);
+            let node = &tree.nodes()[g.node as usize];
+            for k in node.range() {
+                assert!(tree.pos()[k].dist(sphere.center) <= sphere.radius * (1.0 + 1e-12) + 1e-15);
+            }
+        }
     }
 }
 

@@ -8,6 +8,22 @@
 //! contiguous leaf particle runs. Monopole moments (mass and center of
 //! mass) are accumulated on the way back up; GRAPE-5 consumes only
 //! monopoles, so no higher moments are stored.
+//!
+//! Alongside the [`Node`] array the build fills [`NodeColumns`] — the
+//! hot node fields split into structure-of-arrays columns (`geom` for
+//! MAC opening tests, `moment` for list resolution, `span`/`children`
+//! for walking), which is what the explicit-stack traversal in
+//! [`crate::traverse`] actually reads.
+//!
+//! **Incremental refresh.** Real GRAPE hosts amortized tree work across
+//! timesteps (Athanassoula et al. 2008; Makino et al., GRAPE-6):
+//! between full rebuilds, [`Tree::refresh`] keeps the topology and
+//! Morton order fixed, re-reads the moved positions through the stored
+//! permutation, and re-accumulates monopole moments bottom-up. The
+//! cell *geometry* then no longer bounds its particles exactly; the
+//! tree tracks a cumulative max-displacement bound ([`Tree::drift_bound`])
+//! that traversals add to their group spheres to stay conservative,
+//! and that callers compare against a threshold to trigger a rebuild.
 
 use g5util::morton;
 use g5util::vec3::Vec3;
@@ -21,6 +37,14 @@ pub const NONE: u32 = u32::MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TreeConfig {
     /// A cell with at most this many particles becomes a leaf.
+    ///
+    /// **Coupling with the traversal's `n_crit`:** group finding
+    /// ([`crate::traverse::Traversal::find_groups`]) descends until a
+    /// cell's population fits `n_crit`, but it can never descend past a
+    /// leaf — so with `leaf_capacity > n_crit` the groups silently
+    /// degenerate to whole leaves larger than `n_crit` (and, at the
+    /// extreme, per-body lists lose their sharing altogether). Keep
+    /// `leaf_capacity <= n_crit`; the grouped backends assert it.
     pub leaf_capacity: usize,
     /// Maximum tree depth (bounded by the Morton resolution).
     pub max_depth: u32,
@@ -77,6 +101,45 @@ impl Node {
     }
 }
 
+/// Hot node fields split into structure-of-arrays columns, parallel to
+/// [`Tree::nodes`]. The explicit-stack traversal touches exactly one
+/// 32-byte `geom` entry per MAC test and one `moment` entry per
+/// accepted cell, instead of dragging whole 136-byte `Node`s through
+/// the cache.
+#[derive(Debug, Clone, Default)]
+pub struct NodeColumns {
+    /// `[com.x, com.y, com.z, half]` per node — exactly what the
+    /// Barnes–Hut opening test reads, packed so each MAC evaluation is
+    /// one 32-byte load (two nodes per cache line; the DFS visits
+    /// sibling indices consecutively).
+    pub walk: Vec<[f64; 4]>,
+    /// `[center.x, center.y, center.z, half]` per node — the cell cube,
+    /// for the conservative min-distance opening test.
+    pub geom: Vec<[f64; 4]>,
+    /// `[com.x, com.y, com.z, mass]` per node — everything list
+    /// resolution needs about the monopole.
+    pub moment: Vec<[f64; 4]>,
+    /// `[first, count]` particle span per node (tree sorted order).
+    pub span: Vec<[u32; 2]>,
+    /// Child node indices per node; `NONE` where the octant is empty.
+    pub children: Vec<[u32; 8]>,
+}
+
+impl NodeColumns {
+    /// `true` if node `i` has no children.
+    #[inline]
+    pub fn is_leaf(&self, i: usize) -> bool {
+        self.children[i] == [NONE; 8]
+    }
+
+    /// Particle span of node `i` in the tree's sorted order.
+    #[inline]
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        let [first, count] = self.span[i];
+        first as usize..(first + count) as usize
+    }
+}
+
 /// A built octree over a particle snapshot.
 ///
 /// The tree owns *sorted copies* of positions and masses; `order[k]`
@@ -84,10 +147,15 @@ impl Node {
 #[derive(Debug, Clone)]
 pub struct Tree {
     nodes: Vec<Node>,
+    cols: NodeColumns,
     order: Vec<u32>,
     pos: Vec<Vec3>,
     mass: Vec<f64>,
     cfg: TreeConfig,
+    /// Upper bound on how far any particle has moved since the last
+    /// full build (sum of per-refresh maxima, so it bounds the total
+    /// displacement by the triangle inequality). Zero for a fresh tree.
+    drift: f64,
     /// Per-node traceless quadrupole `Q_ij = Σ m (3 dx_i dx_j − δ_ij r²)`
     /// about the node's center of mass, packed `[xx, yy, zz, xy, xz, yz]`.
     quads: Option<Vec<[f64; 6]>>,
@@ -137,8 +205,16 @@ impl Tree {
         let sorted_pos: Vec<Vec3> = order.iter().map(|&i| pos[i as usize]).collect();
         let sorted_mass: Vec<f64> = order.iter().map(|&i| mass[i as usize]).collect();
 
-        let mut tree =
-            Tree { nodes: Vec::new(), order, pos: sorted_pos, mass: sorted_mass, cfg, quads: None };
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            cols: NodeColumns::default(),
+            order,
+            pos: sorted_pos,
+            mass: sorted_mass,
+            cfg,
+            drift: 0.0,
+            quads: None,
+        };
         // Root is node 0.
         tree.nodes.push(Node {
             center,
@@ -150,10 +226,115 @@ impl Tree {
             children: [NONE; 8],
         });
         tree.split(0, 0, &sorted_codes);
+        tree.fill_columns();
         if cfg.quadrupole {
             tree.compute_quadrupoles();
         }
         tree
+    }
+
+    /// (Re)derive the SoA columns from the `Node` array.
+    fn fill_columns(&mut self) {
+        let n = self.nodes.len();
+        self.cols.walk.clear();
+        self.cols.geom.clear();
+        self.cols.moment.clear();
+        self.cols.span.clear();
+        self.cols.children.clear();
+        self.cols.walk.reserve(n);
+        self.cols.geom.reserve(n);
+        self.cols.moment.reserve(n);
+        self.cols.span.reserve(n);
+        self.cols.children.reserve(n);
+        for nd in &self.nodes {
+            self.cols.walk.push([nd.com.x, nd.com.y, nd.com.z, nd.half]);
+            self.cols.geom.push([nd.center.x, nd.center.y, nd.center.z, nd.half]);
+            self.cols.moment.push([nd.com.x, nd.com.y, nd.com.z, nd.mass]);
+            self.cols.span.push([nd.first, nd.count]);
+            self.cols.children.push(nd.children);
+        }
+    }
+
+    /// Re-bind the tree to moved particles **without rebuilding**:
+    /// topology, Morton order and cell geometry stay fixed; sorted
+    /// positions/masses are re-read through the stored permutation and
+    /// monopole moments are re-accumulated bottom-up (children in
+    /// octant order, leaves over their ranges — the same summation
+    /// order as the build, so refreshing with unmoved particles is
+    /// bit-identical to the fresh build).
+    ///
+    /// Returns the updated [`drift_bound`](Self::drift_bound): the
+    /// previous bound plus this refresh's largest single-particle
+    /// displacement. Traversals add it to their group spheres so the
+    /// opening tests stay conservative while cells no longer bound
+    /// their (moved) particles; callers compare it against a threshold
+    /// to decide when a full rebuild is due.
+    ///
+    /// # Panics
+    /// On length mismatch with the built snapshot or non-finite
+    /// positions.
+    pub fn refresh(&mut self, pos: &[Vec3], mass: &[f64]) -> f64 {
+        assert_eq!(pos.len(), self.pos.len(), "refresh particle count != built particle count");
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        let mut step_disp2 = 0.0f64;
+        for k in 0..self.pos.len() {
+            let o = self.order[k] as usize;
+            let np = pos[o];
+            assert!(np.is_finite(), "non-finite position");
+            step_disp2 = step_disp2.max(np.dist2(self.pos[k]));
+            self.pos[k] = np;
+            self.mass[k] = mass[o];
+        }
+        self.drift += step_disp2.sqrt();
+        self.refresh_moments();
+        if self.cfg.quadrupole {
+            self.compute_quadrupoles();
+        }
+        self.drift
+    }
+
+    /// Bottom-up monopole re-accumulation over the fixed topology.
+    /// Children always carry larger indices than their parent (they are
+    /// pushed during the parent's split), so one reverse pass sees
+    /// every child before its parent.
+    fn refresh_moments(&mut self) {
+        for i in (0..self.nodes.len()).rev() {
+            let node = self.nodes[i];
+            let (m, com) = if node.is_leaf() {
+                self.moments_of_range(node.first as usize, node.count as usize)
+            } else {
+                let mut m = 0.0;
+                let mut mx = Vec3::ZERO;
+                for &c in &node.children {
+                    if c != NONE {
+                        let ch = &self.nodes[c as usize];
+                        m += ch.mass;
+                        mx += ch.com * ch.mass;
+                    }
+                }
+                (m, if m > 0.0 { mx / m } else { node.center })
+            };
+            let nd = &mut self.nodes[i];
+            nd.mass = m;
+            nd.com = com;
+            self.cols.moment[i] = [com.x, com.y, com.z, m];
+            // geometry (walk[3] = half) is frozen on refresh; only the com moves
+            self.cols.walk[i][..3].copy_from_slice(&[com.x, com.y, com.z]);
+        }
+    }
+
+    /// Upper bound on any particle's displacement since the last full
+    /// build (zero for a fresh tree). Grows monotonically across
+    /// [`refresh`](Self::refresh) calls.
+    #[inline]
+    pub fn drift_bound(&self) -> f64 {
+        self.drift
+    }
+
+    /// The hot node fields in structure-of-arrays layout.
+    #[inline]
+    pub fn columns(&self) -> &NodeColumns {
+        &self.cols
     }
 
     /// Fill `quads` by direct accumulation over each node's particle
@@ -486,6 +667,88 @@ mod tests {
         let t = Tree::build(&pos, &mass);
         assert_eq!(t.root().count, 64);
         assert!((t.root().mass - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columns_mirror_nodes() {
+        let (pos, mass) = random_cloud(600, 21);
+        let t = Tree::build(&pos, &mass);
+        assert_eq!(t.columns().geom.len(), t.nodes().len());
+        for (i, n) in t.nodes().iter().enumerate() {
+            let c = t.columns();
+            assert_eq!(c.walk[i], [n.com.x, n.com.y, n.com.z, n.half]);
+            assert_eq!(c.geom[i], [n.center.x, n.center.y, n.center.z, n.half]);
+            assert_eq!(c.moment[i], [n.com.x, n.com.y, n.com.z, n.mass]);
+            assert_eq!(c.span[i], [n.first, n.count]);
+            assert_eq!(c.children[i], n.children);
+            assert_eq!(c.is_leaf(i), n.is_leaf());
+            assert_eq!(c.range(i), n.range());
+        }
+    }
+
+    #[test]
+    fn refresh_with_unmoved_particles_is_bit_identical() {
+        let (pos, mass) = random_cloud(800, 22);
+        let fresh = Tree::build(&pos, &mass);
+        let mut refreshed = Tree::build(&pos, &mass);
+        let drift = refreshed.refresh(&pos, &mass);
+        assert_eq!(drift, 0.0);
+        assert_eq!(refreshed.drift_bound(), 0.0);
+        for (a, b) in fresh.nodes().iter().zip(refreshed.nodes()) {
+            assert_eq!(a.com, b.com);
+            assert_eq!(a.mass, b.mass);
+        }
+        assert_eq!(fresh.columns().moment, refreshed.columns().moment);
+        assert_eq!(fresh.columns().walk, refreshed.columns().walk);
+        assert_eq!(fresh.pos(), refreshed.pos());
+    }
+
+    #[test]
+    fn refresh_tracks_displacement_and_updates_moments() {
+        let (pos, mass) = random_cloud(500, 23);
+        let mut t = Tree::build(&pos, &mass);
+        let shift = Vec3::new(0.03, -0.01, 0.02);
+        let moved: Vec<Vec3> = pos.iter().map(|&p| p + shift).collect();
+        let drift = t.refresh(&moved, &mass);
+        assert!((drift - shift.norm()).abs() < 1e-12, "drift {drift} != |shift|");
+        // a uniform translation moves every com by exactly the shift
+        let fresh = Tree::build(&pos, &mass);
+        for (a, b) in fresh.nodes().iter().zip(t.nodes()) {
+            assert!((b.com - (a.com + shift)).norm() < 1e-9);
+            assert!((a.mass - b.mass).abs() < 1e-12);
+        }
+        // the packed walk column tracks the refreshed com exactly
+        for (i, n) in t.nodes().iter().enumerate() {
+            assert_eq!(t.columns().walk[i], [n.com.x, n.com.y, n.com.z, n.half]);
+        }
+        // drift accumulates across refreshes (triangle inequality bound)
+        let back: Vec<Vec3> = pos.clone();
+        let drift2 = t.refresh(&back, &mass);
+        assert!((drift2 - 2.0 * shift.norm()).abs() < 1e-12);
+        // geometry and order never change on refresh
+        assert_eq!(fresh.columns().geom, t.columns().geom);
+        assert_eq!(fresh.order(), t.order());
+    }
+
+    #[test]
+    fn refresh_updates_masses_through_permutation() {
+        let (pos, mass) = random_cloud(300, 24);
+        let mut t = Tree::build(&pos, &mass);
+        let doubled: Vec<f64> = mass.iter().map(|m| 2.0 * m).collect();
+        t.refresh(&pos, &doubled);
+        let total: f64 = doubled.iter().sum();
+        assert!((t.root().mass - total).abs() < 1e-9 * total);
+        for k in 0..t.len() {
+            assert_eq!(t.mass()[k], doubled[t.original_index(k)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh particle count")]
+    fn refresh_rejects_length_change() {
+        let (pos, mass) = random_cloud(100, 25);
+        let mut t = Tree::build(&pos, &mass);
+        t.refresh(&pos[..99], &mass[..99]);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Property tests for tree reuse across force evaluations.
+//!
+//! The refresh mode freezes the octree topology for K steps and only
+//! re-accumulates moments from the drifted positions, inflating every
+//! group sphere by the tracked displacement bound so MAC decisions
+//! stay conservative. Two contracts follow:
+//!
+//! * **K = 1 is bit-identical** to rebuilding from scratch every step
+//!   — the refresh machinery must be invisible when disabled;
+//! * **K > 1 stays within the treecode's own error scale**: a
+//!   refreshed topology with exact re-accumulated monopoles and
+//!   conservative spheres is a valid θ-approximation of the same
+//!   snapshot, so its forces must agree with a fresh build's to a
+//!   small multiple of the fresh build's own error against direct
+//!   summation.
+
+use grape5_nbody::core::{DirectHost, ForceBackend, RefreshPolicy, TreeGrape, TreeGrapeConfig};
+use grape5_nbody::ic::plummer_sphere;
+use grape5_nbody::util::Vec3;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+const EPS: f64 = 0.01;
+const DT: f64 = 1e-3;
+
+fn plummer(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>, Vec<Vec3>) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let s = plummer_sphere(n, &mut rng);
+    (s.pos, s.mass, s.vel)
+}
+
+/// RMS of the relative acceleration difference between two force sets.
+fn rms_rel(a: &[Vec3], b: &[Vec3]) -> f64 {
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let n = x.norm();
+            if n == 0.0 {
+                0.0
+            } else {
+                let d = (*x - *y).norm() / n;
+                d * d
+            }
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// With interval 1 the backend rebuilds every evaluation; its
+    /// forces over a drifting snapshot must equal, bit for bit, those
+    /// of a backend constructed fresh for every single evaluation
+    /// (which cannot possibly carry state across steps).
+    #[test]
+    fn interval_one_is_bit_identical_to_fresh_builds(
+        n in 150usize..400,
+        seed in any::<u64>(),
+        n_crit in 16usize..128,
+    ) {
+        let (mut pos, mass, vel) = plummer(n, seed);
+        let cfg = TreeGrapeConfig {
+            n_crit,
+            refresh: RefreshPolicy::every(1),
+            ..TreeGrapeConfig::paper(EPS)
+        };
+        let mut keeper = TreeGrape::new(cfg);
+        for _ in 0..3 {
+            let a = keeper.compute(&pos, &mass);
+            let b = TreeGrape::new(cfg).compute(&pos, &mass);
+            prop_assert_eq!(&a.acc, &b.acc);
+            prop_assert_eq!(&a.pot, &b.pot);
+            prop_assert_eq!(a.tally, b.tally);
+            prop_assert_eq!(keeper.tree_age(), 1);
+            for (p, v) in pos.iter_mut().zip(&vel) {
+                *p += *v * DT;
+            }
+        }
+    }
+
+    /// Refresh-mode forces stay within the displacement bound: over a
+    /// full rebuild interval the refreshed topology's error against
+    /// direct summation stays comparable to the fresh build's, and the
+    /// two tree answers agree to the same scale.
+    #[test]
+    fn refreshed_forces_match_fresh_within_error_scale(
+        n in 150usize..400,
+        seed in any::<u64>(),
+        k in 2u32..5,
+    ) {
+        let (mut pos, mass, vel) = plummer(n, seed);
+        let cfg = TreeGrapeConfig {
+            n_crit: 64,
+            refresh: RefreshPolicy::every(k),
+            ..TreeGrapeConfig::paper(EPS)
+        };
+        let mut refreshed = TreeGrape::new(cfg);
+        let mut direct = DirectHost::new(EPS);
+        for step in 0..k {
+            let a = refreshed.compute(&pos, &mass);
+            let fresh = TreeGrape::new(cfg).compute(&pos, &mass);
+            let exact = direct.compute(&pos, &mass);
+
+            // the fresh build's own treecode error sets the scale;
+            // floor it so near-exact small cases don't squeeze the
+            // tolerance to zero
+            let scale = rms_rel(&fresh.acc, &exact.acc).max(1e-4);
+            let diff = rms_rel(&a.acc, &fresh.acc);
+            prop_assert!(
+                diff <= 4.0 * scale,
+                "step {step}: refreshed-vs-fresh rms {diff:.3e} exceeds 4x tree error {scale:.3e}"
+            );
+            // refreshed answers must be no worse an approximation
+            let err = rms_rel(&a.acc, &exact.acc);
+            prop_assert!(
+                err <= 4.0 * scale,
+                "step {step}: refreshed-vs-direct rms {err:.3e} exceeds 4x tree error {scale:.3e}"
+            );
+            for (p, v) in pos.iter_mut().zip(&vel) {
+                *p += *v * DT;
+            }
+        }
+        // the interval really was served by one topology
+        prop_assert_eq!(refreshed.tree_age(), k);
+    }
+}
+
+/// On the first evaluation after construction there is nothing to
+/// refresh: every interval starts with a full build, whatever K says.
+#[test]
+fn first_evaluation_always_builds() {
+    let (pos, mass, _) = plummer(300, 7);
+    let cfg = TreeGrapeConfig {
+        n_crit: 64,
+        refresh: RefreshPolicy::every(8),
+        ..TreeGrapeConfig::paper(EPS)
+    };
+    let mut g = TreeGrape::new(cfg);
+    let fs = g.compute(&pos, &mass);
+    assert!(fs.timers.build_s > 0.0);
+    assert_eq!(fs.timers.refresh_s, 0.0);
+    assert_eq!(g.tree_age(), 1);
+}
