@@ -1,0 +1,311 @@
+//! **E12 — PC-GRAPE cluster sharding: aggregate interactions/s vs
+//! shard count K.**
+//!
+//! The GRAPE-6A follow-up to the paper scaled this exact treecode by
+//! giving each PC in a cluster its own GRAPE card and a Morton domain
+//! of the particle set. This harness measures what that buys on the
+//! reproduction's [`ClusterTreeGrape`] backend: one force evaluation
+//! per K ∈ {1, 2, 4, 8}, each shard's device work priced by its own
+//! [`ClockAccounting`] on the paper's hardware clocks.
+//!
+//! The headline metric is **aggregate interactions per second**: total
+//! pairwise interactions across all shards, divided by the modeled
+//! *critical-path* device time — the max over shards of the per-shard
+//! clock report, because a real cluster runs its shards concurrently
+//! and finishes with the slowest one. The modeled clock is exact and
+//! deterministic (cycles and words counted from the real call
+//! schedule), so one step per K suffices and the number is
+//! machine-independent; host-phase wall times (decompose / exchange /
+//! build / traverse) are reported alongside for the record.
+//!
+//! At K = 1 this is exactly the single-device `TreeGrape` rate. Near-
+//! linear scaling holds as long as (a) the Morton slices stay balanced
+//! and (b) the LET exchange — remote terms resolved per group at MAC
+//! accuracy and appended to the group's j-list — stays small next to
+//! the local lists, which it does because a group sees a *remote*
+//! domain almost entirely through accepted cell monopoles.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_cluster -- \
+//!     [--quick] [--n 262144] [--ks 1,2,4,8] [--steps 1] \
+//!     [--out BENCH_pr6.json] [--baseline BENCH_pr6.json]
+//! ```
+//!
+//! `--quick` (CI smoke): N = 32,768, K ∈ {1, 2}.
+
+use g5_bench::{fmt_count, fmt_secs, plummer, rule, Args};
+use grape5::ClockReport;
+use std::fmt::Write as _;
+use std::time::Instant;
+use treegrape::cluster::{ClusterTreeGrape, ClusterTreeGrapeConfig};
+use treegrape::ForceBackend;
+
+const SEED: u64 = 42;
+const EPS: f64 = 0.01;
+
+/// One (N, K) cell: totals over `steps` force evaluations.
+struct ClusterCell {
+    n: usize,
+    k: usize,
+    steps: u64,
+    /// Pairwise interactions summed over shards and steps.
+    interactions: u64,
+    /// Host-generated list terms (local group lists + LET imports).
+    terms: u64,
+    /// Modeled critical-path device seconds: Σ over steps of
+    /// max-over-shards per-step clock report totals.
+    critical_path_s: f64,
+    /// Modeled aggregate device seconds (Σ over shards), for the
+    /// efficiency column.
+    aggregate_s: f64,
+    /// Host wall seconds measured on the reproducing machine.
+    decompose_s: f64,
+    exchange_s: f64,
+    build_s: f64,
+    traverse_cpu_s: f64,
+    host_wall_s: f64,
+}
+
+impl ClusterCell {
+    /// Aggregate modeled throughput: all shards' interactions over the
+    /// critical path.
+    fn rate(&self) -> f64 {
+        self.interactions as f64 / self.critical_path_s
+    }
+    /// How evenly the shards were loaded: mean over max of per-shard
+    /// modeled time (1.0 = perfectly balanced).
+    fn balance(&self) -> f64 {
+        if self.critical_path_s == 0.0 {
+            return 1.0;
+        }
+        self.aggregate_s / (self.k as f64 * self.critical_path_s)
+    }
+}
+
+/// Run one (N, K) cell on a fresh backend and snapshot.
+fn measure(n: usize, k: usize, steps: u64) -> ClusterCell {
+    let snap = plummer(n, SEED);
+    let cfg = ClusterTreeGrapeConfig::paper(EPS, k);
+    let mut backend = ClusterTreeGrape::new(cfg);
+
+    let mut cell = ClusterCell {
+        n,
+        k,
+        steps,
+        interactions: 0,
+        terms: 0,
+        critical_path_s: 0.0,
+        aggregate_s: 0.0,
+        decompose_s: 0.0,
+        exchange_s: 0.0,
+        build_s: 0.0,
+        traverse_cpu_s: 0.0,
+        host_wall_s: 0.0,
+    };
+    let mut prior: Vec<grape5::ClockAccounting> =
+        (0..k).map(|s| backend.shard_accounting(s)).collect();
+    for _ in 0..steps {
+        let t0 = Instant::now();
+        let fs = backend.compute(&snap.pos, &snap.mass);
+        cell.host_wall_s += t0.elapsed().as_secs_f64();
+
+        // per-shard modeled time this step: accounting delta priced on
+        // the paper's clocks; the cluster's step time is the slowest
+        // shard's (shards run concurrently on real hardware)
+        let mut step_max = 0.0f64;
+        for (s, p) in prior.iter_mut().enumerate() {
+            let now = backend.shard_accounting(s);
+            let delta = grape5::ClockAccounting {
+                pipeline_cycles: now.pipeline_cycles - p.pipeline_cycles,
+                iface_words: now.iface_words - p.iface_words,
+                calls: now.calls - p.calls,
+                interactions: now.interactions - p.interactions,
+            };
+            *p = now;
+            let report: ClockReport = delta.report(&cfg.base.grape);
+            step_max = step_max.max(report.total_s());
+            cell.aggregate_s += report.total_s();
+        }
+        cell.critical_path_s += step_max;
+        cell.interactions += fs.tally.interactions;
+        cell.terms += fs.tally.terms;
+        cell.decompose_s += fs.timers.decompose_s;
+        cell.exchange_s += fs.timers.exchange_s;
+        cell.build_s += fs.timers.build_s + fs.timers.refresh_s;
+        cell.traverse_cpu_s += fs.timers.traverse_s;
+    }
+    assert_eq!(backend.alive_shards(), k, "no shard may die in a clean benchmark");
+    cell
+}
+
+fn result_row(c: &ClusterCell) {
+    println!(
+        "{:>8} {:>3} {:>16} {:>12} {:>11.4} {:>11.1} {:>8.3} {:>9.1}%",
+        c.n,
+        c.k,
+        fmt_count(c.interactions),
+        fmt_count(c.terms),
+        c.critical_path_s / c.steps as f64,
+        c.rate() / 1e6,
+        c.host_wall_s / c.steps as f64,
+        100.0 * c.balance(),
+    );
+}
+
+fn json_line(c: &ClusterCell, speedup: f64) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"n\": {}, \"k\": {}, \"steps\": {}, \"interactions\": {}, \"terms\": {}, \
+         \"critical_path_s_per_step\": {}, \"aggregate_device_s_per_step\": {}, \
+         \"interactions_per_s\": {}, \"speedup_vs_k1\": {}, \"balance\": {}, \
+         \"decompose_s_per_step\": {}, \"exchange_s_per_step\": {}, \
+         \"build_s_per_step\": {}, \"traverse_cpu_s_per_step\": {}, \
+         \"host_wall_s_per_step\": {}}}",
+        c.n,
+        c.k,
+        c.steps,
+        c.interactions,
+        c.terms,
+        c.critical_path_s / c.steps as f64,
+        c.aggregate_s / c.steps as f64,
+        c.rate(),
+        speedup,
+        c.balance(),
+        c.decompose_s / c.steps as f64,
+        c.exchange_s / c.steps as f64,
+        c.build_s / c.steps as f64,
+        c.traverse_cpu_s / c.steps as f64,
+        c.host_wall_s / c.steps as f64,
+    )
+    .unwrap();
+    s
+}
+
+/// Pull a numeric field out of one hand-rolled JSON result line.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn print_baseline_delta(results: &[ClusterCell], old: &str) {
+    println!();
+    println!("delta vs committed baseline (aggregate modeled interactions/s):");
+    for c in results {
+        let tag = format!("\"n\": {}, \"k\": {},", c.n, c.k);
+        let prior =
+            old.lines().find(|l| l.contains(&tag)).and_then(|l| json_f64(l, "interactions_per_s"));
+        match prior {
+            Some(p) if p > 0.0 => {
+                println!(
+                    "  N = {:>7} K = {}  {:.3e} -> {:.3e} inter/s  ({:+.1}%)",
+                    c.n,
+                    c.k,
+                    p,
+                    c.rate(),
+                    100.0 * (c.rate() - p) / p
+                );
+            }
+            _ => println!("  N = {:>7} K = {}  (no baseline entry)", c.n, c.k),
+        }
+    }
+    println!("(the modeled rate is deterministic; any delta is a real behavior change)");
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let out_path: String = args.get("out", "BENCH_pr6.json".to_string());
+    let base_path: String = args.get("baseline", out_path.clone());
+    let baseline = std::fs::read_to_string(&base_path).ok();
+
+    let n: usize = args.get("n", if quick { 32_768 } else { 262_144 });
+    let steps: u64 = args.get("steps", 1);
+    let ks_raw: String = args.get("ks", if quick { "1,2".into() } else { "1,2,4,8".into() });
+    let ks: Vec<usize> =
+        ks_raw.split(',').map(|s| s.trim().parse().expect("bad --ks entry")).collect();
+
+    println!(
+        "E12: PC-GRAPE cluster sharding — K domain-decomposed trees over K devices{}",
+        if quick { " (--quick)" } else { "" }
+    );
+    println!(
+        "     workload: Plummer sphere N = {n}, seed {SEED}, paper operating point \
+         (theta 0.75, n_crit 2000, exact arithmetic), {steps} step(s) per K"
+    );
+    println!(
+        "     metric: Σ interactions / max-over-shards modeled device seconds \
+         (shards run concurrently on real hardware)"
+    );
+    println!();
+    rule(96);
+    println!(
+        "{:>8} {:>3} {:>16} {:>12} {:>11} {:>11} {:>8} {:>10}",
+        "N", "K", "interactions", "terms", "crit-path", "aggregate", "host", "balance"
+    );
+    println!(
+        "{:>8} {:>3} {:>16} {:>12} {:>11} {:>11} {:>8} {:>10}",
+        "", "", "", "", "s/step", "Minter/s", "s/step", ""
+    );
+    rule(96);
+
+    let mut results: Vec<ClusterCell> = Vec::new();
+    for &k in &ks {
+        let t0 = Instant::now();
+        let c = measure(n, k, steps);
+        result_row(&c);
+        results.push(c);
+        eprintln!("    [K = {k} done in {}]", fmt_secs(t0.elapsed().as_secs_f64()));
+    }
+    rule(96);
+
+    let r1 = results.iter().find(|c| c.k == 1).map(|c| c.rate());
+    if let Some(r1) = r1 {
+        println!();
+        println!("scaling vs K = 1:");
+        for c in &results {
+            println!(
+                "  K = {}  {:>8.1} Minter/s  speedup {:.2}x  (ideal {}x)",
+                c.k,
+                c.rate() / 1e6,
+                c.rate() / r1,
+                c.k
+            );
+        }
+        if let Some(c4) = results.iter().find(|c| c.k == 4) {
+            let s4 = c4.rate() / r1;
+            println!();
+            println!(
+                "headline: K = 4 aggregate throughput {s4:.2}x of K = 1 \
+                 (gate: >= 3x) — {}",
+                if s4 >= 3.0 { "PASS" } else { "FAIL" }
+            );
+            assert!(s4 >= 3.0, "K=4 scaling gate failed: {s4:.2}x < 3x");
+        }
+    }
+
+    // JSON report
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"exp_cluster\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"theta\": 0.75,");
+    let _ = writeln!(json, "  \"n_crit\": 2000,");
+    let _ = writeln!(json, "  \"eps\": {EPS},");
+    json.push_str("  \"results\": [\n");
+    let lines: Vec<String> =
+        results.iter().map(|c| json_line(c, r1.map_or(1.0, |r| c.rate() / r))).collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("could not write JSON report");
+    println!();
+    println!("wrote {out_path}");
+
+    if let Some(old) = baseline {
+        print_baseline_delta(&results, &old);
+    }
+}

@@ -73,7 +73,7 @@ pub struct ForceSet {
 }
 
 impl ForceSet {
-    fn zeros(n: usize) -> ForceSet {
+    pub(crate) fn zeros(n: usize) -> ForceSet {
         ForceSet {
             acc: vec![Vec3::ZERO; n],
             pot: vec![0.0; n],
@@ -589,6 +589,8 @@ impl ForceBackend for TreeGrape {
         out.timers = PhaseTimers {
             build_s,
             refresh_s,
+            decompose_s: 0.0,
+            exchange_s: 0.0,
             traverse_s: stats.produce_s,
             device_s,
             consumer_blocked_s: stats.consumer_blocked_s,

@@ -44,6 +44,12 @@ pub struct Checkpoint {
     /// Serialized fault-injector state ([`grape5::Grape5::fault_state_words`]),
     /// if a fault injector was armed.
     pub fault_state: Option<Vec<u64>>,
+    /// Alive shard count of a cluster run (`None` for single-device
+    /// manifests — the pre-cluster format, still readable).
+    pub shards: Option<usize>,
+    /// Per-shard fault-injector state of a cluster run, as
+    /// `(shard slot, state words)` for every armed alive shard.
+    pub shard_fault_states: Vec<(usize, Vec<u64>)>,
 }
 
 impl Checkpoint {
@@ -108,6 +114,59 @@ impl Checkpointer {
         Ok(manifest_path)
     }
 
+    /// Write a checkpoint of a *cluster* run: the same crash-atomic
+    /// snapshot-then-manifest pair, with the alive shard count and each
+    /// armed shard's fault-injector state added under keys a
+    /// pre-cluster reader skips as unknown. Returns the manifest path.
+    ///
+    /// `shards` must be the number of shards *alive* at the instant of
+    /// the checkpoint: a resumed run re-decomposes over that count, and
+    /// the decomposition depends only on the count, so the resumed
+    /// partition matches the one the interrupted run was using.
+    pub fn write_cluster(
+        &self,
+        snap: &Snapshot,
+        time: f64,
+        step: u64,
+        shards: usize,
+        shard_fault_states: &[(usize, Vec<u64>)],
+    ) -> io::Result<PathBuf> {
+        let snap_path = self.dir.join(format!("step_{step:08}.snap"));
+        snapshot_io::save(&snap_path, snap, time)?;
+
+        let manifest_path = self.dir.join(format!("step_{step:08}.ckpt"));
+        let mut f = std::fs::File::create(&manifest_path)?;
+        writeln!(f, "{MANIFEST_MAGIC}")?;
+        writeln!(f, "step {step}")?;
+        writeln!(f, "time {:016x}", time.to_bits())?;
+        writeln!(f, "snapshot {}", snap_path.file_name().unwrap().to_string_lossy())?;
+        writeln!(f, "shards {shards}")?;
+        for (slot, words) in shard_fault_states {
+            let hex: Vec<String> = words.iter().map(|w| format!("{w:016x}")).collect();
+            writeln!(f, "shard_fault_state {slot} {}", hex.join(" "))?;
+        }
+        f.flush()?;
+        Ok(manifest_path)
+    }
+
+    /// Checkpoint a cluster simulation if its step count hits the
+    /// interval — the cluster-format counterpart of
+    /// [`maybe_write`](Self::maybe_write). Pass
+    /// `backend.alive_shards()` and `backend.fault_states()`.
+    pub fn maybe_write_cluster<B: ForceBackend>(
+        &self,
+        sim: &Simulation<B>,
+        shards: usize,
+        shard_fault_states: &[(usize, Vec<u64>)],
+    ) -> io::Result<Option<PathBuf>> {
+        if sim.steps > 0 && sim.steps.is_multiple_of(self.every) {
+            return self
+                .write_cluster(&sim.state, sim.time, sim.steps, shards, shard_fault_states)
+                .map(Some);
+        }
+        Ok(None)
+    }
+
     /// Checkpoint the simulation if its step count hits the interval.
     /// `fault_state` is whatever the device reports at this instant
     /// (pass `sim.backend_mut().grape_mut().fault_state_words()` for
@@ -136,6 +195,8 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
     let mut time = None;
     let mut snapshot = None;
     let mut fault_state = None;
+    let mut shards = None;
+    let mut shard_fault_states = Vec::new();
     for line in lines {
         let Some((key, value)) = line.split_once(' ') else { continue };
         match key {
@@ -153,6 +214,18 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
                     value.split_whitespace().map(|w| u64::from_str_radix(w, 16)).collect();
                 fault_state = Some(words.map_err(|_| bad("bad fault state"))?);
             }
+            "shards" => {
+                shards = Some(value.parse::<usize>().map_err(|_| bad("bad shard count"))?);
+            }
+            "shard_fault_state" => {
+                let mut it = value.split_whitespace();
+                let slot = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| bad("bad shard fault slot"))?;
+                let words: Result<Vec<u64>, _> = it.map(|w| u64::from_str_radix(w, 16)).collect();
+                shard_fault_states.push((slot, words.map_err(|_| bad("bad shard fault state"))?));
+            }
             _ => {} // unknown keys: forward compatibility
         }
     }
@@ -161,6 +234,8 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
         time: time.ok_or_else(|| bad("missing time"))?,
         snapshot: snapshot.ok_or_else(|| bad("missing snapshot"))?,
         fault_state,
+        shards,
+        shard_fault_states,
     })
 }
 
@@ -244,6 +319,85 @@ mod tests {
 
         let got = latest(&dir).unwrap().unwrap();
         assert_eq!(got.step, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cluster_manifest_roundtrips() {
+        let dir = tmpdir("cluster_roundtrip");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        let states = vec![(0usize, vec![7u64, 8, 9]), (2usize, vec![0xfeed_f00d])];
+        ck.write_cluster(&sample(3.0), 1.5, 12, 3, &states).unwrap();
+
+        let got = latest(&dir).unwrap().unwrap();
+        assert_eq!(got.step, 12);
+        assert_eq!(got.shards, Some(3));
+        assert_eq!(got.shard_fault_states, states);
+        assert_eq!(got.fault_state, None);
+        let (snap, _) = got.load_snapshot().unwrap();
+        assert_eq!(snap.pos, sample(3.0).pos);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn single_device_reader_view_of_cluster_manifest() {
+        // a cluster manifest read through the common path simply
+        // carries the extra fields; a single-shard manifest reports
+        // shards: None — the two formats coexist in one directory
+        let dir = tmpdir("mixed_view");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        ck.write(&sample(1.0), 1.0, 1, Some(&[5])).unwrap();
+        ck.write_cluster(&sample(2.0), 2.0, 2, 4, &[]).unwrap();
+
+        let old = read_manifest(&dir.join("step_00000001.ckpt")).unwrap();
+        assert_eq!(old.shards, None);
+        assert_eq!(old.fault_state, Some(vec![5]));
+        let new = read_manifest(&dir.join("step_00000002.ckpt")).unwrap();
+        assert_eq!(new.shards, Some(4));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn latest_resumes_cluster_manifest_next_to_corrupt_single_shard() {
+        // mixed-version directory: an old single-shard checkpoint at
+        // step 1, a *corrupt* single-shard one at step 3, and a valid
+        // cluster-format one at step 2. latest() must return the
+        // newest VALID checkpoint (the cluster one), not error on the
+        // corrupt neighbor or stop at the oldest.
+        let dir = tmpdir("mixed_fallback");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        ck.write(&sample(1.0), 1.0, 1, None).unwrap();
+        ck.write_cluster(&sample(2.0), 2.0, 2, 2, &[(0, vec![1, 2])]).unwrap();
+        ck.write(&sample(3.0), 3.0, 3, Some(&[9])).unwrap();
+        let snap3 = dir.join("step_00000003.snap");
+        let mut bytes = std::fs::read(&snap3).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap3, &bytes).unwrap();
+
+        let got = latest(&dir).unwrap().unwrap();
+        assert_eq!(got.step, 2);
+        assert_eq!(got.shards, Some(2));
+        assert_eq!(got.shard_fault_states, vec![(0, vec![1, 2])]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn latest_resumes_single_shard_next_to_corrupt_cluster() {
+        // and the mirror image: newest is a corrupt cluster-format
+        // checkpoint, the fallback a valid single-shard one
+        let dir = tmpdir("mixed_fallback_rev");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        ck.write(&sample(1.0), 1.0, 1, None).unwrap();
+        ck.write_cluster(&sample(2.0), 2.0, 2, 3, &[]).unwrap();
+        let snap2 = dir.join("step_00000002.snap");
+        let mut bytes = std::fs::read(&snap2).unwrap();
+        bytes.truncate(bytes.len() / 2); // truncation, not just bit-rot
+        std::fs::write(&snap2, &bytes).unwrap();
+
+        let got = latest(&dir).unwrap().unwrap();
+        assert_eq!(got.step, 1);
+        assert_eq!(got.shards, None);
         std::fs::remove_dir_all(dir).ok();
     }
 

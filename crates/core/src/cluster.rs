@@ -1,0 +1,657 @@
+//! The cluster backend: K domain-decomposed trees over K pooled
+//! GRAPE-5 devices.
+//!
+//! This is the PC-GRAPE cluster configuration of the GRAPE-6A follow-up
+//! work, folded into one process: the snapshot is partitioned into K
+//! Morton-contiguous domains ([`g5tree::domain`]), each domain builds a
+//! local octree and streams its group lists into its *own* simulated
+//! device. Remote mass enters as a local-essential-tree exchange
+//! resolved **per group**: while a group's local list streams, the
+//! group's bounding sphere walks every remote shard's tree with the
+//! same MAC ([`g5tree::domain::let_terms_into`]) and the accepted cell
+//! monopoles / opened bodies are appended to that group's j-list. The
+//! remote terms a group sees are therefore the terms the monolithic
+//! tree would have put on its list — not a coarse whole-domain import,
+//! which for adjacent Morton slices degenerates to opening essentially
+//! every remote body. Shards evaluate concurrently in scoped threads;
+//! on real hardware each shard is a PC+GRAPE pair, so the cluster's
+//! critical path is the *slowest* shard, which is what the
+//! `exp_cluster` harness reports.
+//!
+//! ## Equivalences and error bounds
+//!
+//! * **K = 1 is bit-identical to [`TreeGrape`]**: the single-shard
+//!   decomposition is the identity permutation, the local tree is the
+//!   tree `TreeGrape` would build, the device session opens over the
+//!   same position window, and there are no remote trees to walk — so
+//!   the same device calls happen in the same order on the same words.
+//! * **K > 1 stays at treecode accuracy**: every imported term was
+//!   accepted by the same MAC against the receiving *group's* drift-
+//!   inflated sphere — the exact acceptance test the monolithic
+//!   traversal applies to its own distant cells (see
+//!   [`g5tree::domain`] for the soundness argument).
+//!
+//! ## Shard loss
+//!
+//! Per-board faults inside a shard are absorbed by the existing
+//! [`DeviceSession`] retry/quarantine machinery. When a shard's device
+//! is exhausted entirely (all boards quarantined), the backend marks
+//! the shard dead, throws away the decomposition, and re-decomposes
+//! the snapshot over the survivors — forces still come out of the same
+//! `try_compute` call, one shard poorer. `tree_age` restarts at 1 on
+//! every re-decomposition, so a drift bound accumulated against the old
+//! shard boundaries can never survive into the new ones.
+
+use crate::backends::{ForceBackend, ForceError, ForceSet, TreeGrapeConfig};
+use crate::perf::PhaseTimers;
+use g5tree::domain::{let_terms_into, Decomposition};
+use g5tree::mac::Mac;
+use g5tree::plan::{self, PlanPool};
+use g5tree::traverse::{Group, Traversal, TraverseScratch};
+use g5tree::tree::Tree;
+use g5util::counters::InteractionTally;
+use g5util::vec3::Vec3;
+use grape5::{
+    ClockAccounting, ClusterSession, DeviceError, DeviceSession, FaultConfig, Grape5, RecoveryStats,
+};
+use std::time::Instant;
+
+/// Configuration of the [`ClusterTreeGrape`] backend: the single-device
+/// operating point plus the shard count.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterTreeGrapeConfig {
+    /// Per-shard treecode + device parameters (θ, n_crit, ε, hardware,
+    /// streaming plan, retry policy, refresh policy). Every shard runs
+    /// an identical device.
+    pub base: TreeGrapeConfig,
+    /// Number of domain shards (= devices) to open.
+    pub shards: usize,
+}
+
+impl ClusterTreeGrapeConfig {
+    /// The paper's operating point on `shards` paper-configured
+    /// devices.
+    pub fn paper(eps: f64, shards: usize) -> Self {
+        ClusterTreeGrapeConfig { base: TreeGrapeConfig::paper(eps), shards }
+    }
+}
+
+/// Everything one shard owns between evaluations: its gathered
+/// particles, local tree, group partition, streaming pool, and
+/// last-evaluation timers.
+struct ShardState {
+    pos: Vec<Vec3>,
+    mass: Vec<f64>,
+    tree: Option<Tree>,
+    groups: Vec<Group>,
+    gscratch: TraverseScratch,
+    pool: PlanPool,
+    timers: PhaseTimers,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            pos: Vec::new(),
+            mass: Vec::new(),
+            tree: None,
+            groups: Vec::new(),
+            gscratch: TraverseScratch::default(),
+            pool: PlanPool::new(),
+            timers: PhaseTimers::default(),
+        }
+    }
+}
+
+/// What one shard's evaluation thread hands back to the assembler.
+struct ShardOutcome {
+    slot: usize,
+    acc: Vec<Vec3>,
+    pot: Vec<f64>,
+    tally: InteractionTally,
+    produce_s: f64,
+    device_s: f64,
+    /// Wall seconds this shard spent walking *remote* trees — the
+    /// in-line LET exchange cost.
+    exchange_s: f64,
+    consumer_blocked_s: f64,
+    wall_s: f64,
+    recovery: RecoveryStats,
+    err: Option<ForceError>,
+}
+
+/// Barnes' modified treecode, domain-decomposed over a pool of
+/// GRAPE-5 devices — one local tree and one device per shard, remote
+/// mass imported at MAC accuracy, whole-shard loss recovered by
+/// re-decomposition over the survivors.
+pub struct ClusterTreeGrape {
+    /// Operating parameters.
+    pub cfg: ClusterTreeGrapeConfig,
+    cluster: ClusterSession,
+    recovery: RecoveryStats,
+    /// Current partition, or `None` when the next evaluation must
+    /// re-decompose (fresh backend, snapshot size change, shard death).
+    decomp: Option<Decomposition>,
+    /// Shard slots the current decomposition's domains map to,
+    /// ascending: domain `d` lives on slot `live[d]`.
+    live: Vec<usize>,
+    shards_state: Vec<ShardState>,
+    /// Evaluations served by the current decomposition's trees (1 right
+    /// after a (re)build, counting up between rebuilds).
+    tree_age: u32,
+}
+
+impl ClusterTreeGrape {
+    /// Open `cfg.shards` simulated devices.
+    ///
+    /// Panics on a zero shard count, or unless
+    /// `tree_config.leaf_capacity <= n_crit` (a leaf larger than
+    /// `n_crit` cannot be split into groups).
+    pub fn new(cfg: ClusterTreeGrapeConfig) -> Self {
+        assert!(cfg.shards >= 1, "cluster needs at least one shard");
+        assert!(
+            cfg.base.tree_config.leaf_capacity <= cfg.base.n_crit,
+            "leaf_capacity {} > n_crit {}: groups could not honor n_crit",
+            cfg.base.tree_config.leaf_capacity,
+            cfg.base.n_crit
+        );
+        assert!(cfg.base.refresh.interval >= 1, "refresh interval must be positive");
+        let cluster = ClusterSession::open(cfg.base.grape, cfg.shards);
+        let shards_state = (0..cfg.shards).map(|_| ShardState::new()).collect();
+        ClusterTreeGrape {
+            cfg,
+            cluster,
+            recovery: RecoveryStats::default(),
+            decomp: None,
+            live: Vec::new(),
+            shards_state,
+            tree_age: 0,
+        }
+    }
+
+    /// Total shard slots (alive + dead).
+    pub fn shards(&self) -> usize {
+        self.cluster.shards()
+    }
+
+    /// Shards still alive.
+    pub fn alive_shards(&self) -> usize {
+        self.cluster.alive()
+    }
+
+    /// Evaluations served by the current decomposition (0 before the
+    /// first, reset to 1 by every rebuild — including the forced
+    /// rebuild after a shard boundary change).
+    pub fn tree_age(&self) -> u32 {
+        self.tree_age
+    }
+
+    /// The current partition, if one is live.
+    pub fn decomposition(&self) -> Option<&Decomposition> {
+        self.decomp.as_ref()
+    }
+
+    /// Kill shard `k` by hand (the test/fault-drill entry point — in
+    /// anger, shard death is detected from device errors). Invalidates
+    /// the decomposition so the next evaluation re-decomposes over the
+    /// survivors.
+    pub fn kill_shard(&mut self, k: usize) {
+        self.cluster.kill(k);
+        self.decomp = None;
+        self.live.clear();
+    }
+
+    /// Arm shard `k`'s fault injector.
+    pub fn set_fault_injector(&mut self, k: usize, fault: FaultConfig) {
+        self.cluster.set_fault_injector(k, fault);
+    }
+
+    /// Serialized fault-injector state per alive shard — the payload a
+    /// cluster checkpoint manifest records.
+    pub fn fault_states(&self) -> Vec<(usize, Vec<u64>)> {
+        self.cluster.fault_states()
+    }
+
+    /// Restore shard `k`'s fault-injector state (the injector must be
+    /// armed first).
+    pub fn restore_fault_state(&mut self, k: usize, words: &[u64]) -> Result<(), DeviceError> {
+        self.cluster.restore_fault_state(k, words)
+    }
+
+    /// Clock accounting of shard `k` alone — the critical-path metric
+    /// (max over shards) is derived from these.
+    pub fn shard_accounting(&self, k: usize) -> ClockAccounting {
+        self.cluster.shard_accounting(k)
+    }
+
+    /// Reset every shard's clock accounting.
+    pub fn reset_accounting(&mut self) {
+        self.cluster.reset_accounting();
+    }
+
+    /// Last evaluation's per-shard timers, as `(slot, timers)` over the
+    /// shards that took part.
+    pub fn shard_timers(&self) -> Vec<(usize, PhaseTimers)> {
+        self.live.iter().map(|&k| (k, self.shards_state[k].timers)).collect()
+    }
+
+    /// Bring every live shard's tree up to date: refresh the frozen
+    /// trees when the policy allows, (re)decompose and rebuild
+    /// otherwise. Returns `(decompose_s, build_s, refresh_s)`.
+    fn ensure_decomposition(
+        &mut self,
+        pos: &[Vec3],
+        mass: &[f64],
+        tr: &Traversal,
+    ) -> (f64, f64, f64) {
+        let alive: Vec<usize> =
+            (0..self.cluster.shards()).filter(|&k| self.cluster.is_alive(k)).collect();
+        let mut refresh_s = 0.0;
+        let reusable =
+            self.decomp.as_ref().is_some_and(|d| d.total() == pos.len() && self.live == alive)
+                && self.tree_age < self.cfg.base.refresh.interval;
+        if reusable {
+            let decomp = self.decomp.as_ref().expect("reusable implies a decomposition");
+            let limit_frac = self.cfg.base.refresh.max_drift_frac;
+            let mut ok = true;
+            for (d, &k) in self.live.iter().enumerate() {
+                let st = &mut self.shards_state[k];
+                let t0 = Instant::now();
+                decomp.gather(d, pos, mass, &mut st.pos, &mut st.mass);
+                let tree = st.tree.as_mut().expect("live shard has a tree");
+                let drift = tree.refresh(&st.pos, &st.mass);
+                let dt = t0.elapsed().as_secs_f64();
+                st.timers = PhaseTimers { refresh_s: dt, ..PhaseTimers::default() };
+                refresh_s += dt;
+                // each shard's root half-width is its own length scale
+                if drift > limit_frac * tree.nodes()[0].half {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.tree_age += 1;
+                return (0.0, 0.0, refresh_s);
+            }
+            // some shard blew the drift valve: the refresh work is
+            // discarded and this evaluation pays for a rebuild instead
+        }
+
+        let t0 = Instant::now();
+        let decomp = Decomposition::morton(pos, alive.len());
+        let decompose_s = t0.elapsed().as_secs_f64();
+        let mut build_s = 0.0;
+        for (d, &k) in alive.iter().enumerate() {
+            let st = &mut self.shards_state[k];
+            let t1 = Instant::now();
+            decomp.gather(d, pos, mass, &mut st.pos, &mut st.mass);
+            let tree = Tree::build_with(&st.pos, &st.mass, self.cfg.base.tree_config);
+            tr.find_groups_into(&tree, self.cfg.base.n_crit, &mut st.gscratch, &mut st.groups);
+            st.tree = Some(tree);
+            let dt = t1.elapsed().as_secs_f64();
+            st.timers = PhaseTimers { build_s: dt, ..PhaseTimers::default() };
+            build_s += dt;
+        }
+        self.decomp = Some(decomp);
+        self.live = alive;
+        // Fresh trees, zero drift: a drift bound accumulated against
+        // the *old* shard boundaries must never price the new ones.
+        self.tree_age = 1;
+        (decompose_s, build_s + refresh_s, 0.0)
+    }
+}
+
+/// One shard's full force evaluation: stream the local group lists into
+/// the shard's device, appending each group's remote (LET) terms to its
+/// j-list as it goes.
+///
+/// Remote mass is resolved per group: the group's drift-inflated sphere
+/// walks every remote shard's tree with the force MAC, so the imported
+/// terms are exactly the terms the monolithic traversal would have put
+/// on this group's list. With no remote trees (K = 1) the group list
+/// streams untouched.
+///
+/// `window_pos` is the **full** snapshot — every shard quantizes over
+/// the same position window, which keeps K = 1 bit-identical to
+/// [`TreeGrape`] and spares shards from re-ranging as particles
+/// migrate between domains.
+fn shard_eval(
+    slot: usize,
+    g5: &mut Grape5,
+    st: &ShardState,
+    remote: &[&Tree],
+    window_pos: &[Vec3],
+    cfg: &TreeGrapeConfig,
+) -> ShardOutcome {
+    let t_all = Instant::now();
+    let n = st.pos.len();
+    let mut out = ShardOutcome {
+        slot,
+        acc: vec![Vec3::ZERO; n],
+        pot: vec![0.0; n],
+        tally: InteractionTally::default(),
+        produce_s: 0.0,
+        device_s: 0.0,
+        exchange_s: 0.0,
+        consumer_blocked_s: 0.0,
+        wall_s: 0.0,
+        recovery: RecoveryStats::default(),
+        err: None,
+    };
+    let tree = st.tree.as_ref().expect("evaluated shard has a tree");
+    let tr = Traversal::new(cfg.theta);
+    let mac = Mac::new(cfg.theta);
+    let mut session = match DeviceSession::try_open(g5, window_pos, cfg.eps) {
+        Ok(s) => s.with_retry(cfg.retry),
+        Err(e) => {
+            out.err = Some(e.into());
+            out.wall_s = t_all.elapsed().as_secs_f64();
+            return out;
+        }
+    };
+    let mut device_s = 0.0;
+    let mut exchange_s = 0.0;
+    let mut remote_terms = 0u64;
+    let mut remote_inter = 0u64;
+    let mut device_err: Option<DeviceError> = None;
+    let acc = &mut out.acc;
+    let pot = &mut out.pot;
+    // Scratch for the combined local + remote list, retained across
+    // groups so a steady state allocates nothing.
+    let mut rjp: Vec<Vec3> = Vec::new();
+    let mut rjm: Vec<f64> = Vec::new();
+    let stats = plan::stream_with(tree, &tr, &st.groups, &cfg.plan, &st.pool, |work| {
+        if device_err.is_some() {
+            return;
+        }
+        let (jp, jm): (&[Vec3], &[f64]) = if remote.is_empty() {
+            (&work.jpos, &work.jmass)
+        } else {
+            let te = Instant::now();
+            rjp.clear();
+            rjm.clear();
+            rjp.extend_from_slice(&work.jpos);
+            rjm.extend_from_slice(&work.jmass);
+            let sphere = tr.group_sphere(tree, work.group);
+            for src in remote {
+                let_terms_into(src, &mac, &sphere, &mut rjp, &mut rjm);
+            }
+            let added = (rjp.len() - work.jpos.len()) as u64;
+            remote_terms += added;
+            remote_inter += added * work.xi.len() as u64;
+            exchange_s += te.elapsed().as_secs_f64();
+            (&rjp, &rjm)
+        };
+        let t = Instant::now();
+        match session.try_force_for(jp, jm, &work.xi) {
+            Ok(forces) => {
+                for (t_idx, f) in work.targets.iter().zip(forces) {
+                    acc[*t_idx] = f.acc;
+                    pot[*t_idx] = f.pot;
+                }
+            }
+            Err(e) => device_err = Some(e),
+        }
+        device_s += t.elapsed().as_secs_f64();
+    });
+    out.tally = out.tally.merged(InteractionTally {
+        interactions: remote_inter,
+        terms: remote_terms,
+        lists: 0,
+    });
+
+    out.recovery = session.recovery_stats();
+    out.device_s = device_s;
+    out.exchange_s = exchange_s;
+    match stats {
+        Ok(s) => {
+            out.tally = out.tally.merged(s.tally);
+            out.produce_s = s.produce_s;
+            out.consumer_blocked_s = s.consumer_blocked_s;
+        }
+        Err(e) => {
+            if out.err.is_none() {
+                out.err = Some(e.into());
+            }
+        }
+    }
+    if let Some(e) = device_err {
+        if out.err.is_none() {
+            out.err = Some(e.into());
+        }
+    }
+    out.wall_s = t_all.elapsed().as_secs_f64();
+    out
+}
+
+impl ForceBackend for ClusterTreeGrape {
+    fn try_compute(&mut self, pos: &[Vec3], mass: &[f64]) -> Result<ForceSet, ForceError> {
+        assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
+        let t_all = Instant::now();
+        let tr = Traversal::new(self.cfg.base.theta);
+        loop {
+            if self.cluster.alive() == 0 {
+                return Err(DeviceError::NoBoardsLeft.into());
+            }
+            let (decompose_s, build_s, refresh_s) = self.ensure_decomposition(pos, mass, &tr);
+
+            // One scoped thread per live shard; each owns its device
+            // exclusively, reads the *other* shards' trees immutably
+            // (the in-line LET exchange), and writes a shard-local
+            // dense result, so no output cell is shared across threads.
+            let devices = self.cluster.alive_devices_mut();
+            let states = &self.shards_state;
+            let live = &self.live;
+            let cfg = &self.cfg.base;
+            let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = devices
+                    .into_iter()
+                    .map(|(slot, g5)| {
+                        let st = &states[slot];
+                        let remote: Vec<&Tree> = live
+                            .iter()
+                            .filter(|&&k| k != slot)
+                            .map(|&k| states[k].tree.as_ref().expect("live shard has a tree"))
+                            .collect();
+                        scope.spawn(move || shard_eval(slot, g5, st, &remote, pos, cfg))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard evaluation thread panicked"))
+                    .collect()
+            });
+
+            let mut fatal: Vec<usize> = Vec::new();
+            let mut first_err: Option<ForceError> = None;
+            for o in &outcomes {
+                self.recovery = self.recovery.merged(o.recovery);
+                match &o.err {
+                    Some(ForceError::Device(de)) if ClusterSession::shard_fatal(de) => {
+                        fatal.push(o.slot);
+                    }
+                    Some(e) if first_err.is_none() => first_err = Some(e.clone()),
+                    Some(_) => {}
+                    None => {}
+                }
+            }
+            if !fatal.is_empty() {
+                // Whole-shard loss: survivors re-own the dead shards'
+                // particles and this evaluation starts over. Work the
+                // healthy shards did this round is discarded — shard
+                // death is rare enough that simplicity wins.
+                for &k in &fatal {
+                    self.cluster.kill(k);
+                }
+                self.decomp = None;
+                self.live.clear();
+                if self.cluster.alive() == 0 {
+                    return Err(DeviceError::NoBoardsLeft.into());
+                }
+                continue;
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+
+            let decomp = self.decomp.as_ref().expect("evaluated with a decomposition");
+            let mut out = ForceSet::zeros(pos.len());
+            for (d, o) in outcomes.iter().enumerate() {
+                for (j, &gi) in decomp.owned(d).iter().enumerate() {
+                    out.acc[gi as usize] = o.acc[j];
+                    out.pot[gi as usize] = o.pot[j];
+                }
+                out.tally = out.tally.merged(o.tally);
+                let st = &mut self.shards_state[o.slot];
+                st.timers.traverse_s = o.produce_s;
+                st.timers.device_s = o.device_s;
+                st.timers.exchange_s = o.exchange_s;
+                st.timers.consumer_blocked_s = o.consumer_blocked_s;
+                st.timers.force_wall_s = o.wall_s;
+            }
+            let mut timers = PhaseTimers {
+                build_s,
+                refresh_s,
+                decompose_s,
+                exchange_s: 0.0,
+                traverse_s: 0.0,
+                device_s: 0.0,
+                consumer_blocked_s: 0.0,
+                force_wall_s: 0.0,
+                step_wall_s: 0.0,
+            };
+            for o in &outcomes {
+                timers.traverse_s += o.produce_s;
+                timers.device_s += o.device_s;
+                timers.exchange_s += o.exchange_s;
+                timers.consumer_blocked_s += o.consumer_blocked_s;
+            }
+            timers.force_wall_s = t_all.elapsed().as_secs_f64();
+            out.timers = timers;
+            return Ok(out);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cluster-tree-grape"
+    }
+
+    fn grape_accounting(&self) -> Option<ClockAccounting> {
+        Some(self.cluster.accounting())
+    }
+
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        Some(self.recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{DirectHost, TreeGrape};
+    use g5ic::plummer_sphere;
+    use g5tree::eval::rms_relative_error;
+    use g5tree::plan::PlanConfig;
+    use grape5::Grape5Config;
+    use rand::SeedableRng;
+
+    fn plummer(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let s = plummer_sphere(n, &mut rng);
+        (s.pos, s.mass)
+    }
+
+    fn small_cfg(shards: usize) -> ClusterTreeGrapeConfig {
+        let mut base = TreeGrapeConfig::paper(0.01);
+        base.n_crit = 64;
+        base.grape = Grape5Config::single_board();
+        base.plan = PlanConfig::serial();
+        ClusterTreeGrapeConfig { base, shards }
+    }
+
+    #[test]
+    fn k1_matches_treegrape_bit_for_bit() {
+        let (pos, mass) = plummer(700, 11);
+        let mut mono = TreeGrape::new(small_cfg(1).base);
+        let mut cluster = ClusterTreeGrape::new(small_cfg(1));
+        let a = mono.compute(&pos, &mass);
+        let b = cluster.compute(&pos, &mass);
+        assert_eq!(a.acc, b.acc);
+        assert_eq!(a.pot, b.pot);
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(mono.accounting(), cluster.shard_accounting(0));
+    }
+
+    #[test]
+    fn sharded_forces_stay_at_treecode_accuracy() {
+        let (pos, mass) = plummer(1500, 12);
+        let exact = DirectHost { eps: 0.01 }.compute(&pos, &mass);
+        let mut mono = TreeGrape::new(small_cfg(1).base);
+        let fs1 = mono.compute(&pos, &mass);
+        let tol = 3.0 * rms_relative_error(&to_pf(&exact), &to_pf(&fs1)).max(1e-4);
+        for k in [2, 3, 4] {
+            let mut cl = ClusterTreeGrape::new(small_cfg(k));
+            let fsk = cl.compute(&pos, &mass);
+            let err = rms_relative_error(&to_pf(&exact), &to_pf(&fsk));
+            assert!(err < tol, "K={k} rms error {err} vs tolerance {tol}");
+        }
+    }
+
+    fn to_pf(fs: &ForceSet) -> Vec<g5tree::eval::PointForce> {
+        fs.acc
+            .iter()
+            .zip(&fs.pot)
+            .map(|(&a, &p)| g5tree::eval::PointForce { acc: a, pot: p })
+            .collect()
+    }
+
+    #[test]
+    fn shard_kill_triggers_redecomposition_over_survivors() {
+        let (pos, mass) = plummer(800, 13);
+        let exact = DirectHost { eps: 0.01 }.compute(&pos, &mass);
+        let mut cl = ClusterTreeGrape::new(small_cfg(3));
+        let before = cl.compute(&pos, &mass);
+        assert_eq!(cl.alive_shards(), 3);
+        let tol = 3.0 * rms_relative_error(&to_pf(&exact), &to_pf(&before)).max(1e-4);
+        cl.kill_shard(1);
+        let after = cl.compute(&pos, &mass);
+        assert_eq!(cl.alive_shards(), 2);
+        assert_eq!(cl.decomposition().unwrap().shards(), 2);
+        // survivors own everything; forces stay at treecode accuracy
+        // (the K=2 boundaries differ from K=3, so compare to exact)
+        let err = rms_relative_error(&to_pf(&exact), &to_pf(&after));
+        assert!(err < tol, "post-kill rms error {err} vs tolerance {tol}");
+    }
+
+    #[test]
+    fn tree_age_resets_on_redecomposition() {
+        let (pos, mass) = plummer(600, 14);
+        let mut cfg = small_cfg(3);
+        cfg.base.refresh =
+            crate::backends::RefreshPolicy { interval: 100, max_drift_frac: f64::INFINITY };
+        let mut cl = ClusterTreeGrape::new(cfg);
+        for _ in 0..4 {
+            cl.compute(&pos, &mass);
+        }
+        assert_eq!(cl.tree_age(), 4);
+        cl.kill_shard(0);
+        cl.compute(&pos, &mass);
+        assert_eq!(cl.tree_age(), 1, "re-decomposition must reset tree age");
+        cl.compute(&pos, &mass);
+        assert_eq!(cl.tree_age(), 2);
+    }
+
+    #[test]
+    fn timers_record_cluster_phases() {
+        let (pos, mass) = plummer(500, 15);
+        let mut cl = ClusterTreeGrape::new(small_cfg(2));
+        let fs = cl.compute(&pos, &mass);
+        assert!(fs.timers.decompose_s > 0.0);
+        assert!(fs.timers.build_s > 0.0);
+        assert!(fs.timers.device_s > 0.0);
+        assert!(fs.timers.exchange_s > 0.0, "K=2 must walk remote trees");
+        let per_shard = cl.shard_timers();
+        assert_eq!(per_shard.len(), 2);
+        assert!(per_shard.iter().all(|(_, t)| t.device_s > 0.0));
+    }
+}

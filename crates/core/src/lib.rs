@@ -12,6 +12,9 @@
 //!   (O(N²) on the host, the exact reference), `DirectGrape` (O(N²)
 //!   through the simulated hardware), `TreeHost` (modified or original
 //!   treecode in `f64`), and `TreeGrape` (the paper's configuration).
+//! * [`cluster`] — the PC-GRAPE cluster backend: K domain-decomposed
+//!   trees over K pooled devices, local-essential-tree exchange, and
+//!   shard-loss recovery by re-decomposition.
 //! * [`integrator`] — shared-timestep leapfrog (kick–drift–kick), the
 //!   scheme used for the paper's 999-step run.
 //! * [`diagnostics`] — energy / momentum / Lagrangian-radii bookkeeping.
@@ -34,6 +37,7 @@
 pub mod accuracy;
 pub mod backends;
 pub mod checkpoint;
+pub mod cluster;
 pub mod clustering;
 pub mod diagnostics;
 pub mod halos;
@@ -47,6 +51,7 @@ pub use backends::{
     TreeGrapeConfig, TreeHost,
 };
 pub use checkpoint::{Checkpoint, Checkpointer};
+pub use cluster::{ClusterTreeGrape, ClusterTreeGrapeConfig};
 pub use diagnostics::{Diagnostics, EnergyWatchdog};
 pub use g5tree::plan::PlanConfig;
 pub use integrator::Simulation;

@@ -1,0 +1,220 @@
+//! A pool of GRAPE-5 systems — one per domain shard of a
+//! cluster-decomposed treecode run.
+//!
+//! The GRAPE-6A cluster configuration hangs one accelerator card off
+//! each PC; in-process we model that as K independent [`Grape5`]
+//! instances with independent fault state, clock accounting, and board
+//! quarantine. Each shard's force evaluation opens an ordinary
+//! [`DeviceSession`](crate::session::DeviceSession) over its device, so
+//! the whole per-board retry/quarantine machinery applies unchanged
+//! within a shard.
+//!
+//! What the session layer cannot recover from is *whole-shard loss*:
+//! every board of one device quarantined. [`ClusterSession::shard_fatal`]
+//! classifies device errors into that bucket; the host backend reacts
+//! by marking the shard dead ([`ClusterSession::kill`]) and
+//! re-decomposing the particle set over the survivors — the cluster
+//! analogue of removing a dead PC from the ring.
+
+use crate::clock::ClockAccounting;
+use crate::config::Grape5Config;
+use crate::fault::{DeviceError, FaultConfig};
+use crate::system::Grape5;
+
+/// One shard: a device plus its liveness flag.
+#[derive(Debug)]
+struct Shard {
+    g5: Grape5,
+    alive: bool,
+}
+
+/// K pooled [`Grape5`] devices, one per domain shard.
+///
+/// Dead shards keep their slot (indices are stable for the lifetime of
+/// the session) but are skipped by [`alive_devices_mut`]
+/// (`ClusterSession::alive_devices_mut`) and excluded from fault-state
+/// capture.
+#[derive(Debug)]
+pub struct ClusterSession {
+    shards: Vec<Shard>,
+    cfg: Grape5Config,
+}
+
+impl ClusterSession {
+    /// Open `shards` identical devices from one configuration.
+    ///
+    /// # Panics
+    /// If `shards == 0`.
+    pub fn open(cfg: Grape5Config, shards: usize) -> ClusterSession {
+        assert!(shards >= 1, "cluster needs at least one shard");
+        let shards = (0..shards).map(|_| Shard { g5: Grape5::open(cfg), alive: true }).collect();
+        ClusterSession { shards, cfg }
+    }
+
+    /// The configuration every shard was opened with.
+    pub fn config(&self) -> &Grape5Config {
+        &self.cfg
+    }
+
+    /// Total shard slots (alive + dead).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of shards still alive.
+    pub fn alive(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive).count()
+    }
+
+    /// Is shard `k` alive?
+    pub fn is_alive(&self, k: usize) -> bool {
+        self.shards[k].alive
+    }
+
+    /// Mark shard `k` dead. Idempotent. Returns the number of shards
+    /// still alive afterwards.
+    pub fn kill(&mut self, k: usize) -> usize {
+        self.shards[k].alive = false;
+        self.alive()
+    }
+
+    /// Mutable access to shard `k`'s device (alive or dead — fault
+    /// injection setup may address a shard before any evaluation).
+    pub fn device_mut(&mut self, k: usize) -> &mut Grape5 {
+        &mut self.shards[k].g5
+    }
+
+    /// Mutable borrows of every *alive* device, tagged with shard
+    /// index — the fan-out for a per-shard evaluation pass.
+    pub fn alive_devices_mut(&mut self) -> Vec<(usize, &mut Grape5)> {
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(k, s)| (k, &mut s.g5))
+            .collect()
+    }
+
+    /// Is this error unrecoverable at the shard level — i.e. has the
+    /// per-board retry/quarantine machinery inside [`DeviceSession`]
+    /// already exhausted the device?
+    ///
+    /// [`DeviceSession`]: crate::session::DeviceSession
+    pub fn shard_fatal(err: &DeviceError) -> bool {
+        match err {
+            DeviceError::NoBoardsLeft => true,
+            // The session's retry loop stores the final failure's
+            // Display text; an exhausted retry whose last attempt found
+            // no boards is just as dead as the direct report.
+            DeviceError::RetriesExhausted { last, .. } => last.contains("all boards quarantined"),
+            _ => false,
+        }
+    }
+
+    /// Arm shard `k`'s fault injector.
+    pub fn set_fault_injector(&mut self, k: usize, cfg: FaultConfig) {
+        self.shards[k].g5.set_fault_injector(cfg);
+    }
+
+    /// Serialized fault-injector state of every alive shard that has
+    /// one, as `(shard index, state words)` — the per-shard payload a
+    /// cluster checkpoint manifest records.
+    pub fn fault_states(&self) -> Vec<(usize, Vec<u64>)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .filter_map(|(k, s)| s.g5.fault_state_words().map(|w| (k, w)))
+            .collect()
+    }
+
+    /// Restore shard `k`'s fault-injector state (the injector must
+    /// already be armed with its configuration).
+    pub fn restore_fault_state(&mut self, k: usize, words: &[u64]) -> Result<(), DeviceError> {
+        self.shards[k].g5.restore_fault_state(words)
+    }
+
+    /// Clock accounting of shard `k` alone.
+    pub fn shard_accounting(&self, k: usize) -> ClockAccounting {
+        self.shards[k].g5.accounting()
+    }
+
+    /// Clock accounting merged across all shards — aggregate work.
+    /// (A real cluster runs shards concurrently; critical-path time is
+    /// the *max* of per-shard [`ClockReport`](crate::clock::ClockReport)
+    /// totals, which callers derive from [`shard_accounting`]
+    /// (`ClusterSession::shard_accounting`).)
+    pub fn accounting(&self) -> ClockAccounting {
+        self.shards.iter().fold(ClockAccounting::default(), |acc, s| acc.merged(s.g5.accounting()))
+    }
+
+    /// Reset clock accounting on every shard.
+    pub fn reset_accounting(&mut self) {
+        for s in &mut self.shards {
+            s.g5.reset_accounting();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Grape5Config {
+        Grape5Config::single_board()
+    }
+
+    #[test]
+    fn open_kill_track_liveness() {
+        let mut c = ClusterSession::open(tiny(), 4);
+        assert_eq!(c.shards(), 4);
+        assert_eq!(c.alive(), 4);
+        assert_eq!(c.kill(2), 3);
+        assert_eq!(c.kill(2), 3, "kill is idempotent");
+        assert!(!c.is_alive(2));
+        let tagged: Vec<usize> = c.alive_devices_mut().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(tagged, vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ClusterSession::open(tiny(), 0);
+    }
+
+    #[test]
+    fn fatal_classifier() {
+        assert!(ClusterSession::shard_fatal(&DeviceError::NoBoardsLeft));
+        assert!(ClusterSession::shard_fatal(&DeviceError::RetriesExhausted {
+            attempts: 7,
+            last: DeviceError::NoBoardsLeft.to_string(),
+        }));
+        assert!(!ClusterSession::shard_fatal(&DeviceError::RetriesExhausted {
+            attempts: 7,
+            last: "board 0 timed out".into(),
+        }));
+        assert!(!ClusterSession::shard_fatal(&DeviceError::BoardTimeout { board: 0 }));
+    }
+
+    #[test]
+    fn fault_states_skip_dead_and_unarmed() {
+        let mut c = ClusterSession::open(tiny(), 3);
+        c.set_fault_injector(0, FaultConfig::transient(1, 0.0));
+        c.set_fault_injector(2, FaultConfig::transient(2, 0.0));
+        c.kill(2);
+        let states = c.fault_states();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].0, 0);
+        // round-trip through restore
+        let words = states[0].1.clone();
+        c.restore_fault_state(0, &words).unwrap();
+    }
+
+    #[test]
+    fn accounting_merges_across_shards() {
+        let c = ClusterSession::open(tiny(), 2);
+        let merged = c.accounting();
+        assert_eq!(merged.calls, 0);
+        assert_eq!(c.shard_accounting(0).calls, 0);
+    }
+}

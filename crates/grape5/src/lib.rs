@@ -35,6 +35,7 @@
 
 pub mod board;
 pub mod clock;
+pub mod cluster;
 pub mod config;
 pub mod cost;
 pub mod cutoff;
@@ -44,6 +45,7 @@ pub mod session;
 pub mod system;
 
 pub use clock::{ClockAccounting, ClockReport};
+pub use cluster::ClusterSession;
 pub use config::{ArithMode, Grape5Config};
 pub use cost::{CostModel, PricePerformance};
 pub use cutoff::CutoffTable;

@@ -1,0 +1,360 @@
+//! Morton-curve domain decomposition and local-essential-tree (LET)
+//! exchange — the tree side of PC-GRAPE cluster sharding.
+//!
+//! The GRAPE-6A cluster papers scale the treecode by hanging one GRAPE
+//! card off each PC and giving each PC a *domain*: a contiguous slice
+//! of the Morton-ordered particle set. Contiguous curve slices are
+//! compact in space (the Z-order curve is a space-filling curve), so
+//! each domain builds a local octree over its own particles and imports
+//! only a *summary* of everybody else's mass distribution — the local
+//! essential tree.
+//!
+//! ## Decomposition
+//!
+//! [`Decomposition::morton`] quantizes every particle onto the same
+//! 2²¹ grid the octree build uses, sorts by `(code, index)` (a total
+//! order, so the split is deterministic for a given snapshot), and cuts
+//! the sorted sequence into `K` near-equal contiguous slices. Within a
+//! shard the owned indices are then re-sorted ascending, so gathering a
+//! shard's particles preserves the caller's input order. In particular
+//! `K = 1` owns `0..n` *in input order*: the single-shard decomposition
+//! is the identity, and the local tree built over the gathered slice is
+//! bit-identical to the tree built over the full snapshot.
+//!
+//! ## LET exchange
+//!
+//! [`let_terms_into`] walks a remote shard's tree against the
+//! *receiving domain's bounding sphere* and emits the accepted cells'
+//! monopoles (and opened leaves' bodies) as plain `(position, mass)`
+//! terms. Acceptance uses the same [`Mac`] as the force traversal, so
+//! the import holds exactly the resolution the MAC demands:
+//!
+//! * a cell accepted against the whole domain sphere satisfies
+//!   `dist(com, p) > s/θ` for **every** particle `p` of the domain
+//!   (triangle inequality through the sphere center) — the same
+//!   distance bound the per-group opening test enforces, so remote
+//!   forces carry treecode accuracy, never worse;
+//! * a rejected cell is opened and its children re-tested, down to
+//!   bodies, so the emitted terms always partition the remote shard's
+//!   mass (the closure property the traversal tests enforce locally).
+//!
+//! Both spheres are drift-aware: the receiver passes its domain sphere
+//! already inflated by its own refresh drift (see
+//! [`domain_sphere`]), and the walk additionally inflates by the
+//! *source* tree's drift bound so remote cells whose particles moved
+//! since the last rebuild stay conservatively represented.
+
+use crate::mac::{GroupSphere, Mac};
+use crate::tree::{Tree, NONE};
+use g5util::morton;
+use g5util::vec3::Vec3;
+use rayon::prelude::*;
+
+/// A partition of a particle snapshot into `K` Morton-contiguous
+/// domains, by original (input-order) index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// `owned[k]` = original indices owned by shard `k`, ascending.
+    owned: Vec<Vec<u32>>,
+    /// Total particles across all shards.
+    total: usize,
+}
+
+impl Decomposition {
+    /// Partition `pos` into `shards` near-equal domains along the
+    /// Morton curve.
+    ///
+    /// Slice `k` covers sorted ranks `[k·n/K, (k+1)·n/K)`, so shard
+    /// populations differ by at most one. Ties on the quantized code
+    /// break by original index, making the split a pure function of the
+    /// snapshot.
+    ///
+    /// # Panics
+    /// On empty input, `shards == 0`, `shards > pos.len()`, or
+    /// non-finite positions.
+    pub fn morton(pos: &[Vec3], shards: usize) -> Decomposition {
+        assert!(!pos.is_empty(), "cannot decompose zero particles");
+        assert!(shards >= 1, "shard count must be positive");
+        assert!(shards <= pos.len(), "more shards ({shards}) than particles ({})", pos.len());
+        let n = pos.len();
+
+        // Same bounding cube + quantization the octree build uses, so a
+        // domain boundary is always a Morton-cell boundary of the grid.
+        let (lo, hi) = bounds(pos);
+        let center = (lo + hi) * 0.5;
+        let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
+        let inv_side = 1.0 / (2.0 * half);
+        let codes: Vec<u64> = pos
+            .par_iter()
+            .map(|p| {
+                let u = (p.x - (center.x - half)) * inv_side;
+                let v = (p.y - (center.y - half)) * inv_side;
+                let w = (p.z - (center.z - half)) * inv_side;
+                assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
+                morton::encode_unit(u, v, w)
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.par_sort_unstable_by_key(|&i| (codes[i as usize], i));
+
+        let mut owned = Vec::with_capacity(shards);
+        for k in 0..shards {
+            let start = k * n / shards;
+            let end = (k + 1) * n / shards;
+            let mut slice: Vec<u32> = order[start..end].to_vec();
+            // input order within the shard: K = 1 is then the identity
+            // and gathers are cache-friendly forward scans
+            slice.sort_unstable();
+            owned.push(slice);
+        }
+        Decomposition { owned, total: n }
+    }
+
+    /// Number of domains.
+    pub fn shards(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Original indices owned by shard `k`, ascending.
+    pub fn owned(&self, k: usize) -> &[u32] {
+        &self.owned[k]
+    }
+
+    /// Total particles across all shards (the snapshot size this
+    /// decomposition was computed for).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Gather shard `k`'s particles out of the full snapshot into
+    /// caller-owned buffers (cleared first; capacity is retained across
+    /// calls for steady-state reuse).
+    pub fn gather(
+        &self,
+        k: usize,
+        pos: &[Vec3],
+        mass: &[f64],
+        out_pos: &mut Vec<Vec3>,
+        out_mass: &mut Vec<f64>,
+    ) {
+        let own = &self.owned[k];
+        out_pos.clear();
+        out_mass.clear();
+        out_pos.reserve(own.len());
+        out_mass.reserve(own.len());
+        for &i in own {
+            out_pos.push(pos[i as usize]);
+            out_mass.push(mass[i as usize]);
+        }
+    }
+}
+
+/// Padded axis-aligned bounds of a point set (serial fold; the caller
+/// is already parallel over shards).
+fn bounds(pos: &[Vec3]) -> (Vec3, Vec3) {
+    let mut lo = Vec3::splat(f64::INFINITY);
+    let mut hi = Vec3::splat(f64::NEG_INFINITY);
+    for p in pos {
+        lo = lo.min(*p);
+        hi = hi.max(*p);
+    }
+    (lo, hi)
+}
+
+/// Bounding sphere of a local tree's whole domain: centered on the
+/// root cell, radius to the farthest particle, inflated by the tree's
+/// refresh drift bound. Every group sphere of the tree lies within it
+/// (same center policy, subset of the particles), so one LET computed
+/// against this sphere serves every group of the shard.
+pub fn domain_sphere(tree: &Tree) -> GroupSphere {
+    let root = tree.root();
+    let mut sphere = GroupSphere::around(root.center, tree.pos());
+    sphere.radius += tree.drift_bound();
+    sphere
+}
+
+/// Append the local-essential-tree summary of `source` as seen by a
+/// domain bounded by `receiver` — accepted cells as monopole terms,
+/// opened leaves as bodies. Returns the number of terms appended.
+///
+/// `receiver` must already include the receiving tree's own drift
+/// inflation ([`domain_sphere`] does); this walk additionally inflates
+/// by `source.drift_bound()` so both sides' motion since their last
+/// rebuilds is covered.
+///
+/// The appended terms partition `source`'s total mass: every particle
+/// of the remote shard is represented exactly once, in an accepted
+/// ancestor cell or as itself.
+pub fn let_terms_into(
+    source: &Tree,
+    mac: &Mac,
+    receiver: &GroupSphere,
+    out_pos: &mut Vec<Vec3>,
+    out_mass: &mut Vec<f64>,
+) -> usize {
+    let before = out_pos.len();
+    let mut sphere = *receiver;
+    sphere.radius += source.drift_bound();
+    let nodes = source.nodes();
+    let mut stack: Vec<u32> = vec![0];
+    while let Some(i) = stack.pop() {
+        let node = &nodes[i as usize];
+        if mac.accepts_sphere(node, &sphere) {
+            out_pos.push(node.com);
+            out_mass.push(node.mass);
+        } else if node.is_leaf() {
+            for k in node.range() {
+                out_pos.push(source.pos()[k]);
+                out_mass.push(source.mass()[k]);
+            }
+        } else {
+            for &c in node.children.iter().rev() {
+                if c != NONE {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    out_pos.len() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let pos = (0..n)
+            .map(|_| {
+                let s = if rng.random_bool(0.5) { 0.2 } else { 1.0 };
+                Vec3::new(rng.random_range(-s..s), rng.random_range(-s..s), rng.random_range(-s..s))
+            })
+            .collect();
+        let mass = (0..n).map(|_| rng.random_range(0.5..2.0)).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let (pos, _) = cloud(333, 1);
+        let d = Decomposition::morton(&pos, 1);
+        assert_eq!(d.shards(), 1);
+        let expect: Vec<u32> = (0..333).collect();
+        assert_eq!(d.owned(0), &expect[..]);
+    }
+
+    #[test]
+    fn shards_partition_and_balance() {
+        let (pos, _) = cloud(1001, 2);
+        for k in [2, 3, 4, 8] {
+            let d = Decomposition::morton(&pos, k);
+            let mut covered = vec![false; pos.len()];
+            let (mut lo, mut hi) = (usize::MAX, 0usize);
+            for s in 0..k {
+                let own = d.owned(s);
+                lo = lo.min(own.len());
+                hi = hi.max(own.len());
+                for &i in own {
+                    assert!(!covered[i as usize], "index {i} owned twice");
+                    covered[i as usize] = true;
+                }
+                assert!(own.windows(2).all(|w| w[0] < w[1]), "owned not ascending");
+            }
+            assert!(covered.iter().all(|&c| c), "some particle unowned at k={k}");
+            assert!(hi - lo <= 1, "imbalance {lo}..{hi} at k={k}");
+        }
+    }
+
+    #[test]
+    fn decomposition_is_deterministic() {
+        let (pos, _) = cloud(500, 3);
+        assert_eq!(Decomposition::morton(&pos, 4), Decomposition::morton(&pos, 4));
+    }
+
+    #[test]
+    fn gather_matches_owned_order() {
+        let (pos, mass) = cloud(200, 4);
+        let d = Decomposition::morton(&pos, 4);
+        let (mut gp, mut gm) = (Vec::new(), Vec::new());
+        for s in 0..4 {
+            d.gather(s, &pos, &mass, &mut gp, &mut gm);
+            for (j, &i) in d.owned(s).iter().enumerate() {
+                assert_eq!(gp[j], pos[i as usize]);
+                assert_eq!(gm[j], mass[i as usize]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn more_shards_than_particles_rejected() {
+        let (pos, _) = cloud(3, 5);
+        let _ = Decomposition::morton(&pos, 4);
+    }
+
+    #[test]
+    fn let_mass_closure_and_mac_validity() {
+        let (pos, mass) = cloud(900, 6);
+        let d = Decomposition::morton(&pos, 3);
+        let mac = Mac::new(0.75);
+        let (mut sp, mut sm) = (Vec::new(), Vec::new());
+        let mut trees = Vec::new();
+        for s in 0..3 {
+            d.gather(s, &pos, &mass, &mut sp, &mut sm);
+            trees.push(Tree::build(&sp, &sm));
+        }
+        for r in 0..3 {
+            let sphere = domain_sphere(&trees[r]);
+            for s in 0..3 {
+                if s == r {
+                    continue;
+                }
+                let (mut lp, mut lm) = (Vec::new(), Vec::new());
+                let appended = let_terms_into(&trees[s], &mac, &sphere, &mut lp, &mut lm);
+                assert_eq!(appended, lp.len());
+                assert!(appended >= 1, "remote shard must contribute at least its root");
+                // closure: the import carries exactly the remote mass
+                let total: f64 = trees[s].mass().iter().sum();
+                let got: f64 = lm.iter().sum();
+                assert!((got - total).abs() < 1e-9 * total, "LET mass {got} != {total}");
+                // MAC validity: an imported *cell* must satisfy the
+                // opening distance bound from every receiver particle
+                for (term_pos, _) in lp.iter().zip(&lm) {
+                    // identify cells as terms that are not a remote body
+                    let is_body = trees[s].pos().contains(term_pos);
+                    if is_body {
+                        continue;
+                    }
+                    let node = trees[s]
+                        .nodes()
+                        .iter()
+                        .find(|n| n.com == *term_pos)
+                        .expect("cell term must be a node monopole");
+                    for p in trees[r].pos() {
+                        let d = p.dist(node.com);
+                        assert!(
+                            d * mac.theta > node.side() * (1.0 - 1e-12),
+                            "cell of side {} at distance {d} violates theta",
+                            node.side()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_let_is_all_remote_bodies() {
+        let (pos, mass) = cloud(120, 7);
+        let d = Decomposition::morton(&pos, 2);
+        let (mut sp, mut sm) = (Vec::new(), Vec::new());
+        d.gather(0, &pos, &mass, &mut sp, &mut sm);
+        let a = Tree::build(&sp, &sm);
+        d.gather(1, &pos, &mass, &mut sp, &mut sm);
+        let b = Tree::build(&sp, &sm);
+        let (mut lp, mut lm) = (Vec::new(), Vec::new());
+        let n = let_terms_into(&b, &Mac::new(0.0), &domain_sphere(&a), &mut lp, &mut lm);
+        assert_eq!(n, b.len(), "theta 0 must open everything down to bodies");
+    }
+}

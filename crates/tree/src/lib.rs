@@ -20,14 +20,20 @@
 //!   host, used by the accuracy experiments and the TreeHost backend;
 //! * [`plan`] — the streaming force plan: group lists resolved by
 //!   worker threads and handed through a bounded channel, so a device
-//!   consumer overlaps traversal with force evaluation.
+//!   consumer overlaps traversal with force evaluation;
+//! * [`domain`] — Morton-curve domain decomposition and
+//!   local-essential-tree exchange for cluster-sharded force
+//!   evaluation: K contiguous curve slices, one local tree each, with
+//!   remote mass imported at MAC accuracy.
 
+pub mod domain;
 pub mod eval;
 pub mod mac;
 pub mod plan;
 pub mod traverse;
 pub mod tree;
 
+pub use domain::{domain_sphere, let_terms_into, Decomposition};
 pub use mac::{GroupSphere, Mac};
 pub use plan::{GroupWork, PlanConfig, PlanPool, PlanStats, ResolveScratch};
 pub use traverse::{Group, ListTerm, ModifiedLists, Traversal, TraverseScratch};

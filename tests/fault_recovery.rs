@@ -6,8 +6,11 @@
 //! crashing or corrupting physics.
 
 use grape5_nbody::core::checkpoint::{latest, Checkpointer};
-use grape5_nbody::core::{ForceBackend, Simulation, TreeGrape, TreeGrapeConfig};
-use grape5_nbody::grape5::{BoardDropout, FaultConfig, RetryPolicy, StuckPipe};
+use grape5_nbody::core::{
+    ClusterTreeGrape, ClusterTreeGrapeConfig, DirectHost, ForceBackend, PlanConfig, Simulation,
+    TreeGrape, TreeGrapeConfig,
+};
+use grape5_nbody::grape5::{BoardDropout, FaultConfig, Grape5Config, RetryPolicy, StuckPipe};
 use grape5_nbody::ic::{plummer_sphere, Snapshot};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -179,4 +182,37 @@ fn board_dropout_completes_within_energy_tolerance() {
         (drift_fault - drift_clean).abs() < 1e-6,
         "dropout run drifted: clean {drift_clean:.3e}, faulty {drift_fault:.3e}"
     );
+}
+
+/// A whole shard dying inside a cluster evaluation — its only board
+/// drops out, exhausting the device — is detected as shard-fatal, the
+/// snapshot is re-decomposed over the survivors, and the *same*
+/// `try_compute` call still returns accurate forces. The paper-lineage
+/// failure mode: one PC+GRAPE node of the cluster goes dark mid-run.
+#[test]
+fn shard_death_recovers_by_redecomposition() {
+    let snap = plummer(800, 31);
+    let mut base = config(64);
+    base.grape = Grape5Config::single_board();
+    base.plan = PlanConfig::serial();
+    let mut cl = ClusterTreeGrape::new(ClusterTreeGrapeConfig { base, shards: 3 });
+
+    // Shard 1's lone board dies a few calls in: retries cannot help a
+    // device with no boards left, so the shard itself is lost.
+    cl.set_fault_injector(1, FaultConfig::dropout(99, BoardDropout { after_call: 4, board: 0 }));
+    let fs = cl.compute(&snap.pos, &snap.mass);
+
+    assert_eq!(cl.alive_shards(), 2, "dead shard was never culled");
+    assert_eq!(cl.decomposition().unwrap().shards(), 2);
+    let exact = DirectHost { eps: 0.01 }.compute(&snap.pos, &snap.mass);
+    let mut sum = 0.0;
+    for (a, b) in fs.acc.iter().zip(&exact.acc) {
+        sum += (*a - *b).norm2() / b.norm2().max(1e-12);
+    }
+    let err = (sum / fs.acc.len() as f64).sqrt();
+    assert!(err < 0.01, "post-recovery rms force error {err:.3e}");
+
+    // The survivors keep serving evaluations without re-decomposing.
+    cl.compute(&snap.pos, &snap.mass);
+    assert_eq!(cl.alive_shards(), 2);
 }
