@@ -64,6 +64,11 @@ struct ClusterCell {
     build_s: f64,
     traverse_cpu_s: f64,
     host_wall_s: f64,
+    /// Cluster-wide recovery summary (all slots merged) and the
+    /// per-shard breakdown of any slot that saw recovery activity — a
+    /// clean benchmark reports all-zeros, which is itself the check.
+    recovery: grape5::RecoveryStats,
+    shard_recovery: Vec<(usize, grape5::RecoveryStats)>,
 }
 
 impl ClusterCell {
@@ -101,6 +106,8 @@ fn measure(n: usize, k: usize, steps: u64) -> ClusterCell {
         build_s: 0.0,
         traverse_cpu_s: 0.0,
         host_wall_s: 0.0,
+        recovery: grape5::RecoveryStats::default(),
+        shard_recovery: Vec::new(),
     };
     let mut prior: Vec<grape5::ClockAccounting> =
         (0..k).map(|s| backend.shard_accounting(s)).collect();
@@ -135,6 +142,8 @@ fn measure(n: usize, k: usize, steps: u64) -> ClusterCell {
         cell.traverse_cpu_s += fs.timers.traverse_s;
     }
     assert_eq!(backend.alive_shards(), k, "no shard may die in a clean benchmark");
+    cell.recovery = backend.cluster_recovery_stats();
+    cell.shard_recovery = backend.shard_recovery_stats();
     cell
 }
 
@@ -161,7 +170,7 @@ fn json_line(c: &ClusterCell, speedup: f64) -> String {
          \"interactions_per_s\": {}, \"speedup_vs_k1\": {}, \"balance\": {}, \
          \"decompose_s_per_step\": {}, \"exchange_s_per_step\": {}, \
          \"build_s_per_step\": {}, \"traverse_cpu_s_per_step\": {}, \
-         \"host_wall_s_per_step\": {}}}",
+         \"host_wall_s_per_step\": {}",
         c.n,
         c.k,
         c.steps,
@@ -177,6 +186,19 @@ fn json_line(c: &ClusterCell, speedup: f64) -> String {
         c.build_s / c.steps as f64,
         c.traverse_cpu_s / c.steps as f64,
         c.host_wall_s / c.steps as f64,
+    )
+    .unwrap();
+    let r = &c.recovery;
+    write!(
+        s,
+        ", \"recovery\": {{\"retries\": {}, \"j_reloads\": {}, \"validation_failures\": {}, \
+         \"device_errors\": {}, \"quarantined_pipes\": {}, \"quarantined_boards\": {}}}}}",
+        r.retries,
+        r.j_reloads,
+        r.validation_failures,
+        r.device_errors,
+        r.quarantined_pipes,
+        r.quarantined_boards,
     )
     .unwrap();
     s
@@ -284,6 +306,27 @@ fn main() {
                 if s4 >= 3.0 { "PASS" } else { "FAIL" }
             );
             assert!(s4 >= 3.0, "K=4 scaling gate failed: {s4:.2}x < 3x");
+        }
+    }
+
+    println!();
+    println!("recovery summary (retries / j-reloads / quarantined pipes / boards):");
+    for c in &results {
+        let r = &c.recovery;
+        println!(
+            "  K = {}  cluster: {} / {} / {} / {}{}",
+            c.k,
+            r.retries,
+            r.j_reloads,
+            r.quarantined_pipes,
+            r.quarantined_boards,
+            if c.shard_recovery.is_empty() { "  (all shards clean)" } else { "" },
+        );
+        for (slot, sr) in &c.shard_recovery {
+            println!(
+                "         shard {slot}: {} / {} / {} / {}",
+                sr.retries, sr.j_reloads, sr.quarantined_pipes, sr.quarantined_boards
+            );
         }
     }
 

@@ -50,6 +50,31 @@ pub struct Checkpoint {
     /// Per-shard fault-injector state of a cluster run, as
     /// `(shard slot, state words)` for every armed alive shard.
     pub shard_fault_states: Vec<(usize, Vec<u64>)>,
+    /// Shard lifecycle supervisor state (`None` for manifests written
+    /// before the lifecycle layer, or for single-device runs). Stored
+    /// under additive keys a pre-lifecycle reader skips as unknown.
+    pub lifecycle: Option<ClusterLifecycle>,
+}
+
+/// The shard lifecycle supervisor's state at checkpoint time — what a
+/// resumed run needs to re-create the interrupted run's decomposition
+/// and fault history bit-exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterLifecycle {
+    /// Evaluations completed (the supervisor's probe/deadline clock).
+    pub evals: u64,
+    /// `(slot, ShardHealth code)` for every shard slot.
+    pub healths: Vec<(usize, u8)>,
+    /// `(slot, f64 bit pattern)` measured interactions/s per shard —
+    /// the capacity estimate the *next* re-decomposition will weight by.
+    pub rates: Vec<(usize, u64)>,
+    /// Cut weights of the decomposition in force at checkpoint time
+    /// (one per in-service shard, domain order) — the resume replays
+    /// these exactly so the recomputed partition matches.
+    pub cut_weights: Vec<u64>,
+    /// Recovery ledger: every fault / kill / probe / readmit /
+    /// re-decompose event so far, in order, as preformatted lines.
+    pub ledger: Vec<String>,
 }
 
 impl Checkpoint {
@@ -71,6 +96,7 @@ impl Checkpoint {
 pub struct Checkpointer {
     dir: PathBuf,
     every: u64,
+    keep: Option<usize>,
 }
 
 impl Checkpointer {
@@ -79,12 +105,41 @@ impl Checkpointer {
     pub fn new(dir: &Path, every: u64) -> io::Result<Checkpointer> {
         assert!(every >= 1, "checkpoint interval must be at least 1");
         std::fs::create_dir_all(dir)?;
-        Ok(Checkpointer { dir: dir.to_path_buf(), every })
+        Ok(Checkpointer { dir: dir.to_path_buf(), every, keep: None })
+    }
+
+    /// Retain only the newest `keep` checkpoint pairs (`keep` ≥ 1),
+    /// pruning older `.ckpt`/`.snap` pairs after each write — a
+    /// multi-day endurance run must not fill the disk with
+    /// per-interval snapshots it will never resume from.
+    pub fn with_retention(mut self, keep: usize) -> Checkpointer {
+        assert!(keep >= 1, "retention must keep at least one checkpoint");
+        self.keep = Some(keep);
+        self
     }
 
     /// The checkpoint directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Delete checkpoint pairs beyond the retention window (oldest
+    /// first). Prune errors are reported but the just-written
+    /// checkpoint is never touched: retention keeps ≥ 1.
+    fn prune(&self) -> io::Result<()> {
+        let Some(keep) = self.keep else { return Ok(()) };
+        let mut manifests: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        manifests.sort();
+        let excess = manifests.len().saturating_sub(keep);
+        for path in &manifests[..excess] {
+            std::fs::remove_file(path)?;
+            std::fs::remove_file(path.with_extension("snap"))?;
+        }
+        Ok(())
     }
 
     /// Write a checkpoint for an arbitrary state (snapshot first,
@@ -111,6 +166,7 @@ impl Checkpointer {
             writeln!(f, "fault_state {}", hex.join(" "))?;
         }
         f.flush()?;
+        self.prune()?;
         Ok(manifest_path)
     }
 
@@ -130,6 +186,7 @@ impl Checkpointer {
         step: u64,
         shards: usize,
         shard_fault_states: &[(usize, Vec<u64>)],
+        lifecycle: Option<&ClusterLifecycle>,
     ) -> io::Result<PathBuf> {
         let snap_path = self.dir.join(format!("step_{step:08}.snap"));
         snapshot_io::save(&snap_path, snap, time)?;
@@ -145,7 +202,27 @@ impl Checkpointer {
             let hex: Vec<String> = words.iter().map(|w| format!("{w:016x}")).collect();
             writeln!(f, "shard_fault_state {slot} {}", hex.join(" "))?;
         }
+        if let Some(lc) = lifecycle {
+            // additive keys: a pre-lifecycle reader skips all of these
+            // through its unknown-key arm. `evals` doubles as the
+            // presence sentinel for the whole lifecycle block.
+            writeln!(f, "evals {}", lc.evals)?;
+            for (slot, code) in &lc.healths {
+                writeln!(f, "shard_health {slot} {code}")?;
+            }
+            for (slot, bits) in &lc.rates {
+                writeln!(f, "shard_rate {slot} {bits:016x}")?;
+            }
+            if !lc.cut_weights.is_empty() {
+                let w: Vec<String> = lc.cut_weights.iter().map(|w| w.to_string()).collect();
+                writeln!(f, "cut_weights {}", w.join(" "))?;
+            }
+            for event in &lc.ledger {
+                writeln!(f, "ledger_event {event}")?;
+            }
+        }
         f.flush()?;
+        self.prune()?;
         Ok(manifest_path)
     }
 
@@ -158,10 +235,18 @@ impl Checkpointer {
         sim: &Simulation<B>,
         shards: usize,
         shard_fault_states: &[(usize, Vec<u64>)],
+        lifecycle: Option<&ClusterLifecycle>,
     ) -> io::Result<Option<PathBuf>> {
         if sim.steps > 0 && sim.steps.is_multiple_of(self.every) {
             return self
-                .write_cluster(&sim.state, sim.time, sim.steps, shards, shard_fault_states)
+                .write_cluster(
+                    &sim.state,
+                    sim.time,
+                    sim.steps,
+                    shards,
+                    shard_fault_states,
+                    lifecycle,
+                )
                 .map(Some);
         }
         Ok(None)
@@ -197,6 +282,11 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
     let mut fault_state = None;
     let mut shards = None;
     let mut shard_fault_states = Vec::new();
+    let mut evals = None;
+    let mut healths = Vec::new();
+    let mut rates = Vec::new();
+    let mut cut_weights = Vec::new();
+    let mut ledger = Vec::new();
     for line in lines {
         let Some((key, value)) = line.split_once(' ') else { continue };
         match key {
@@ -226,9 +316,35 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
                 let words: Result<Vec<u64>, _> = it.map(|w| u64::from_str_radix(w, 16)).collect();
                 shard_fault_states.push((slot, words.map_err(|_| bad("bad shard fault state"))?));
             }
+            "evals" => {
+                evals = Some(value.parse::<u64>().map_err(|_| bad("bad eval count"))?);
+            }
+            "shard_health" => {
+                let (slot, code) = value.split_once(' ').ok_or_else(|| bad("bad shard health"))?;
+                healths.push((
+                    slot.parse::<usize>().map_err(|_| bad("bad shard health slot"))?,
+                    code.parse::<u8>().map_err(|_| bad("bad shard health code"))?,
+                ));
+            }
+            "shard_rate" => {
+                let (slot, bits) = value.split_once(' ').ok_or_else(|| bad("bad shard rate"))?;
+                rates.push((
+                    slot.parse::<usize>().map_err(|_| bad("bad shard rate slot"))?,
+                    u64::from_str_radix(bits, 16).map_err(|_| bad("bad shard rate bits"))?,
+                ));
+            }
+            "cut_weights" => {
+                let w: Result<Vec<u64>, _> =
+                    value.split_whitespace().map(|w| w.parse::<u64>()).collect();
+                cut_weights = w.map_err(|_| bad("bad cut weights"))?;
+            }
+            // the rest of the line verbatim: events contain spaces
+            "ledger_event" => ledger.push(value.to_string()),
             _ => {} // unknown keys: forward compatibility
         }
     }
+    let lifecycle =
+        evals.map(|evals| ClusterLifecycle { evals, healths, rates, cut_weights, ledger });
     Ok(Checkpoint {
         step: step.ok_or_else(|| bad("missing step"))?,
         time: time.ok_or_else(|| bad("missing time"))?,
@@ -236,6 +352,7 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
         fault_state,
         shards,
         shard_fault_states,
+        lifecycle,
     })
 }
 
@@ -259,6 +376,45 @@ pub fn latest(dir: &Path) -> io::Result<Option<Checkpoint>> {
         }
     }
     Ok(None)
+}
+
+/// What a [`scrub`] pass over a checkpoint directory found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Manifests examined (≤ the requested window).
+    pub checked: usize,
+    /// Manifests that parsed and whose snapshot passed its checksum.
+    pub valid: usize,
+    /// Manifest paths that failed parse or checksum, newest first.
+    pub corrupt: Vec<PathBuf>,
+}
+
+/// Verify the newest `last` checkpoints in `dir`: parse each manifest
+/// and re-check its snapshot's CRC, without loading anything into a
+/// simulation. An endurance run scrubs periodically so bit-rot is
+/// found while older, still-valid checkpoints remain to fall back to —
+/// not at restore time when it is too late.
+pub fn scrub(dir: &Path, last: usize) -> io::Result<ScrubReport> {
+    let mut report = ScrubReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    let mut manifests: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    manifests.sort();
+    for path in manifests.iter().rev().take(last) {
+        report.checked += 1;
+        let ok = read_manifest(path).and_then(|c| c.load_snapshot()).is_ok();
+        if ok {
+            report.valid += 1;
+        } else {
+            report.corrupt.push(path.clone());
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -327,13 +483,14 @@ mod tests {
         let dir = tmpdir("cluster_roundtrip");
         let ck = Checkpointer::new(&dir, 1).unwrap();
         let states = vec![(0usize, vec![7u64, 8, 9]), (2usize, vec![0xfeed_f00d])];
-        ck.write_cluster(&sample(3.0), 1.5, 12, 3, &states).unwrap();
+        ck.write_cluster(&sample(3.0), 1.5, 12, 3, &states, None).unwrap();
 
         let got = latest(&dir).unwrap().unwrap();
         assert_eq!(got.step, 12);
         assert_eq!(got.shards, Some(3));
         assert_eq!(got.shard_fault_states, states);
         assert_eq!(got.fault_state, None);
+        assert_eq!(got.lifecycle, None);
         let (snap, _) = got.load_snapshot().unwrap();
         assert_eq!(snap.pos, sample(3.0).pos);
         std::fs::remove_dir_all(dir).ok();
@@ -347,7 +504,7 @@ mod tests {
         let dir = tmpdir("mixed_view");
         let ck = Checkpointer::new(&dir, 1).unwrap();
         ck.write(&sample(1.0), 1.0, 1, Some(&[5])).unwrap();
-        ck.write_cluster(&sample(2.0), 2.0, 2, 4, &[]).unwrap();
+        ck.write_cluster(&sample(2.0), 2.0, 2, 4, &[], None).unwrap();
 
         let old = read_manifest(&dir.join("step_00000001.ckpt")).unwrap();
         assert_eq!(old.shards, None);
@@ -367,7 +524,7 @@ mod tests {
         let dir = tmpdir("mixed_fallback");
         let ck = Checkpointer::new(&dir, 1).unwrap();
         ck.write(&sample(1.0), 1.0, 1, None).unwrap();
-        ck.write_cluster(&sample(2.0), 2.0, 2, 2, &[(0, vec![1, 2])]).unwrap();
+        ck.write_cluster(&sample(2.0), 2.0, 2, 2, &[(0, vec![1, 2])], None).unwrap();
         ck.write(&sample(3.0), 3.0, 3, Some(&[9])).unwrap();
         let snap3 = dir.join("step_00000003.snap");
         let mut bytes = std::fs::read(&snap3).unwrap();
@@ -389,7 +546,7 @@ mod tests {
         let dir = tmpdir("mixed_fallback_rev");
         let ck = Checkpointer::new(&dir, 1).unwrap();
         ck.write(&sample(1.0), 1.0, 1, None).unwrap();
-        ck.write_cluster(&sample(2.0), 2.0, 2, 3, &[]).unwrap();
+        ck.write_cluster(&sample(2.0), 2.0, 2, 3, &[], None).unwrap();
         let snap2 = dir.join("step_00000002.snap");
         let mut bytes = std::fs::read(&snap2).unwrap();
         bytes.truncate(bytes.len() / 2); // truncation, not just bit-rot
@@ -398,6 +555,137 @@ mod tests {
         let got = latest(&dir).unwrap().unwrap();
         assert_eq!(got.step, 1);
         assert_eq!(got.shards, None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_final_manifest_falls_back_to_previous() {
+        // a kill mid-manifest-write leaves a truncated .ckpt next to a
+        // complete snapshot; latest() must walk past it to the previous
+        // checkpoint instead of erroring or resuming garbage
+        let dir = tmpdir("torn");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        ck.write(&sample(1.0), 1.0, 1, None).unwrap();
+        ck.write(&sample(2.0), 2.0, 2, Some(&[1, 2, 3])).unwrap();
+        let m2 = dir.join("step_00000002.ckpt");
+        let bytes = std::fs::read(&m2).unwrap();
+        // tear mid-line: the magic and step lines survive ("G5CKPT1\n"
+        // + "step 2\n" = 15 bytes), the time line is cut short
+        std::fs::write(&m2, &bytes[..16]).unwrap();
+
+        assert!(read_manifest(&m2).is_err(), "torn manifest must not parse");
+        let got = latest(&dir).unwrap().unwrap();
+        assert_eq!(got.step, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn lifecycle_roundtrips_through_manifest() {
+        let dir = tmpdir("lifecycle");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        let lc = ClusterLifecycle {
+            evals: 17,
+            healths: vec![(0, 0), (1, 2), (2, 1)],
+            rates: vec![(0, 1.5e9_f64.to_bits()), (2, 7.25e8_f64.to_bits())],
+            cut_weights: vec![16, 3],
+            ledger: vec![
+                "eval 3: shard 1 killed (all boards quarantined)".into(),
+                "eval 9: re-decomposed over 2 shards, weights [16, 3]".into(),
+            ],
+        };
+        ck.write_cluster(&sample(4.0), 2.5, 9, 2, &[(0, vec![1])], Some(&lc)).unwrap();
+
+        let got = latest(&dir).unwrap().unwrap();
+        assert_eq!(got.shards, Some(2));
+        assert_eq!(got.lifecycle, Some(lc), "spaces in ledger events must survive");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mixed_manifest_versions_coexist_and_old_keys_still_parse() {
+        // satellite: once the recovery-ledger keys exist, a directory
+        // can mix pre-lifecycle (PR 6) cluster manifests with new ones.
+        // The shared parser must read both — and, symmetrically, a
+        // manifest carrying keys from a *future* version must still
+        // parse through the unknown-key arm (which is exactly how a
+        // PR 6 reader survives our ledger keys).
+        let dir = tmpdir("mixed_versions");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        ck.write_cluster(&sample(1.0), 1.0, 1, 3, &[], None).unwrap(); // old format
+        let lc = ClusterLifecycle { evals: 2, ..Default::default() };
+        ck.write_cluster(&sample(2.0), 2.0, 2, 3, &[], Some(&lc)).unwrap();
+
+        let old = read_manifest(&dir.join("step_00000001.ckpt")).unwrap();
+        assert_eq!(old.lifecycle, None);
+        let new = read_manifest(&dir.join("step_00000002.ckpt")).unwrap();
+        assert_eq!(new.lifecycle, Some(lc));
+
+        // future keys are skipped, known keys around them still land
+        let future = dir.join("step_00000003.ckpt");
+        let mut text = std::fs::read_to_string(dir.join("step_00000002.ckpt")).unwrap();
+        text = text.replace("step 2", "step 3");
+        text.push_str("hologram_parity 3 0xabc\nledger_event eval 5: future note\n");
+        std::fs::write(&future, text).unwrap();
+        let got = read_manifest(&future).unwrap();
+        assert_eq!(got.step, 3);
+        let got_lc = got.lifecycle.unwrap();
+        assert_eq!(got_lc.evals, 2);
+        assert_eq!(got_lc.ledger, vec!["eval 5: future note".to_string()]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn retention_prunes_oldest_pairs() {
+        let dir = tmpdir("retention");
+        let ck = Checkpointer::new(&dir, 1).unwrap().with_retention(2);
+        for step in 1..=5u64 {
+            ck.write(&sample(step as f64), step as f64, step, None).unwrap();
+        }
+        let mut files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        files.sort();
+        assert_eq!(
+            files,
+            vec![
+                "step_00000004.ckpt",
+                "step_00000004.snap",
+                "step_00000005.ckpt",
+                "step_00000005.snap"
+            ]
+        );
+        assert_eq!(latest(&dir).unwrap().unwrap().step, 5);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scrub_counts_valid_and_flags_corrupt() {
+        let dir = tmpdir("scrub");
+        let ck = Checkpointer::new(&dir, 1).unwrap();
+        for step in 1..=3u64 {
+            ck.write(&sample(step as f64), step as f64, step, None).unwrap();
+        }
+        // bit-rot the middle snapshot
+        let snap2 = dir.join("step_00000002.snap");
+        let mut bytes = std::fs::read(&snap2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap2, &bytes).unwrap();
+
+        let report = scrub(&dir, 10).unwrap();
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.valid, 2);
+        assert_eq!(report.corrupt, vec![dir.join("step_00000002.ckpt")]);
+
+        // a window of 1 only examines the newest (valid) checkpoint
+        let newest = scrub(&dir, 1).unwrap();
+        assert_eq!((newest.checked, newest.valid), (1, 1));
+        assert!(newest.corrupt.is_empty());
+
+        // missing directory: clean empty report
+        let none = scrub(&dir.join("nope"), 4).unwrap();
+        assert_eq!(none, ScrubReport::default());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -43,6 +43,7 @@
 //! shard boundaries can never survive into the new ones.
 
 use crate::backends::{ForceBackend, ForceError, ForceSet, TreeGrapeConfig};
+use crate::checkpoint::ClusterLifecycle;
 use crate::perf::PhaseTimers;
 use g5tree::domain::{let_terms_into, Decomposition};
 use g5tree::mac::Mac;
@@ -52,9 +53,27 @@ use g5tree::tree::Tree;
 use g5util::counters::InteractionTally;
 use g5util::vec3::Vec3;
 use grape5::{
-    ClockAccounting, ClusterSession, DeviceError, DeviceSession, FaultConfig, Grape5, RecoveryStats,
+    ClockAccounting, ClusterSession, DeviceError, DeviceSession, FaultConfig, Grape5, ProbeOutcome,
+    RecoveryStats, ShardHealth,
 };
 use std::time::Instant;
+
+/// The shard lifecycle supervisor's knobs. The default turns both
+/// mechanisms **off**, which keeps the backend's device-call sequence
+/// bit-identical to a supervisor-less run — self-healing is opt-in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifecyclePolicy {
+    /// Re-probe dead shards and quarantined hardware every this many
+    /// evaluations (`0` = never probe). A passing probe re-admits the
+    /// hardware and triggers a capacity-weighted re-decomposition.
+    pub probe_interval: u64,
+    /// Straggler deadline: a shard whose *modeled* device time for one
+    /// evaluation exceeds `factor × median` is declared Degraded and
+    /// its groups re-execute on the fastest survivor within the same
+    /// `try_compute`. `None` = no deadline. Deadlines compare modeled
+    /// clock only, never host wall-clock, so firing is deterministic.
+    pub straggler_factor: Option<f64>,
+}
 
 /// Configuration of the [`ClusterTreeGrape`] backend: the single-device
 /// operating point plus the shard count.
@@ -66,13 +85,39 @@ pub struct ClusterTreeGrapeConfig {
     pub base: TreeGrapeConfig,
     /// Number of domain shards (= devices) to open.
     pub shards: usize,
+    /// Shard lifecycle supervision (probing + straggler deadlines).
+    pub lifecycle: LifecyclePolicy,
 }
 
 impl ClusterTreeGrapeConfig {
     /// The paper's operating point on `shards` paper-configured
-    /// devices.
+    /// devices, supervisor off.
     pub fn paper(eps: f64, shards: usize) -> Self {
-        ClusterTreeGrapeConfig { base: TreeGrapeConfig::paper(eps), shards }
+        ClusterTreeGrapeConfig {
+            base: TreeGrapeConfig::paper(eps),
+            shards,
+            lifecycle: LifecyclePolicy::default(),
+        }
+    }
+}
+
+/// Ordered record of every recovery-relevant event of a cluster run —
+/// kills, quarantines, probes, re-admissions, stragglers,
+/// re-decompositions — for post-mortem and for determinism checks (two
+/// runs of the same seeded schedule must produce identical ledgers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryLedger {
+    events: Vec<String>,
+}
+
+impl RecoveryLedger {
+    fn record(&mut self, eval: u64, msg: impl AsRef<str>) {
+        self.events.push(format!("eval {eval}: {}", msg.as_ref()));
+    }
+
+    /// The events, oldest first, as `"eval N: <what happened>"` lines.
+    pub fn events(&self) -> &[String] {
+        &self.events
     }
 }
 
@@ -139,6 +184,29 @@ pub struct ClusterTreeGrape {
     /// Evaluations served by the current decomposition's trees (1 right
     /// after a (re)build, counting up between rebuilds).
     tree_age: u32,
+    /// Evaluations completed — the supervisor's probe/deadline clock.
+    evals: u64,
+    /// Measured per-slot throughput (interactions per modeled device
+    /// second), `0.0` until a slot has served an evaluation. Feeds the
+    /// capacity weights of the next re-decomposition.
+    measured_rate: Vec<f64>,
+    /// Per-slot modeled-clock snapshot `(interactions, total seconds)`
+    /// at the end of the previous evaluation, for per-eval deltas.
+    prev_clock: Vec<(u64, f64)>,
+    /// Cut weights of the decomposition currently in force (domain
+    /// order) — checkpointed so a resume replays the same cuts.
+    cut_weights: Vec<u64>,
+    /// Per-slot recovery totals (cluster-wide summary = their merge).
+    shard_recovery: Vec<RecoveryStats>,
+    ledger: RecoveryLedger,
+    /// Cut weights a checkpoint restore pinned for the replay
+    /// evaluation, consumed by the first rebuild after the restore.
+    replay_weights: Option<Vec<u64>>,
+    /// True during the resume-recompute evaluation: the supervisor
+    /// stands down (no eval counting, probes, rate updates, straggler
+    /// re-execution, or ledger writes) so the replayed evaluation makes
+    /// exactly the device calls the interrupted one made.
+    replaying: bool,
 }
 
 impl ClusterTreeGrape {
@@ -166,6 +234,14 @@ impl ClusterTreeGrape {
             live: Vec::new(),
             shards_state,
             tree_age: 0,
+            evals: 0,
+            measured_rate: vec![0.0; cfg.shards],
+            prev_clock: vec![(0, 0.0); cfg.shards],
+            cut_weights: Vec::new(),
+            shard_recovery: vec![RecoveryStats::default(); cfg.shards],
+            ledger: RecoveryLedger::default(),
+            replay_weights: None,
+            replaying: false,
         }
     }
 
@@ -196,14 +272,66 @@ impl ClusterTreeGrape {
     /// the decomposition so the next evaluation re-decomposes over the
     /// survivors.
     pub fn kill_shard(&mut self, k: usize) {
-        self.cluster.kill(k);
+        let prior = self.cluster.kill(k);
+        if prior.is_some_and(|h| h.in_service()) && !self.replaying {
+            self.ledger.record(self.evals, format!("shard {k} killed by operator"));
+        }
         self.decomp = None;
         self.live.clear();
+    }
+
+    /// Lifecycle state of shard `k` (`None` out of range).
+    pub fn shard_health(&self, k: usize) -> Option<ShardHealth> {
+        self.cluster.health(k)
+    }
+
+    /// Lifecycle state of every slot.
+    pub fn shard_healths(&self) -> Vec<ShardHealth> {
+        self.cluster.healths()
+    }
+
+    /// The recovery ledger so far.
+    pub fn ledger(&self) -> &RecoveryLedger {
+        &self.ledger
+    }
+
+    /// Evaluations completed (the supervisor's clock).
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Per-slot recovery totals, `(slot, stats)` for slots with any
+    /// recovery activity.
+    pub fn shard_recovery_stats(&self) -> Vec<(usize, RecoveryStats)> {
+        self.shard_recovery
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r != RecoveryStats::default())
+            .map(|(k, r)| (k, *r))
+            .collect()
+    }
+
+    /// Cluster-wide recovery summary: every slot's stats merged.
+    pub fn cluster_recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Repair shard `k`'s persistent faults (stuck pipe, board
+    /// dropout) — the chaos harness's "technician swaps the card"
+    /// event. The hardware stays quarantined until a probe re-tests it.
+    pub fn clear_persistent_faults(&mut self, k: usize) {
+        self.cluster.device_mut(k).clear_persistent_faults();
     }
 
     /// Arm shard `k`'s fault injector.
     pub fn set_fault_injector(&mut self, k: usize, fault: FaultConfig) {
         self.cluster.set_fault_injector(k, fault);
+    }
+
+    /// Arm every shard's injector from one base configuration with
+    /// per-shard derived seeds ([`FaultConfig::for_shard`]).
+    pub fn set_fault_injectors(&mut self, base: FaultConfig) {
+        self.cluster.set_fault_injectors(base);
     }
 
     /// Serialized fault-injector state per alive shard — the payload a
@@ -278,8 +406,23 @@ impl ClusterTreeGrape {
         }
 
         let t0 = Instant::now();
-        let decomp = Decomposition::morton(pos, alive.len());
+        // A checkpoint restore pins the interrupted run's cut weights
+        // for the replay evaluation; otherwise weigh by capacity.
+        let weights = match self.replay_weights.take() {
+            Some(w) if w.len() == alive.len() => w,
+            _ => self.capacity_weights(&alive),
+        };
+        let decomp = Decomposition::morton_weighted(pos, &weights);
         let decompose_s = t0.elapsed().as_secs_f64();
+        // Routine same-membership, same-weights rebuilds (tree aging)
+        // are not recovery events; membership or weight changes are.
+        if !self.replaying && (self.live != alive || self.cut_weights != weights) {
+            self.ledger.record(
+                self.evals,
+                format!("decomposed over {} shards {alive:?}, weights {weights:?}", alive.len()),
+            );
+        }
+        self.cut_weights = weights;
         let mut build_s = 0.0;
         for (d, &k) in alive.iter().enumerate() {
             let st = &mut self.shards_state[k];
@@ -298,6 +441,104 @@ impl ClusterTreeGrape {
         // the *old* shard boundaries must never price the new ones.
         self.tree_age = 1;
         (decompose_s, build_s + refresh_s, 0.0)
+    }
+
+    /// Cut weight of each serving slot: alive boards × a 1–8 throughput
+    /// quantile from measured interactions/s. A healthy, unmeasured
+    /// cluster (full boards, no rates yet) produces *equal* weights, so
+    /// its cuts are bit-identical to the unweighted decomposition.
+    fn capacity_weights(&self, alive: &[usize]) -> Vec<u64> {
+        let max_rate = alive.iter().map(|&k| self.measured_rate[k]).fold(0.0_f64, f64::max);
+        alive
+            .iter()
+            .map(|&k| {
+                let boards = (self.cluster.device(k).active_boards() as u64).max(1);
+                let rate = self.measured_rate[k];
+                // Wide power-of-two bands: healthy measurement spread
+                // (small shards differ by 10–30% in per-call overhead)
+                // maps into ONE bucket, so a healthy cluster keeps
+                // equal weights and its cuts stay bit-identical to the
+                // unweighted split; only real slowdowns (≳ 2x) move
+                // the cuts.
+                let quantile = if max_rate > 0.0 && rate > 0.0 {
+                    let r = rate / max_rate;
+                    if r >= 0.6 {
+                        8
+                    } else if r >= 0.3 {
+                        4
+                    } else if r >= 0.15 {
+                        2
+                    } else {
+                        1
+                    }
+                } else {
+                    8
+                };
+                boards * quantile
+            })
+            .collect()
+    }
+
+    /// The supervisor's checkpointable state: shard healths, measured
+    /// rates, the weights of the decomposition in force, the eval
+    /// clock, and the recovery ledger.
+    pub fn lifecycle_state(&self) -> ClusterLifecycle {
+        ClusterLifecycle {
+            evals: self.evals,
+            // Probation is transient within a probe call; persist the
+            // three durable states (Readmitted checkpoints as Degraded:
+            // both are "serving, watched").
+            healths: self
+                .cluster
+                .healths()
+                .into_iter()
+                .enumerate()
+                .map(|(k, h)| {
+                    let durable = match h {
+                        ShardHealth::Probation | ShardHealth::Readmitted => ShardHealth::Degraded,
+                        other => other,
+                    };
+                    (k, durable.code())
+                })
+                .collect(),
+            rates: self
+                .measured_rate
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| **r > 0.0)
+                .map(|(k, r)| (k, r.to_bits()))
+                .collect(),
+            cut_weights: self.cut_weights.clone(),
+            ledger: self.ledger.events.clone(),
+        }
+    }
+
+    /// Restore the supervisor from a checkpoint and enter replay mode:
+    /// the next evaluation (the resume's force recompute) re-creates
+    /// the interrupted run's decomposition from the stored cut weights
+    /// and makes no supervisor decisions of its own, so the resumed
+    /// trajectory and ledger are bit-identical to the uninterrupted
+    /// run's.
+    pub fn restore_lifecycle(&mut self, lc: &ClusterLifecycle) {
+        for &(k, code) in &lc.healths {
+            if let Some(h) = ShardHealth::from_code(code) {
+                self.cluster.set_health(k, h);
+            }
+        }
+        for r in self.measured_rate.iter_mut() {
+            *r = 0.0;
+        }
+        for &(k, bits) in &lc.rates {
+            if k < self.measured_rate.len() {
+                self.measured_rate[k] = f64::from_bits(bits);
+            }
+        }
+        self.evals = lc.evals;
+        self.ledger = RecoveryLedger { events: lc.ledger.clone() };
+        self.replay_weights = (!lc.cut_weights.is_empty()).then(|| lc.cut_weights.clone());
+        self.replaying = true;
+        self.decomp = None;
+        self.live.clear();
     }
 }
 
@@ -429,6 +670,43 @@ impl ForceBackend for ClusterTreeGrape {
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
         let t_all = Instant::now();
         let tr = Traversal::new(self.cfg.base.theta);
+        // Supervisor tick. A replay evaluation (checkpoint resume)
+        // re-creates an evaluation the interrupted run already made
+        // its decisions for, so the supervisor stands down entirely.
+        // Shards that must stay watched through this evaluation's
+        // end-of-eval promotion: freshly probed-in hardware plus any
+        // shard flagged below (quarantine activity, straggler).
+        let mut flagged: Vec<usize> = Vec::new();
+        if !self.replaying {
+            self.evals += 1;
+            let interval = self.cfg.lifecycle.probe_interval;
+            if interval > 0 && self.evals.is_multiple_of(interval) {
+                for oc in self.cluster.probe_all() {
+                    match oc {
+                        ProbeOutcome::Readmitted { slot } => {
+                            self.ledger
+                                .record(self.evals, format!("shard {slot} re-admitted by probe"));
+                            flagged.push(slot);
+                            self.decomp = None;
+                            self.live.clear();
+                        }
+                        ProbeOutcome::StillDead { slot } => {
+                            self.ledger
+                                .record(self.evals, format!("shard {slot} probed, still dead"));
+                        }
+                        ProbeOutcome::HardwareRestored { slot, boards, pipes } => {
+                            self.ledger.record(
+                                self.evals,
+                                format!("shard {slot} regained {boards} board(s), {pipes} pipe(s)"),
+                            );
+                            flagged.push(slot);
+                            self.decomp = None;
+                            self.live.clear();
+                        }
+                    }
+                }
+            }
+        }
         loop {
             if self.cluster.alive() == 0 {
                 return Err(DeviceError::NoBoardsLeft.into());
@@ -443,7 +721,7 @@ impl ForceBackend for ClusterTreeGrape {
             let states = &self.shards_state;
             let live = &self.live;
             let cfg = &self.cfg.base;
-            let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let mut outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
                 let handles: Vec<_> = devices
                     .into_iter()
                     .map(|(slot, g5)| {
@@ -462,10 +740,45 @@ impl ForceBackend for ClusterTreeGrape {
                     .collect()
             });
 
+            // Per-evaluation *modeled* clock deltas — taken before any
+            // straggler re-execution, so re-executed work never
+            // pollutes a shard's own throughput measurement. Modeled
+            // time, never host wall-clock: deadlines and capacity
+            // weights must be deterministic.
+            let mut step_secs: Vec<(usize, f64)> = Vec::with_capacity(outcomes.len());
+            for o in &outcomes {
+                let acct = self.cluster.shard_accounting(o.slot);
+                let secs = acct.report(&self.cfg.base.grape).total_s();
+                let inter = acct.interactions;
+                let (p_inter, p_secs) = self.prev_clock[o.slot];
+                // accounting may be reset externally between evals
+                let d_secs = if secs >= p_secs { secs - p_secs } else { secs };
+                let d_inter = if inter >= p_inter { inter - p_inter } else { inter };
+                self.prev_clock[o.slot] = (inter, secs);
+                step_secs.push((o.slot, d_secs));
+                if !self.replaying && d_secs > 0.0 && d_inter > 0 {
+                    self.measured_rate[o.slot] = d_inter as f64 / d_secs;
+                }
+            }
+
             let mut fatal: Vec<usize> = Vec::new();
             let mut first_err: Option<ForceError> = None;
             for o in &outcomes {
                 self.recovery = self.recovery.merged(o.recovery);
+                self.shard_recovery[o.slot] = self.shard_recovery[o.slot].merged(o.recovery);
+                if o.recovery.quarantined_boards > 0 || o.recovery.quarantined_pipes > 0 {
+                    self.cluster.mark_degraded(o.slot);
+                    flagged.push(o.slot);
+                    if !self.replaying {
+                        self.ledger.record(
+                            self.evals,
+                            format!(
+                                "shard {} quarantined {} board(s), {} pipe(s)",
+                                o.slot, o.recovery.quarantined_boards, o.recovery.quarantined_pipes
+                            ),
+                        );
+                    }
+                }
                 match &o.err {
                     Some(ForceError::Device(de)) if ClusterSession::shard_fatal(de) => {
                         fatal.push(o.slot);
@@ -482,6 +795,12 @@ impl ForceBackend for ClusterTreeGrape {
                 // death is rare enough that simplicity wins.
                 for &k in &fatal {
                     self.cluster.kill(k);
+                    if !self.replaying {
+                        self.ledger.record(
+                            self.evals,
+                            format!("shard {k} killed (shard-fatal device error)"),
+                        );
+                    }
                 }
                 self.decomp = None;
                 self.live.clear();
@@ -492,6 +811,88 @@ impl ForceBackend for ClusterTreeGrape {
             }
             if let Some(e) = first_err {
                 return Err(e);
+            }
+
+            // Straggler deadline: a shard whose modeled time for this
+            // evaluation exceeds factor × median is Degraded and its
+            // interaction groups re-execute on the fastest survivor —
+            // same trees, same LET machinery, same position window.
+            // Entirely off when no factor is set (the default), and
+            // during replay (the interrupted run already decided).
+            if let Some(factor) = self.cfg.lifecycle.straggler_factor {
+                if !self.replaying && outcomes.len() >= 2 {
+                    let mut times: Vec<f64> = step_secs.iter().map(|&(_, t)| t).collect();
+                    times.sort_by(|a, b| a.partial_cmp(b).expect("modeled times are finite"));
+                    let mid = times.len() / 2;
+                    let median = if times.len().is_multiple_of(2) {
+                        0.5 * (times[mid - 1] + times[mid])
+                    } else {
+                        times[mid]
+                    };
+                    let lagging: Vec<usize> =
+                        (0..outcomes.len()).filter(|&i| step_secs[i].1 > factor * median).collect();
+                    if !lagging.is_empty() && lagging.len() < outcomes.len() {
+                        let survivor = (0..outcomes.len())
+                            .filter(|i| !lagging.contains(i))
+                            .min_by(|&a, &b| {
+                                step_secs[a]
+                                    .1
+                                    .partial_cmp(&step_secs[b].1)
+                                    .expect("modeled times are finite")
+                                    .then(step_secs[a].0.cmp(&step_secs[b].0))
+                            })
+                            .map(|i| step_secs[i].0)
+                            .expect("a non-straggler exists");
+                        for &i in &lagging {
+                            let (slot, t) = step_secs[i];
+                            let st = &self.shards_state[slot];
+                            let remote: Vec<&Tree> = self
+                                .live
+                                .iter()
+                                .filter(|&&k| k != slot)
+                                .map(|&k| {
+                                    self.shards_state[k]
+                                        .tree
+                                        .as_ref()
+                                        .expect("live shard has a tree")
+                                })
+                                .collect();
+                            let g5 = self.cluster.device_mut(survivor);
+                            let redo = shard_eval(slot, g5, st, &remote, pos, &self.cfg.base);
+                            if redo.err.is_none() {
+                                self.recovery = self.recovery.merged(redo.recovery);
+                                self.shard_recovery[survivor] =
+                                    self.shard_recovery[survivor].merged(redo.recovery);
+                                let o = &mut outcomes[i];
+                                o.acc = redo.acc;
+                                o.pot = redo.pot;
+                                o.tally = redo.tally;
+                                self.cluster.mark_degraded(slot);
+                                flagged.push(slot);
+                                self.ledger.record(
+                                    self.evals,
+                                    format!(
+                                        "shard {slot} straggled ({t:.3e} s > {factor} x median \
+                                         {median:.3e} s); groups re-executed on shard {survivor}"
+                                    ),
+                                );
+                            } else {
+                                self.ledger.record(
+                                    self.evals,
+                                    format!(
+                                        "shard {slot} straggled but re-execution on shard \
+                                         {survivor} failed; original result kept"
+                                    ),
+                                );
+                            }
+                            // the survivor's own throughput must not be
+                            // charged for the straggler's groups
+                            let acct = self.cluster.shard_accounting(survivor);
+                            self.prev_clock[survivor] =
+                                (acct.interactions, acct.report(&self.cfg.base.grape).total_s());
+                        }
+                    }
+                }
             }
 
             let decomp = self.decomp.as_ref().expect("evaluated with a decomposition");
@@ -528,6 +929,15 @@ impl ForceBackend for ClusterTreeGrape {
             }
             timers.force_wall_s = t_all.elapsed().as_secs_f64();
             out.timers = timers;
+            // A clean evaluation promotes watched shards: Degraded and
+            // freshly Readmitted shards that served without incident
+            // return to Alive. Flagged shards stay Degraded.
+            for o in &outcomes {
+                if !flagged.contains(&o.slot) {
+                    self.cluster.mark_alive(o.slot);
+                }
+            }
+            self.replaying = false;
             return Ok(out);
         }
     }
@@ -566,7 +976,7 @@ mod tests {
         base.n_crit = 64;
         base.grape = Grape5Config::single_board();
         base.plan = PlanConfig::serial();
-        ClusterTreeGrapeConfig { base, shards }
+        ClusterTreeGrapeConfig { base, shards, lifecycle: LifecyclePolicy::default() }
     }
 
     #[test]
@@ -639,6 +1049,114 @@ mod tests {
         assert_eq!(cl.tree_age(), 1, "re-decomposition must reset tree age");
         cl.compute(&pos, &mass);
         assert_eq!(cl.tree_age(), 2);
+    }
+
+    #[test]
+    fn supervisor_off_is_bit_identical_to_supervised_noop() {
+        // with every shard healthy and deadlines generous, an armed
+        // supervisor must never change a force bit or write a ledger
+        // event beyond the initial decomposition
+        let (pos, mass) = plummer(600, 21);
+        let mut plain = ClusterTreeGrape::new(small_cfg(3));
+        let mut cfg = small_cfg(3);
+        cfg.lifecycle = LifecyclePolicy { probe_interval: 2, straggler_factor: Some(1e9) };
+        let mut watched = ClusterTreeGrape::new(cfg);
+        for _ in 0..3 {
+            let a = plain.compute(&pos, &mass);
+            let b = watched.compute(&pos, &mass);
+            assert_eq!(a.acc, b.acc);
+            assert_eq!(a.pot, b.pot);
+        }
+        assert_eq!(watched.evals(), 3);
+        assert_eq!(
+            watched.ledger().events().len(),
+            1,
+            "only the initial decomposition may be on the ledger: {:?}",
+            watched.ledger().events()
+        );
+        assert!(watched.ledger().events()[0].contains("decomposed over 3 shards"));
+        assert!(watched.shard_healths().iter().all(|&h| h == grape5::ShardHealth::Alive));
+    }
+
+    #[test]
+    fn probe_readmits_killed_shard_and_redecomposes() {
+        let (pos, mass) = plummer(800, 22);
+        let mut cfg = small_cfg(3);
+        cfg.lifecycle.probe_interval = 3;
+        let mut cl = ClusterTreeGrape::new(cfg);
+        cl.compute(&pos, &mass); // eval 1
+        cl.kill_shard(1);
+        cl.compute(&pos, &mass); // eval 2: survivors re-own the domain
+        assert_eq!(cl.alive_shards(), 2);
+        assert_eq!(cl.decomposition().unwrap().shards(), 2);
+        cl.compute(&pos, &mass); // eval 3: probe fires, shard 1 healthy -> readmitted
+        assert_eq!(cl.alive_shards(), 3, "probe must re-admit the healthy killed shard");
+        assert_eq!(cl.decomposition().unwrap().shards(), 3);
+        assert_eq!(cl.shard_health(1), Some(grape5::ShardHealth::Readmitted));
+        cl.compute(&pos, &mass); // eval 4: clean service promotes it
+        assert_eq!(cl.shard_health(1), Some(grape5::ShardHealth::Alive));
+        let events = cl.ledger().events();
+        assert!(events.iter().any(|e| e.contains("shard 1 killed by operator")), "{events:?}");
+        assert!(events.iter().any(|e| e.contains("shard 1 re-admitted by probe")), "{events:?}");
+        // kill -> 2-shard decomposition -> readmit -> 3-shard again
+        assert!(events.iter().filter(|e| e.contains("decomposed over")).count() >= 3, "{events:?}");
+    }
+
+    fn straggler_cl(pos: &[Vec3], mass: &[f64]) -> (ClusterTreeGrape, ForceSet) {
+        let mut cfg = small_cfg(3);
+        cfg.lifecycle.straggler_factor = Some(1.1);
+        let mut cl = ClusterTreeGrape::new(cfg);
+        // timing-only handicap: 15 of shard 1's 16 pipes out of
+        // service, so its modeled eval time blows the 1.1 x median
+        // deadline while its arithmetic stays exact
+        for p in 0..15 {
+            cl.cluster.device_mut(1).quarantine_pipe(0, p);
+        }
+        let fs = cl.compute(pos, mass);
+        (cl, fs)
+    }
+
+    #[test]
+    fn straggler_deadline_fires_deterministically_and_recovers() {
+        let (pos, mass) = plummer(900, 23);
+        let exact = DirectHost { eps: 0.01 }.compute(&pos, &mass);
+        let (cl, fs) = straggler_cl(&pos, &mass);
+        assert_eq!(cl.shard_health(1), Some(grape5::ShardHealth::Degraded));
+        let events = cl.ledger().events();
+        assert!(
+            events.iter().any(|e| e.contains("shard 1 straggled") && e.contains("re-executed")),
+            "{events:?}"
+        );
+        // the survivor-recomputed forces are still treecode-accurate
+        let err = rms_relative_error(&to_pf(&exact), &to_pf(&fs));
+        assert!(err < 1e-2, "post-straggler rms error {err}");
+        // a clean follow-up eval (handicap is timing-only, so shard 1
+        // keeps straggling -> stays Degraded; the deadline decision is
+        // pure modeled clock, so the rerun ledger is identical)
+        let (cl2, fs2) = straggler_cl(&pos, &mass);
+        assert_eq!(cl.ledger(), cl2.ledger(), "deadline must be deterministic");
+        assert_eq!(fs.acc, fs2.acc);
+    }
+
+    #[test]
+    fn board_loss_shifts_cut_weights() {
+        let (pos, mass) = plummer(800, 24);
+        let mut cfg = small_cfg(3);
+        cfg.base.grape = Grape5Config::paper(); // 2 boards per shard
+        let mut cl = ClusterTreeGrape::new(cfg);
+        cl.compute(&pos, &mass);
+        let n0 = cl.decomposition().unwrap().owned(1).len();
+        // shard 1 loses one of its two boards; refresh interval 1 means
+        // the next eval re-decomposes with fresh capacity weights
+        cl.cluster.device_mut(1).quarantine_board(0);
+        cl.compute(&pos, &mass);
+        let n1 = cl.decomposition().unwrap().owned(1).len();
+        assert!(n1 < n0, "half the boards must shrink shard 1's domain ({n0} -> {n1})");
+        let events = cl.ledger().events();
+        assert!(
+            events.iter().filter(|e| e.contains("decomposed over 3 shards")).count() >= 2,
+            "weight change must re-decompose: {events:?}"
+        );
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub use backends::{
     DirectGrape, DirectHost, ForceBackend, ForceError, ForceSet, RefreshPolicy, TreeGrape,
     TreeGrapeConfig, TreeHost,
 };
-pub use checkpoint::{Checkpoint, Checkpointer};
-pub use cluster::{ClusterTreeGrape, ClusterTreeGrapeConfig};
+pub use checkpoint::{Checkpoint, Checkpointer, ClusterLifecycle, ScrubReport};
+pub use cluster::{ClusterTreeGrape, ClusterTreeGrapeConfig, LifecyclePolicy, RecoveryLedger};
 pub use diagnostics::{Diagnostics, EnergyWatchdog};
 pub use g5tree::plan::PlanConfig;
 pub use integrator::Simulation;

@@ -76,6 +76,14 @@ impl ProcessorBoard {
         self.active_pipes()
     }
 
+    /// Return every disabled pipeline to service — the repair path:
+    /// after a probation self-test comes back clean, the host undoes
+    /// the quarantine penalty. Schedule-only; forces never depended on
+    /// the pipe count.
+    pub fn enable_all_pipes(&mut self) {
+        self.disabled_pipes = 0;
+    }
+
     /// Particles currently in j-memory.
     #[inline]
     pub fn nj(&self) -> usize {

@@ -177,6 +177,15 @@ impl FaultConfig {
         FaultConfig { board_dropout: Some(drop), ..FaultConfig::none(seed) }
     }
 
+    /// The same fault process re-seeded for shard `k` of a cluster:
+    /// rates and persistent faults are kept, the seed is derived with
+    /// [`splitmix`] so distinct shards draw independent streams.
+    /// Checkpoint round-trips are unaffected — the serialized state
+    /// words carry the *evolved* RNG, never the seed.
+    pub fn for_shard(&self, k: usize) -> FaultConfig {
+        FaultConfig { seed: splitmix(self.seed, k as u64), ..*self }
+    }
+
     fn validate(&self) {
         assert!(
             (0.0..=1.0).contains(&self.transient_rate),
@@ -195,6 +204,21 @@ impl FaultConfig {
 // Seeded RNG with checkpointable state
 // ----------------------------------------------------------------------
 
+/// The `k`-th draw of the SplitMix64 sequence seeded at `base`.
+///
+/// This is the standard child-seed derivation: `splitmix(base, k)` for
+/// distinct `k` yields decorrelated seeds from one base seed, so the K
+/// shards of a cluster armed from a single [`FaultConfig`] each see an
+/// independent fault stream instead of K replays of the same one
+/// ([`FaultConfig::for_shard`]). The same function also seeds
+/// [`FaultRng`]'s state words.
+pub fn splitmix(base: u64, k: u64) -> u64 {
+    let mut z = base.wrapping_add(k.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// xoshiro256++ with SplitMix64 seeding — tiny, fast, and with a state
 /// small enough to live in a checkpoint manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,15 +228,7 @@ struct FaultRng {
 
 impl FaultRng {
     fn seed_from_u64(seed: u64) -> FaultRng {
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = st;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        FaultRng { s: [next(), next(), next(), next()] }
+        FaultRng { s: [splitmix(seed, 0), splitmix(seed, 1), splitmix(seed, 2), splitmix(seed, 3)] }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -301,6 +317,16 @@ impl FaultState {
     /// The configuration this process was armed with.
     pub fn config(&self) -> &FaultConfig {
         &self.cfg
+    }
+
+    /// Clear the persistent fault classes (stuck pipe, board dropout) —
+    /// the "card was reseated / replaced" repair event a chaos schedule
+    /// fires before a probation re-test. Transient rates, the RNG
+    /// position and the call/load counters are untouched, so the
+    /// serialized state words keep round-tripping.
+    pub fn clear_persistent(&mut self) {
+        self.cfg.stuck_pipe = None;
+        self.cfg.board_dropout = None;
     }
 
     /// Decide the fate of the next force call on `ni` i-particles.
@@ -469,5 +495,62 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn bad_rate_rejected() {
         FaultState::new(FaultConfig::transient(0, 1.5));
+    }
+
+    #[test]
+    fn shard_seeds_derive_distinct_streams() {
+        let base = FaultConfig::transient(1234, 0.5);
+        let seeds: Vec<u64> = (0..8).map(|k| base.for_shard(k).seed).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            assert_ne!(*a, base.seed, "shard {i} replays the base seed");
+            for (j, b) in seeds.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "shards {i} and {j} share a seed");
+            }
+        }
+        // derived processes draw different fault decisions
+        let mut a = FaultState::new(base.for_shard(0));
+        let mut b = FaultState::new(base.for_shard(1));
+        let da: Vec<CallFault> = (0..64).map(|_| a.on_force_call(16, |_| true)).collect();
+        let db: Vec<CallFault> = (0..64).map(|_| b.on_force_call(16, |_| true)).collect();
+        assert_ne!(da, db, "derived shard streams are identical");
+        // and the derivation is itself deterministic
+        assert_eq!(base.for_shard(3), base.for_shard(3));
+    }
+
+    #[test]
+    fn derived_shard_state_roundtrips_through_words() {
+        let cfg = FaultConfig::transient(9, 0.4).for_shard(5);
+        let mut st = FaultState::new(cfg);
+        for _ in 0..11 {
+            st.on_force_call(8, |_| true);
+        }
+        let words = st.to_words();
+        let mut back = FaultState::restore(cfg, &words).unwrap();
+        for _ in 0..30 {
+            assert_eq!(st.on_force_call(8, |_| true), back.on_force_call(8, |_| true));
+        }
+    }
+
+    #[test]
+    fn clear_persistent_keeps_rates_and_counters() {
+        let mut cfg = FaultConfig::stuck(3, StuckPipe { after_call: 0, board: 0, pipe: 1 });
+        cfg.board_dropout = Some(BoardDropout { after_call: 100, board: 1 });
+        cfg.transient_rate = 0.25;
+        let mut st = FaultState::new(cfg);
+        for _ in 0..5 {
+            st.on_force_call(4, |_| true);
+        }
+        let calls_before = st.calls;
+        st.clear_persistent();
+        assert_eq!(st.config().stuck_pipe, None);
+        assert_eq!(st.config().board_dropout, None);
+        assert_eq!(st.config().transient_rate, 0.25);
+        assert_eq!(st.calls, calls_before);
+        assert_eq!(st.manifesting_stuck_pipe(), None);
+        assert_eq!(st.manifesting_dropout(), None);
+        // the repaired process still serializes and restores
+        let words = st.to_words();
+        let back = FaultState::restore(*st.config(), &words).unwrap();
+        assert_eq!(back, st);
     }
 }

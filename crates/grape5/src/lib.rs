@@ -45,11 +45,11 @@ pub mod session;
 pub mod system;
 
 pub use clock::{ClockAccounting, ClockReport};
-pub use cluster::ClusterSession;
+pub use cluster::{ClusterSession, ProbeOutcome, ShardHealth};
 pub use config::{ArithMode, Grape5Config};
 pub use cost::{CostModel, PricePerformance};
 pub use cutoff::CutoffTable;
-pub use fault::{BoardDropout, DeviceError, FaultConfig, StuckPipe};
+pub use fault::{splitmix, BoardDropout, DeviceError, FaultConfig, StuckPipe};
 pub use pipeline::{Force, G5Pipeline};
 pub use session::{bounding_window, DeviceSession, RecoveryStats, RetryPolicy};
 pub use system::{Grape5, SelfTest};

@@ -204,6 +204,34 @@ impl Grape5 {
         }
     }
 
+    /// Undo every host-side quarantine: all boards and pipes back in
+    /// service. This is the probation entry point — the caller runs
+    /// [`self_test`](Self::self_test) right after and re-quarantines
+    /// whatever it still convicts, so a persistent fault that has not
+    /// been repaired goes straight back out of service. Quarantined
+    /// boards come back with empty j-memory; reload the j-set before
+    /// computing.
+    pub fn return_to_service(&mut self) {
+        for ok in &mut self.board_ok {
+            *ok = true;
+        }
+        for b in &mut self.boards {
+            b.enable_all_pipes();
+        }
+        self.quarantined_pipes.clear();
+        self.nj_total = self.boards.iter().map(|b| b.nj()).sum();
+    }
+
+    /// Repair the persistent fault classes of the armed injector (stuck
+    /// pipe, board dropout) — the "card was replaced" event a chaos
+    /// schedule fires so a later probation self-test can pass. No-op
+    /// without an injector; transient rates and the RNG position stay.
+    pub fn clear_persistent_faults(&mut self) {
+        if let Some(f) = &mut self.fault {
+            f.clear_persistent();
+        }
+    }
+
     /// Boards currently in service.
     pub fn active_boards(&self) -> usize {
         self.board_ok.iter().filter(|&&ok| ok).count()
@@ -794,6 +822,53 @@ mod tests {
                 "quarantine must cost cycles: {} vs {cycles_before}",
                 g5.accounting().pipeline_cycles
             );
+        }
+
+        #[test]
+        fn return_to_service_reverses_quarantine_after_repair() {
+            let (mut g5, pos, mass) = loaded_system();
+            g5.set_fault_injector(FaultConfig::dropout(
+                4,
+                BoardDropout { after_call: 0, board: 1 },
+            ));
+            g5.set_j_particles(&pos, &mass);
+            let err = g5.try_force_on(&pos).unwrap_err();
+            assert_eq!(err, DeviceError::BoardTimeout { board: 1 });
+            assert_eq!(g5.quarantine_board(1), 1);
+
+            // un-repaired: service restore + self-test convicts it again
+            g5.return_to_service();
+            assert_eq!(g5.active_boards(), 2);
+            assert_eq!(g5.self_test().dead_boards, vec![1]);
+            assert_eq!(g5.quarantine_board(1), 1);
+
+            // repaired: the probe passes and the full machine returns
+            g5.clear_persistent_faults();
+            g5.return_to_service();
+            assert!(g5.self_test().is_clean());
+            assert_eq!(g5.active_boards(), 2);
+            assert_eq!(g5.jmem_capacity(), 2 * g5.config().jmem_capacity);
+            g5.set_j_particles(&pos, &mass);
+            let f = g5.try_force_on(&pos).unwrap();
+            assert!(f.iter().all(|w| w.acc.is_finite() && w.pot.is_finite()));
+        }
+
+        #[test]
+        fn return_to_service_restores_pipe_schedule() {
+            let (mut g5, pos, mass) = loaded_system();
+            g5.set_j_particles(&pos, &mass);
+            g5.reset_accounting();
+            let _ = g5.try_force_on(&pos[..32]).unwrap();
+            let healthy_cycles = g5.accounting().pipeline_cycles;
+            g5.quarantine_pipe(0, 3);
+            g5.reset_accounting();
+            let _ = g5.try_force_on(&pos[..32]).unwrap();
+            assert!(g5.accounting().pipeline_cycles > healthy_cycles);
+            g5.return_to_service();
+            assert!(g5.quarantined().1.is_empty());
+            g5.reset_accounting();
+            let _ = g5.try_force_on(&pos[..32]).unwrap();
+            assert_eq!(g5.accounting().pipeline_cycles, healthy_cycles);
         }
 
         #[test]

@@ -73,35 +73,61 @@ impl Decomposition {
     /// On empty input, `shards == 0`, `shards > pos.len()`, or
     /// non-finite positions.
     pub fn morton(pos: &[Vec3], shards: usize) -> Decomposition {
+        assert!(shards >= 1, "shard count must be positive");
+        Decomposition::morton_weighted(pos, &vec![1u64; shards])
+    }
+
+    /// Partition `pos` into `weights.len()` Morton-contiguous domains,
+    /// with slice populations proportional to `weights` — the
+    /// capacity-weighted decomposition a heterogeneous cluster needs
+    /// (shards differ in alive-board count and measured throughput
+    /// after partial failures).
+    ///
+    /// Cut `k` lands at `⌊n · Σweights[..k] / Σweights⌋` on the sorted
+    /// Morton order, then cuts are nudged apart so every shard owns at
+    /// least one particle even under extreme weights. With **equal**
+    /// weights every cut reduces exactly to `⌊k·n/K⌋` — the same slices
+    /// [`morton`](Self::morton) produces — so a healthy, unmeasured
+    /// cluster decomposes bit-identically to the unweighted path.
+    ///
+    /// # Panics
+    /// On empty input, empty or all-zero `weights`,
+    /// `weights.len() > pos.len()`, or non-finite positions.
+    pub fn morton_weighted(pos: &[Vec3], weights: &[u64]) -> Decomposition {
+        let shards = weights.len();
         assert!(!pos.is_empty(), "cannot decompose zero particles");
         assert!(shards >= 1, "shard count must be positive");
         assert!(shards <= pos.len(), "more shards ({shards}) than particles ({})", pos.len());
+        let total: u128 = weights.iter().map(|&w| w as u128).sum();
+        assert!(total > 0, "cut weights must not all be zero");
         let n = pos.len();
+        let order = morton_order(pos);
 
-        // Same bounding cube + quantization the octree build uses, so a
-        // domain boundary is always a Morton-cell boundary of the grid.
-        let (lo, hi) = bounds(pos);
-        let center = (lo + hi) * 0.5;
-        let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
-        let inv_side = 1.0 / (2.0 * half);
-        let codes: Vec<u64> = pos
-            .par_iter()
-            .map(|p| {
-                let u = (p.x - (center.x - half)) * inv_side;
-                let v = (p.y - (center.y - half)) * inv_side;
-                let w = (p.z - (center.z - half)) * inv_side;
-                assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
-                morton::encode_unit(u, v, w)
-            })
-            .collect();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.par_sort_unstable_by_key(|&i| (codes[i as usize], i));
+        // Proportional cut points on the sorted order: boundary k sits
+        // at floor(n · prefix_k / total) (u128: no overflow even at
+        // u64::MAX weights). cuts[0] = 0 and cuts[K] = n are pinned.
+        let mut cuts = Vec::with_capacity(shards + 1);
+        cuts.push(0usize);
+        let mut prefix: u128 = 0;
+        for &w in &weights[..shards - 1] {
+            prefix += w as u128;
+            cuts.push((n as u128 * prefix / total) as usize);
+        }
+        cuts.push(n);
+        // Nudge interior cuts strictly increasing (a zero or tiny
+        // weight must still own ≥ 1 particle: domain trees cannot be
+        // empty). Feasible because shards ≤ n; a no-op for equal
+        // weights, whose floors already differ by ≥ ⌊n/K⌋ ≥ 1.
+        for i in 1..shards {
+            cuts[i] = cuts[i].max(cuts[i - 1] + 1);
+        }
+        for i in (1..shards).rev() {
+            cuts[i] = cuts[i].min(cuts[i + 1] - 1);
+        }
 
         let mut owned = Vec::with_capacity(shards);
         for k in 0..shards {
-            let start = k * n / shards;
-            let end = (k + 1) * n / shards;
-            let mut slice: Vec<u32> = order[start..end].to_vec();
+            let mut slice: Vec<u32> = order[cuts[k]..cuts[k + 1]].to_vec();
             // input order within the shard: K = 1 is then the identity
             // and gathers are cache-friendly forward scans
             slice.sort_unstable();
@@ -147,6 +173,31 @@ impl Decomposition {
             out_mass.push(mass[i as usize]);
         }
     }
+}
+
+/// The Morton-sorted order of a point set: quantize onto the same 2²¹
+/// grid the octree build uses, sort by `(code, index)` — a total order,
+/// so the result is a pure function of the snapshot.
+fn morton_order(pos: &[Vec3]) -> Vec<u32> {
+    // Same bounding cube + quantization the octree build uses, so a
+    // domain boundary is always a Morton-cell boundary of the grid.
+    let (lo, hi) = bounds(pos);
+    let center = (lo + hi) * 0.5;
+    let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
+    let inv_side = 1.0 / (2.0 * half);
+    let codes: Vec<u64> = pos
+        .par_iter()
+        .map(|p| {
+            let u = (p.x - (center.x - half)) * inv_side;
+            let v = (p.y - (center.y - half)) * inv_side;
+            let w = (p.z - (center.z - half)) * inv_side;
+            assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
+            morton::encode_unit(u, v, w)
+        })
+        .collect();
+    let mut order: Vec<u32> = (0..pos.len() as u32).collect();
+    order.par_sort_unstable_by_key(|&i| (codes[i as usize], i));
+    order
 }
 
 /// Padded axis-aligned bounds of a point set (serial fold; the caller
@@ -264,6 +315,75 @@ mod tests {
             assert!(covered.iter().all(|&c| c), "some particle unowned at k={k}");
             assert!(hi - lo <= 1, "imbalance {lo}..{hi} at k={k}");
         }
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_unweighted_cuts() {
+        let (pos, _) = cloud(1001, 2);
+        for k in [1, 2, 3, 4, 8] {
+            for w in [1u64, 7, u64::MAX / 8] {
+                let weighted = Decomposition::morton_weighted(&pos, &vec![w; k]);
+                assert_eq!(
+                    weighted,
+                    Decomposition::morton(&pos, k),
+                    "equal weights {w} at K={k} must match the unweighted split exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cuts_track_capacity() {
+        let (pos, _) = cloud(1000, 8);
+        let d = Decomposition::morton_weighted(&pos, &[3, 1]);
+        assert_eq!(d.owned(0).len(), 750);
+        assert_eq!(d.owned(1).len(), 250);
+        // partition holds under uneven weights
+        let mut covered = vec![false; pos.len()];
+        for s in 0..2 {
+            for &i in d.owned(s) {
+                assert!(!covered[i as usize]);
+                covered[i as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // the weighted boundary is still a Morton-order boundary:
+        // shard 0 is a contiguous prefix of the same sorted order the
+        // 4-way equal split uses (750 = 3 quarters of 1000)
+        let quarters = Decomposition::morton(&pos, 4);
+        let mut first_three: Vec<u32> =
+            (0..3).flat_map(|s| quarters.owned(s).iter().copied()).collect();
+        first_three.sort_unstable();
+        assert_eq!(d.owned(0), &first_three[..]);
+    }
+
+    #[test]
+    fn extreme_weights_keep_every_shard_nonempty() {
+        let (pos, _) = cloud(100, 9);
+        for weights in [vec![0, 1, 0], vec![u64::MAX, 1, 1], vec![1, 0, u64::MAX]] {
+            let d = Decomposition::morton_weighted(&pos, &weights);
+            let total: usize = (0..3).map(|s| d.owned(s).len()).sum();
+            assert_eq!(total, 100);
+            for s in 0..3 {
+                assert!(!d.owned(s).is_empty(), "shard {s} empty under weights {weights:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn all_zero_weights_rejected() {
+        let (pos, _) = cloud(10, 10);
+        let _ = Decomposition::morton_weighted(&pos, &[0, 0]);
+    }
+
+    #[test]
+    fn weighted_decomposition_is_deterministic() {
+        let (pos, _) = cloud(500, 11);
+        assert_eq!(
+            Decomposition::morton_weighted(&pos, &[5, 2, 9]),
+            Decomposition::morton_weighted(&pos, &[5, 2, 9])
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use grape5_nbody::core::checkpoint::{latest, Checkpointer};
 use grape5_nbody::core::snapshot_io;
 use grape5_nbody::core::{
-    ClusterTreeGrape, ClusterTreeGrapeConfig, DirectHost, ForceBackend, PlanConfig, Simulation,
-    TreeGrape, TreeGrapeConfig,
+    ClusterTreeGrape, ClusterTreeGrapeConfig, DirectHost, ForceBackend, LifecyclePolicy,
+    PlanConfig, Simulation, TreeGrape, TreeGrapeConfig,
 };
 use grape5_nbody::grape5::Grape5Config;
 use grape5_nbody::ic::{plummer_sphere, Snapshot};
@@ -29,7 +29,7 @@ fn cluster_cfg(shards: usize, n_crit: usize) -> ClusterTreeGrapeConfig {
     base.n_crit = n_crit;
     base.grape = Grape5Config::single_board();
     base.plan = PlanConfig::serial();
-    ClusterTreeGrapeConfig { base, shards }
+    ClusterTreeGrapeConfig { base, shards, lifecycle: LifecyclePolicy::default() }
 }
 
 fn rms_err(fs: &[Vec3], exact: &[Vec3]) -> f64 {
@@ -62,6 +62,19 @@ proptest! {
         prop_assert_eq!(&a.acc, &b.acc);
         prop_assert_eq!(&a.pot, &b.pot);
         prop_assert_eq!(a.tally, b.tally);
+
+        // With the lifecycle supervisor armed but never firing (every
+        // shard healthy, deadline unreachable) the result must still be
+        // the same bits: probes and deadlines only *observe* a healthy
+        // cluster.
+        let mut supervised_cfg = cluster_cfg(1, n_crit);
+        supervised_cfg.lifecycle =
+            LifecyclePolicy { probe_interval: 1, straggler_factor: Some(1e12) };
+        let mut supervised = ClusterTreeGrape::new(supervised_cfg);
+        let c = supervised.compute(&snap.pos, &snap.mass);
+        prop_assert_eq!(&a.acc, &c.acc);
+        prop_assert_eq!(&a.pot, &c.pot);
+        prop_assert_eq!(a.tally, c.tally);
     }
 
     /// The identity also holds across a short trajectory with a lazy
@@ -126,7 +139,7 @@ fn cluster_checkpoint_resume_is_byte_identical() {
     sim.try_run(dt, cut).unwrap();
     let alive = sim.backend().alive_shards();
     let fault_states = sim.backend().fault_states();
-    ck.write_cluster(&sim.state, sim.time, sim.steps, alive, &fault_states).unwrap();
+    ck.write_cluster(&sim.state, sim.time, sim.steps, alive, &fault_states, None).unwrap();
     sim.try_run(dt, total - cut).unwrap();
 
     // "Kill" here; restart from the newest valid checkpoint with the
@@ -151,6 +164,53 @@ fn cluster_checkpoint_resume_is_byte_identical() {
     snapshot_io::save(&a, &sim.state, sim.time).unwrap();
     snapshot_io::save(&b, &resumed.state, resumed.time).unwrap();
     assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Checkpoint/resume with the lifecycle supervisor active and real
+/// history on the ledger: a shard killed mid-run and re-admitted by a
+/// probe before the cut. The lifecycle payload (health codes, measured
+/// rates, cut weights, recovery ledger) rides in the manifest;
+/// restoring it and replaying resumes the trajectory byte-for-byte and
+/// leaves the resumed ledger identical to the uninterrupted one.
+#[test]
+fn lifecycle_checkpoint_resume_is_byte_identical() {
+    let snap = plummer(500, 24);
+    let mut cfg = cluster_cfg(3, 64);
+    cfg.lifecycle.probe_interval = 3;
+    let dt = 0.01;
+    let (total, cut) = (7u64, 4u64);
+
+    let dir = std::env::temp_dir().join(format!("g5_cluster_life_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ck = Checkpointer::new(&dir, 1).unwrap();
+
+    let mut sim = Simulation::try_new(snap.clone(), ClusterTreeGrape::new(cfg), 0.0).unwrap();
+    sim.try_run(dt, 1).unwrap();
+    sim.backend_mut().kill_shard(1); // healthy hardware, operator kill
+    sim.try_run(dt, cut - 1).unwrap(); // probe at eval 3 re-admits it
+    assert_eq!(sim.backend().alive_shards(), 3, "probe should have re-admitted shard 1");
+    let alive = sim.backend().alive_shards();
+    let fault_states = sim.backend().fault_states();
+    let lifecycle = sim.backend().lifecycle_state();
+    ck.write_cluster(&sim.state, sim.time, sim.steps, alive, &fault_states, Some(&lifecycle))
+        .unwrap();
+    sim.try_run(dt, total - cut).unwrap();
+
+    let restored = latest(&dir).unwrap().expect("checkpoint present");
+    assert_eq!(restored.step, cut);
+    let lc = restored.lifecycle.clone().expect("lifecycle payload present");
+    assert!(lc.ledger.iter().any(|e| e.contains("shard 1 killed by operator")), "{:?}", lc.ledger);
+    let (state, time) = restored.load_snapshot().unwrap();
+    let mut backend = ClusterTreeGrape::new(cfg);
+    backend.restore_lifecycle(&lc);
+    let mut resumed = Simulation::resume(state, backend, time, restored.step).unwrap();
+    resumed.try_run(dt, total - cut).unwrap();
+
+    assert_eq!(resumed.time.to_bits(), sim.time.to_bits());
+    assert_eq!(&resumed.state.pos, &sim.state.pos);
+    assert_eq!(&resumed.state.vel, &sim.state.vel);
+    assert_eq!(resumed.backend().ledger(), sim.backend().ledger());
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -7,8 +7,8 @@
 
 use grape5_nbody::core::checkpoint::{latest, Checkpointer};
 use grape5_nbody::core::{
-    ClusterTreeGrape, ClusterTreeGrapeConfig, DirectHost, ForceBackend, PlanConfig, Simulation,
-    TreeGrape, TreeGrapeConfig,
+    ClusterTreeGrape, ClusterTreeGrapeConfig, DirectHost, ForceBackend, LifecyclePolicy,
+    PlanConfig, Simulation, TreeGrape, TreeGrapeConfig,
 };
 use grape5_nbody::grape5::{BoardDropout, FaultConfig, Grape5Config, RetryPolicy, StuckPipe};
 use grape5_nbody::ic::{plummer_sphere, Snapshot};
@@ -195,7 +195,11 @@ fn shard_death_recovers_by_redecomposition() {
     let mut base = config(64);
     base.grape = Grape5Config::single_board();
     base.plan = PlanConfig::serial();
-    let mut cl = ClusterTreeGrape::new(ClusterTreeGrapeConfig { base, shards: 3 });
+    let mut cl = ClusterTreeGrape::new(ClusterTreeGrapeConfig {
+        base,
+        shards: 3,
+        lifecycle: LifecyclePolicy::default(),
+    });
 
     // Shard 1's lone board dies a few calls in: retries cannot help a
     // device with no boards left, so the shard itself is lost.
