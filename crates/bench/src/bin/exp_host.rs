@@ -34,6 +34,7 @@
 use g5_bench::{fmt_count, plummer, rule, Args};
 use g5tree::traverse::{Traversal, TraverseScratch};
 use g5tree::tree::{Tree, TreeConfig};
+use g5util::morton_sort::{self, MortonFrame};
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -283,6 +284,42 @@ fn json_line(c: &HostCell) -> String {
     s
 }
 
+/// Morton-sort A/B at the headline size: the radix sort the tree
+/// build and domain decomposition now run, against the comparison sort
+/// (`sort_unstable_by_key` on `(code, index)`) it replaced. Same codes,
+/// same process, alternating samples; both must return the identical
+/// permutation (they sort the same total order).
+struct SortAb {
+    n: usize,
+    radix_s: f64,
+    comparison_s: f64,
+}
+
+impl SortAb {
+    fn speedup(&self) -> f64 {
+        self.comparison_s / self.radix_s
+    }
+}
+
+fn measure_sort(n: usize, repeats: usize) -> SortAb {
+    let snap = plummer(n, SEED);
+    let frame = MortonFrame::for_points(&snap.pos);
+    let codes = frame.codes(&snap.pos);
+    // warm both paths (page in the ping-pong buffers)
+    assert_eq!(morton_sort::sort_indices(&codes), morton_sort::sort_indices_comparison(&codes));
+    let (mut radix, mut comparison) = (Vec::new(), Vec::new());
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let a = morton_sort::sort_indices(&codes);
+        radix.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let b = morton_sort::sort_indices_comparison(&codes);
+        comparison.push(t.elapsed().as_secs_f64());
+        assert_eq!(a, b, "radix order diverged from the comparison referee");
+    }
+    SortAb { n, radix_s: median(&radix), comparison_s: median(&comparison) }
+}
+
 /// Pull a numeric field out of one hand-rolled JSON result line.
 fn json_f64(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
@@ -387,6 +424,31 @@ fn main() {
         rule(100);
     }
 
+    // ---- Morton sort A/B: the radix sort inside every build above ----
+    let sort = measure_sort(n_head, steps as usize);
+    // the sort is the only component the radix change touched, so the
+    // comparison-sort build is the measured radix build plus the sort
+    // delta (both sorts timed on the identical code set in this run)
+    let build_radix_s = results[0].build_s;
+    let build_comparison_s = build_radix_s + (sort.comparison_s - sort.radix_s);
+    println!();
+    println!(
+        "Morton sort A/B at N = {} (inside every tree build and decomposition):",
+        fmt_count(sort.n as u64)
+    );
+    println!(
+        "  MSD radix {:.3} ms vs comparison sort {:.3} ms per sort  ({:.2}x)",
+        sort.radix_s * 1e3,
+        sort.comparison_s * 1e3,
+        sort.speedup()
+    );
+    println!(
+        "  full tree build: {:.2} ms radix vs {:.2} ms with the comparison sort ({:.2}x; gate: radix build faster)",
+        build_radix_s * 1e3,
+        build_comparison_s * 1e3,
+        build_comparison_s / build_radix_s
+    );
+
     // headline: the best amortized operating point at the headline size —
     // the pre-PR path rebuilt and re-walked from scratch every step, so
     // each cell's ref leg is the old path at that cell's own n_crit
@@ -416,6 +478,13 @@ fn main() {
     writeln!(text, "  \"seed\": {SEED},").unwrap();
     writeln!(text, "  \"theta\": {THETA},").unwrap();
     writeln!(text, "  \"dt\": {DT},").unwrap();
+    writeln!(text, "  \"sort_n\": {},", sort.n).unwrap();
+    writeln!(text, "  \"sort_radix_s\": {},", sort.radix_s).unwrap();
+    writeln!(text, "  \"sort_comparison_s\": {},", sort.comparison_s).unwrap();
+    writeln!(text, "  \"sort_speedup\": {},", sort.speedup()).unwrap();
+    writeln!(text, "  \"build_radix_s\": {build_radix_s},").unwrap();
+    writeln!(text, "  \"build_comparison_s\": {build_comparison_s},").unwrap();
+    writeln!(text, "  \"build_sort_speedup\": {},", build_comparison_s / build_radix_s).unwrap();
     writeln!(text, "  \"results\": [").unwrap();
     for (i, c) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };

@@ -25,7 +25,7 @@
 
 use g5_bench::{fmt_count, fmt_secs, plummer, rule, Args};
 use g5util::counters::{FlopConvention, InteractionRate};
-use grape5::{bounding_window, ArithMode, Grape5, Grape5Config};
+use grape5::{bounding_window, ArithMode, Grape5, Grape5Config, LanePath};
 use std::fmt::Write as _;
 use std::time::Instant;
 use treegrape::perf::PhaseTimers;
@@ -41,11 +41,21 @@ struct KernelResult {
     load_s: f64,
     batch: InteractionRate,
     reference: InteractionRate,
+    /// Lane path the batch phase ran on (detected, or env-forced).
+    lane: LanePath,
+    /// Exact mode only: the same batch kernel forced onto the scalar
+    /// skeleton — the A/B partner of the lane path, bit-identical to it.
+    scalar: Option<InteractionRate>,
 }
 
 impl KernelResult {
     fn speedup(&self) -> f64 {
         self.batch.per_second() / self.reference.per_second()
+    }
+
+    /// Lane kernel vs the scalar batch skeleton (exact mode only).
+    fn lane_speedup(&self) -> Option<f64> {
+        self.scalar.as_ref().map(|s| self.batch.per_second() / s.per_second())
     }
 }
 
@@ -53,6 +63,14 @@ fn mode_str(mode: ArithMode) -> &'static str {
     match mode {
         ArithMode::Exact => "exact",
         ArithMode::Lns => "lns",
+    }
+}
+
+fn lane_str(path: LanePath) -> &'static str {
+    match path {
+        LanePath::Avx2 => "avx2",
+        LanePath::Portable => "portable",
+        LanePath::Scalar => "scalar",
     }
 }
 
@@ -86,8 +104,17 @@ fn measure(n: usize, mode: ArithMode, quick: bool) -> KernelResult {
     let ni_for = |target: u64| (target.div_ceil(nj).clamp(16, n as u64)) as usize;
 
     // warm the device, the converter tables, and the branch predictors
+    let lane = g5.lane_path();
     let _ = g5.force_on(&snap.pos[..16.min(n)]);
     let _ = g5.force_on_reference(&snap.pos[..16.min(n)]);
+    // exact mode additionally A/Bs the lane kernel against the scalar
+    // batch skeleton it replaced (both bit-identical by the golden suite)
+    let measure_scalar = mode == ArithMode::Exact && lane != LanePath::Scalar;
+    if measure_scalar {
+        g5.set_lane_path(LanePath::Scalar);
+        let _ = g5.force_on(&snap.pos[..16.min(n)]);
+        g5.set_lane_path(lane);
+    }
 
     let run = |g5: &mut Grape5, target: u64, reference: bool, off: &mut usize| {
         let ni = ni_for(target);
@@ -105,29 +132,45 @@ fn measure(n: usize, mode: ArithMode, quick: bool) -> KernelResult {
     };
 
     let (mut bi, mut bs, mut ri, mut rs) = (0u64, 0.0f64, 0u64, 0.0f64);
-    let (mut off_b, mut off_r) = (0usize, 0usize);
+    let (mut si, mut ss) = (0u64, 0.0f64);
+    let (mut off_b, mut off_r, mut off_s) = (0usize, 0usize, 0usize);
     for _ in 0..rounds {
         let (i, s) = run(&mut g5, batch_target / rounds, false, &mut off_b);
         bi += i;
         bs += s;
+        if measure_scalar {
+            g5.set_lane_path(LanePath::Scalar);
+            let (i, s) = run(&mut g5, ref_target / rounds, false, &mut off_s);
+            si += i;
+            ss += s;
+            g5.set_lane_path(lane);
+        }
         let (i, s) = run(&mut g5, ref_target / rounds, true, &mut off_r);
         ri += i;
         rs += s;
     }
     let batch = InteractionRate::new(bi, bs);
     let reference = InteractionRate::new(ri, rs);
-    KernelResult { n, mode, nj, load_s, batch, reference }
+    let scalar = measure_scalar.then(|| InteractionRate::new(si, ss));
+    KernelResult { n, mode, nj, load_s, batch, reference, lane, scalar }
 }
 
 fn result_row(r: &KernelResult) {
+    let (scalar_col, lane_col) = match &r.scalar {
+        Some(s) => {
+            (format!("{:.3e}", s.per_second()), format!("{:.2}x", r.lane_speedup().unwrap()))
+        }
+        None => ("-".to_string(), "-".to_string()),
+    };
     println!(
-        "{:>8} {:>6} {:>12.3e} {:>10.1} {:>12.3e} {:>10.1} {:>9.2}x {:>9.2}",
+        "{:>8} {:>6} {:>12.3e} {:>10.1} {:>12} {:>8} {:>12.3e} {:>9.2}x {:>9.2}",
         r.n,
         mode_str(r.mode),
         r.batch.per_second(),
         r.batch.ns_per_interaction(),
+        scalar_col,
+        lane_col,
         r.reference.per_second(),
-        r.reference.ns_per_interaction(),
         r.speedup(),
         r.batch.gflops(FlopConvention::WarrenSalmon38),
     );
@@ -194,6 +237,28 @@ fn json_line(r: &KernelResult) -> String {
         r.speedup(),
     )
     .unwrap();
+    // lane A/B columns (exact mode; null in LNS rows, which have no
+    // lane kernel yet)
+    s.pop(); // reopen the object
+    match &r.scalar {
+        Some(sc) => write!(
+            s,
+            ", \"lane_path\": \"{}\", \"scalar_per_second\": {}, \
+             \"scalar_ns_per_interaction\": {}, \"lane_speedup\": {}}}",
+            lane_str(r.lane),
+            sc.per_second(),
+            sc.ns_per_interaction(),
+            r.lane_speedup().unwrap(),
+        )
+        .unwrap(),
+        None => write!(
+            s,
+            ", \"lane_path\": \"{}\", \"scalar_per_second\": null, \
+             \"scalar_ns_per_interaction\": null, \"lane_speedup\": null}}",
+            lane_str(r.lane),
+        )
+        .unwrap(),
+    }
     s
 }
 
@@ -250,12 +315,20 @@ fn main() {
     );
     println!("     workload: Plummer sphere, seed {SEED}, eps {EPS}; both paths bit-identical");
     println!();
-    rule(86);
+    rule(96);
     println!(
-        "{:>8} {:>6} {:>12} {:>10} {:>12} {:>10} {:>10} {:>9}",
-        "N", "mode", "batch i/s", "ns/int", "ref i/s", "ns/int", "speedup", "Gflops38"
+        "{:>8} {:>6} {:>12} {:>10} {:>12} {:>8} {:>12} {:>10} {:>9}",
+        "N",
+        "mode",
+        "batch i/s",
+        "ns/int",
+        "scalar i/s",
+        "lane x",
+        "ref i/s",
+        "speedup",
+        "Gflops38"
     );
-    rule(86);
+    rule(96);
     let mut results = Vec::new();
     for &n in sizes {
         for mode in [ArithMode::Exact, ArithMode::Lns] {
@@ -264,8 +337,9 @@ fn main() {
             results.push(r);
         }
     }
-    rule(86);
+    rule(96);
     println!("(Gflops38: batch rate priced at the paper's 38 ops/interaction convention)");
+    println!("(scalar i/s / lane x: exact-mode batch kernel forced onto the scalar skeleton)");
 
     // phase split for the largest LNS cell — the acceptance workload
     let headline = results
@@ -280,6 +354,21 @@ fn main() {
         fmt_count(headline.n as u64),
         headline.speedup()
     );
+
+    // exact-mode lane headline — the PR 8 acceptance gate
+    if let Some(exact) = results
+        .iter()
+        .filter(|r| r.mode == ArithMode::Exact && r.scalar.is_some())
+        .max_by_key(|r| r.n)
+    {
+        println!(
+            "headline: N = {} exact-mode {} lanes are {:.2}x the scalar batch skeleton \
+             (gate: >= 3x at N = 65536..262144)",
+            fmt_count(exact.n as u64),
+            lane_str(exact.lane),
+            exact.lane_speedup().unwrap()
+        );
+    }
 
     if let Some(old) = &baseline {
         print_baseline_delta(&results, old);

@@ -1,0 +1,270 @@
+//! **E14 — benchmark suite driver and cross-PR trajectory ledger.**
+//!
+//! Runs the kernel and host harnesses (`exp_kernel`, `exp_host`) as
+//! sibling binaries, aggregates their PR 8 headline numbers into
+//! `BENCH_pr8.json`, and maintains `BENCH_trajectory.json` — a
+//! cumulative, commit-keyed ledger of each PR's headline metric, so a
+//! regression in any later PR is visible as a broken monotone series
+//! instead of requiring archaeology across per-PR report files.
+//!
+//! ```text
+//! cargo run --release -p g5-bench --bin exp_suite -- \
+//!     [--quick] [--append] [--out BENCH_pr8.json] \
+//!     [--trajectory BENCH_trajectory.json] \
+//!     [--kernel-json K.json] [--host-json H.json]
+//! ```
+//!
+//! Without `--append` the trajectory is (re)seeded: the committed
+//! `BENCH_pr3/4/6/7.json` reports are mined for their headline numbers,
+//! each keyed by the commit that last touched its file, and this run's
+//! PR 8 rows are added at `HEAD`. With `--append` the existing ledger
+//! is kept verbatim and only this run's rows are appended — the mode CI
+//! and future PRs use. `--kernel-json` / `--host-json` reuse existing
+//! reports instead of re-running the harnesses.
+
+use g5_bench::Args;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Pull a numeric field out of one hand-rolled JSON line.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// First value of `key` anywhere in a report.
+fn json_f64_any(text: &str, key: &str) -> Option<f64> {
+    text.lines().find_map(|l| json_f64(l, key))
+}
+
+/// Short hash of the commit that last touched `path` (`HEAD` if None).
+fn commit_for(path: Option<&str>) -> String {
+    let out = match path {
+        Some(p) => Command::new("git").args(["log", "-1", "--format=%h", "--", p]).output(),
+        None => Command::new("git").args(["rev-parse", "--short", "HEAD"]).output(),
+    };
+    match out {
+        Ok(o) if o.status.success() => {
+            let h = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            if h.is_empty() {
+                "unknown".into()
+            } else {
+                h
+            }
+        }
+        _ => "unknown".into(),
+    }
+}
+
+/// Run a sibling harness binary with `--out` into `out`, inheriting
+/// stdout so its tables stream to the user.
+fn run_sibling(name: &str, out: &PathBuf, quick: bool) -> String {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut cmd = Command::new(dir.join(name));
+    cmd.arg("--out").arg(out);
+    if quick {
+        cmd.arg("--quick");
+    }
+    println!(">>> running {name}{}", if quick { " --quick" } else { "" });
+    let status = cmd.status().unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+    assert!(status.success(), "{name} failed with {status}");
+    std::fs::read_to_string(out).expect("harness report readable")
+}
+
+/// One trajectory row: a PR's headline metric at a commit.
+struct Entry {
+    pr: &'static str,
+    commit: String,
+    metric: &'static str,
+    n: u64,
+    value: f64,
+}
+
+impl Entry {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"pr\": \"{}\", \"commit\": \"{}\", \"metric\": \"{}\", \
+             \"n\": {}, \"value\": {}}}",
+            self.pr, self.commit, self.metric, self.n, self.value
+        )
+    }
+}
+
+/// Headline rows mined from the committed per-PR reports (the seed of
+/// the trajectory; absent files are skipped with a note).
+fn seed_entries() -> Vec<Entry> {
+    let mut out = Vec::new();
+    let mut mine = |pr: &'static str,
+                    file: &str,
+                    metric: &'static str,
+                    pick: &dyn Fn(&str) -> Option<(u64, f64)>| {
+        match std::fs::read_to_string(file) {
+            Ok(text) => match pick(&text) {
+                Some((n, value)) => {
+                    out.push(Entry { pr, commit: commit_for(Some(file)), metric, n, value })
+                }
+                None => println!("note: no {metric} found in {file}; skipping seed row"),
+            },
+            Err(_) => println!("note: {file} not present; skipping {pr} seed row"),
+        }
+    };
+    // pr3: largest-N LNS batch-vs-reference kernel speedup
+    mine("pr3", "BENCH_pr3.json", "kernel_lns_speedup", &|t| {
+        t.lines()
+            .filter(|l| l.contains("\"mode\": \"lns\""))
+            .filter_map(|l| Some((json_f64(l, "n")? as u64, json_f64(l, "speedup")?)))
+            .max_by_key(|&(n, _)| n)
+    });
+    // pr4: best host-phase speedup at the headline size
+    mine("pr4", "BENCH_pr4.json", "host_phase_speedup", &|t| {
+        t.lines()
+            .filter_map(|l| Some((json_f64(l, "n")? as u64, json_f64(l, "speedup")?)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    });
+    // pr6: peak cluster aggregate interaction rate
+    mine("pr6", "BENCH_pr6.json", "cluster_interactions_per_s", &|t| {
+        t.lines()
+            .filter_map(|l| Some((json_f64(l, "n")? as u64, json_f64(l, "interactions_per_s")?)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    });
+    // pr7: chaos-endurance energy-drift envelope actually reached
+    mine("pr7", "BENCH_pr7.json", "endurance_max_energy_drift", &|t| {
+        Some((json_f64_any(t, "n")? as u64, json_f64_any(t, "max_energy_drift")?))
+    });
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let append = args.flag("append");
+    let out_path: String = args.get("out", "BENCH_pr8.json".to_string());
+    let traj_path: String = args.get("trajectory", "BENCH_trajectory.json".to_string());
+    let kernel_json: String = args.get("kernel-json", String::new());
+    let host_json: String = args.get("host-json", String::new());
+
+    let tmp = std::env::temp_dir();
+    let kernel_text = if kernel_json.is_empty() {
+        run_sibling("exp_kernel", &tmp.join("exp_suite_kernel.json"), quick)
+    } else {
+        std::fs::read_to_string(&kernel_json).expect("kernel report readable")
+    };
+    let host_text = if host_json.is_empty() {
+        run_sibling("exp_host", &tmp.join("exp_suite_host.json"), quick)
+    } else {
+        std::fs::read_to_string(&host_json).expect("host report readable")
+    };
+
+    // ---- mine this run's PR 8 headline numbers ----
+    let exact_rows: Vec<&str> = kernel_text
+        .lines()
+        .filter(|l| l.contains("\"mode\": \"exact\"") && json_f64(l, "lane_speedup").is_some())
+        .collect();
+    assert!(!exact_rows.is_empty(), "exp_kernel report carries no exact-mode lane rows");
+    let headline_kernel = exact_rows
+        .iter()
+        .max_by_key(|l| json_f64(l, "n").unwrap_or(0.0) as u64)
+        .expect("exact rows present");
+    let (kn, lane_speedup) = (
+        json_f64(headline_kernel, "n").unwrap() as u64,
+        json_f64(headline_kernel, "lane_speedup").unwrap(),
+    );
+    let sort_n = json_f64_any(&host_text, "sort_n").expect("sort_n in exp_host report") as u64;
+    let sort_speedup = json_f64_any(&host_text, "sort_speedup").expect("sort_speedup");
+    let build_radix = json_f64_any(&host_text, "build_radix_s").expect("build_radix_s");
+    let build_cmp = json_f64_any(&host_text, "build_comparison_s").expect("build_comparison_s");
+    let head = commit_for(None);
+
+    // ---- BENCH_pr8.json: the aggregated PR 8 report ----
+    let mut text = String::new();
+    writeln!(text, "{{").unwrap();
+    writeln!(text, "  \"experiment\": \"exp_suite\",").unwrap();
+    writeln!(text, "  \"commit\": \"{head}\",").unwrap();
+    writeln!(text, "  \"quick\": {quick},").unwrap();
+    writeln!(text, "  \"kernel_exact\": [").unwrap();
+    for (i, l) in exact_rows.iter().enumerate() {
+        let comma = if i + 1 < exact_rows.len() { "," } else { "" };
+        writeln!(text, "{}{comma}", l.trim_end().trim_end_matches(',')).unwrap();
+    }
+    writeln!(text, "  ],").unwrap();
+    writeln!(
+        text,
+        "  \"host_sort\": {{\"n\": {sort_n}, \"sort_speedup\": {sort_speedup}, \
+         \"build_radix_s\": {build_radix}, \"build_comparison_s\": {build_cmp}}},"
+    )
+    .unwrap();
+    let lane_gate = exact_rows
+        .iter()
+        .filter(|l| json_f64(l, "n").unwrap_or(0.0) as u64 >= 65_536)
+        .all(|l| json_f64(l, "lane_speedup").unwrap_or(0.0) >= 3.0);
+    writeln!(
+        text,
+        "  \"gates\": {{\"lane_speedup_ge_3x\": {}, \"radix_build_faster\": {}}}",
+        if quick { "\"not-evaluated-in-quick\"".to_string() } else { lane_gate.to_string() },
+        build_cmp > build_radix
+    )
+    .unwrap();
+    writeln!(text, "}}").unwrap();
+    std::fs::write(&out_path, &text).unwrap();
+    println!();
+    println!("wrote PR 8 aggregate to {out_path}");
+
+    // ---- trajectory ledger ----
+    let pr8_rows = [
+        Entry {
+            pr: "pr8",
+            commit: head.clone(),
+            metric: "kernel_exact_lane_speedup",
+            n: kn,
+            value: lane_speedup,
+        },
+        Entry {
+            pr: "pr8",
+            commit: head.clone(),
+            metric: "morton_sort_speedup",
+            n: sort_n,
+            value: sort_speedup,
+        },
+    ];
+    let existing = std::fs::read_to_string(&traj_path).ok();
+    let mut lines: Vec<String> = match (&existing, append) {
+        (Some(text), true) => text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\"pr\""))
+            .map(|l| l.trim_end().trim_end_matches(',').to_string())
+            .collect(),
+        _ => seed_entries().iter().map(|e| e.json()).collect(),
+    };
+    lines.extend(pr8_rows.iter().map(|e| e.json()));
+    let mut t = String::new();
+    writeln!(t, "{{").unwrap();
+    writeln!(t, "  \"schema\": \"bench-trajectory-v1\",").unwrap();
+    writeln!(t, "  \"entries\": [").unwrap();
+    for (i, l) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        writeln!(t, "{l}{comma}").unwrap();
+    }
+    writeln!(t, "  ]").unwrap();
+    writeln!(t, "}}").unwrap();
+    std::fs::write(&traj_path, &t).unwrap();
+    println!(
+        "{} {} with {} entries ({} this run)",
+        if append && existing.is_some() { "appended to" } else { "seeded" },
+        traj_path,
+        lines.len(),
+        pr8_rows.len()
+    );
+    println!();
+    println!(
+        "PR 8 headline: exact lanes {lane_speedup:.2}x at N = {kn}; \
+         Morton radix sort {sort_speedup:.2}x at N = {sort_n} \
+         (build {:.2} ms radix vs {:.2} ms comparison)",
+        build_radix * 1e3,
+        build_cmp * 1e3
+    );
+}

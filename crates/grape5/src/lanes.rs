@@ -1,0 +1,716 @@
+//! Lane-parallel exact-mode force kernel.
+//!
+//! The real pipeline's throughput comes from evaluating many j-particles
+//! per cycle against a held i-set; this module models that data
+//! parallelism on CPU lanes for the `Exact` arithmetic mode. Four
+//! j-particles are processed per iteration over the SoA
+//! [`JSlices`](crate::pipeline::JSlices) streams:
+//!
+//! ```text
+//!   interact_block (Exact, no cutoff)
+//!        │ detect_lane_path()                   is_x86_feature_detected!
+//!        ├── LanePath::Avx2 ──────► block_exact  (core::arch intrinsics,
+//!        │                          4 × f64: vpsubq dx, magic i64→f64,
+//!        │                          vsqrtpd/vdivpd, vector round +
+//!        │                          saturating-add fixed accumulate)
+//!        ├── LanePath::Portable ──► block_exact_portable
+//!        │                          (array-of-lanes, plain scalar ops)
+//!        └── LanePath::Scalar ────► block_with (the pre-lane skeleton)
+//! ```
+//!
+//! **Bit-identity contract.** Every path reproduces the scalar
+//! `pair_exact` + `Fixed::accumulate` sequence bit for bit:
+//!
+//! * IEEE 754 mul/add/div/sqrt are deterministic and correctly rounded,
+//!   in scalar and vector forms alike, and no FMA contraction is ever
+//!   emitted from explicit intrinsics — so vectorizing the identical
+//!   operation sequence preserves every bit.
+//! * The fixed-point `dx` subtract stays in 64-bit integers (`vpsubq`),
+//!   and the i64 → f64 conversion uses the exact `2⁵²+2⁵¹` shifter,
+//!   valid because a coordinate-magnitude guard routes any call with
+//!   raw words ≥ 2⁵⁰ to the portable path.
+//! * `FixedFormat::encode`'s round-half-away-from-zero is emulated as
+//!   truncate + signed bump where `|frac| ≥ ½` (exact: the fraction of
+//!   a truncation is computed without rounding error), and its
+//!   saturation as clamp-after-round, equivalent for `|scaled| < 2⁵⁰`;
+//!   any lane outside that window — or NaN — falls back to the scalar
+//!   `encode` itself.
+//! * The zero-distance guard blends guarded lanes to `+0.0`, which
+//!   encodes to a raw `0` term — a bitwise no-op on the accumulator,
+//!   exactly like the scalar path's `continue`.
+//!
+//! Accumulation order over j is ascending per i on every path, so the
+//! saturating fixed-point sums agree bit for bit; `tests/golden_kernel.rs`
+//! and the in-crate proptests referee all of this.
+
+use crate::pipeline::{Force, G5Pipeline, JSlices};
+use g5util::fixed::{Fixed, FixedFormat};
+use g5util::vec3::Vec3;
+
+/// j-particles evaluated per lane iteration.
+pub const LANES: usize = 4;
+
+/// i-particles sharing one streamed j-block (pipelines per chip set).
+const I_TILE: usize = 16;
+/// j-particles per block; the SoA streams stay well inside L1.
+const J_BLOCK: usize = 512;
+
+/// Which implementation the exact-mode `interact_block` dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePath {
+    /// Explicit AVX2 `core::arch` intrinsics, 4 × f64 per iteration.
+    Avx2,
+    /// Portable array-of-lanes fallback (any architecture).
+    Portable,
+    /// Route exact mode through the pre-lane scalar batch skeleton —
+    /// the A/B reference for the perf harness.
+    Scalar,
+}
+
+/// Pick the lane path for this process: the `G5_LANE_PATH` environment
+/// variable (`portable` / `scalar` / `avx2`) wins, then runtime CPU
+/// feature detection, then the portable fallback. Requesting `avx2` on
+/// hardware without it degrades to `Portable` rather than faulting.
+pub fn detect_lane_path() -> LanePath {
+    let forced_avx2 = match std::env::var("G5_LANE_PATH").as_deref() {
+        Ok("portable") => return LanePath::Portable,
+        Ok("scalar") => return LanePath::Scalar,
+        Ok("avx2") => true,
+        _ => false,
+    };
+    let _ = forced_avx2;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            return LanePath::Avx2;
+        }
+    }
+    LanePath::Portable
+}
+
+/// How the per-interaction terms are mapped into accumulator units —
+/// hoisted once per block call, bit-identical to the scalar `unscale`.
+#[derive(Debug, Clone, Copy)]
+enum ScaleMode {
+    /// `force_scale == 1.0`: terms pass through.
+    One,
+    /// Power-of-two scale: multiply by the exact reciprocal.
+    Pow2Mul(f64),
+    /// General scale: divide.
+    Div(f64),
+}
+
+fn scale_mode(force_scale: f64) -> ScaleMode {
+    let inv_scale = 1.0 / force_scale;
+    let pow2_scale = force_scale.to_bits() & ((1u64 << 52) - 1) == 0
+        && force_scale.is_normal()
+        && inv_scale.is_normal();
+    if force_scale == 1.0 {
+        ScaleMode::One
+    } else if pow2_scale {
+        ScaleMode::Pow2Mul(inv_scale)
+    } else {
+        ScaleMode::Div(force_scale)
+    }
+}
+
+impl ScaleMode {
+    #[inline(always)]
+    fn apply(self, t: f64) -> f64 {
+        match self {
+            ScaleMode::One => t,
+            ScaleMode::Pow2Mul(inv) => t * inv,
+            ScaleMode::Div(s) => t / s,
+        }
+    }
+}
+
+/// Entry point: dispatch the exact-mode no-cutoff block to the selected
+/// lane implementation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn block_exact_lanes(
+    path: LanePath,
+    quantum: f64,
+    eps2: f64,
+    xi: &[[i64; 3]],
+    j: &JSlices<'_>,
+    force_scale: f64,
+    fmt: FixedFormat,
+    out: &mut [Force],
+) {
+    match path {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detect_lane_path` only yields `Avx2` after
+        // `is_x86_feature_detected!("avx2")` succeeded.
+        LanePath::Avx2 => unsafe { avx2::block_exact(quantum, eps2, xi, j, force_scale, fmt, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        LanePath::Avx2 => block_exact_portable(quantum, eps2, xi, j, force_scale, fmt, out),
+        _ => block_exact_portable(quantum, eps2, xi, j, force_scale, fmt, out),
+    }
+}
+
+/// Portable lane kernel: the same 4-lane structure as the AVX2 path in
+/// plain scalar ops over `[f64; LANES]` arrays. This is both the
+/// non-x86 implementation and the referee the intrinsics path is
+/// bit-compared against.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn block_exact_portable(
+    quantum: f64,
+    eps2: f64,
+    xi: &[[i64; 3]],
+    j: &JSlices<'_>,
+    force_scale: f64,
+    fmt: FixedFormat,
+    out: &mut [Force],
+) {
+    let nj = j.x.len();
+    let enc = fmt.encode_scale();
+    let sm = scale_mode(force_scale);
+    for (xc, oc) in xi.chunks(I_TILE).zip(out.chunks_mut(I_TILE)) {
+        let mut acc = [[Fixed::zero(fmt); 4]; I_TILE];
+        let mut js = 0;
+        while js < nj {
+            let je = (js + J_BLOCK).min(nj);
+            let (bx, by, bz, bm) = (&j.x[js..je], &j.y[js..je], &j.z[js..je], &j.m[js..je]);
+            let bn = je - js;
+            let lanes_end = bn - bn % LANES;
+            for (ii, &x) in xc.iter().enumerate() {
+                let a = &mut acc[ii];
+                let mut k = 0;
+                while k < lanes_end {
+                    // Lane force evaluation; guarded lanes stay +0.0,
+                    // which accumulates as a raw-0 no-op below.
+                    let mut fx = [0.0f64; LANES];
+                    let mut fy = [0.0f64; LANES];
+                    let mut fz = [0.0f64; LANES];
+                    let mut fp = [0.0f64; LANES];
+                    for l in 0..LANES {
+                        let d0 = bx[k + l] - x[0];
+                        let d1 = by[k + l] - x[1];
+                        let d2 = bz[k + l] - x[2];
+                        if (d0 | d1 | d2) == 0 {
+                            continue; // zero-distance guard
+                        }
+                        let dx = d0 as f64 * quantum;
+                        let dy = d1 as f64 * quantum;
+                        let dz = d2 as f64 * quantum;
+                        let r2 = (dx * dx + dy * dy) + dz * dz + eps2;
+                        let rinv = 1.0 / r2.sqrt();
+                        let rinv3 = rinv / r2;
+                        let m = bm[k + l];
+                        let s = m * rinv3;
+                        fx[l] = dx * s;
+                        fy[l] = dy * s;
+                        fz[l] = dz * s;
+                        fp[l] = m * rinv;
+                    }
+                    for l in 0..LANES {
+                        a[0] = a[0].accumulate_with_scale(enc, sm.apply(fx[l]));
+                        a[1] = a[1].accumulate_with_scale(enc, sm.apply(fy[l]));
+                        a[2] = a[2].accumulate_with_scale(enc, sm.apply(fz[l]));
+                        a[3] = a[3].accumulate_with_scale(enc, sm.apply(fp[l]));
+                    }
+                    k += LANES;
+                }
+                while k < bn {
+                    let d = [bx[k] - x[0], by[k] - x[1], bz[k] - x[2]];
+                    if (d[0] | d[1] | d[2]) != 0 {
+                        let f = G5Pipeline::pair_exact(quantum, eps2, None, d, bm[k]);
+                        a[0] = a[0].accumulate_with_scale(enc, sm.apply(f.acc.x));
+                        a[1] = a[1].accumulate_with_scale(enc, sm.apply(f.acc.y));
+                        a[2] = a[2].accumulate_with_scale(enc, sm.apply(f.acc.z));
+                        a[3] = a[3].accumulate_with_scale(enc, sm.apply(f.pot));
+                    }
+                    k += 1;
+                }
+            }
+            js = je;
+        }
+        for (o, a) in oc.iter_mut().zip(&acc) {
+            *o = Force {
+                acc: Vec3::new(
+                    a[0].to_f64() * force_scale,
+                    a[1].to_f64() * force_scale,
+                    a[2].to_f64() * force_scale,
+                ),
+                pot: a[3].to_f64() * force_scale,
+            };
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{scale_mode, ScaleMode, I_TILE, J_BLOCK, LANES};
+    use crate::pipeline::{Force, G5Pipeline, JSlices};
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+    use g5util::fixed::{Fixed, FixedFormat};
+    use g5util::vec3::Vec3;
+
+    /// `2⁵² + 2⁵¹`: the shifter that makes i64 ↔ f64 conversion exact
+    /// for `|v| < 2⁵¹` (the integer lands in the double's mantissa).
+    const MAGIC: f64 = 6_755_399_441_055_744.0;
+    /// The same shifter as raw double bits, for the integer-domain side.
+    const MAGIC_BITS: i64 = 0x4338_0000_0000_0000;
+    /// Fast-path window for the vector encode: `|scaled| < 2⁵⁰` keeps
+    /// the magic conversion exact and round-then-clamp equivalent to
+    /// `FixedFormat::encode`'s saturate-then-round.
+    const ENC_LIM: f64 = (1u64 << 50) as f64;
+
+    /// Hoisted per-call constants of the vector fixed accumulate.
+    #[derive(Clone, Copy)]
+    struct AccCtx {
+        encv: __m256d,
+        enc: f64,
+        fmt: FixedFormat,
+        rmin: __m256i,
+        rmax: __m256i,
+    }
+
+    /// Vector unscale, fixed per call.
+    #[derive(Clone, Copy)]
+    enum VScale {
+        None,
+        Mul(__m256d),
+        Div(__m256d),
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn i64x4_to_f64(v: __m256i) -> __m256d {
+        // Exact for |v| < 2^51 — guaranteed by the coordinate guard.
+        let shifted = _mm256_add_epi64(v, _mm256_set1_epi64x(MAGIC_BITS));
+        _mm256_sub_pd(_mm256_castpd_si256_inverse(shifted), _mm256_set1_pd(MAGIC))
+    }
+
+    /// `_mm256_castsi256_pd` under a name that reads as the inverse of
+    /// the pd→si cast used alongside it.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn _mm256_castpd_si256_inverse(v: __m256i) -> __m256d {
+        _mm256_castsi256_pd(v)
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn clamp_epi64(v: __m256i, lo: __m256i, hi: __m256i) -> __m256i {
+        let v = _mm256_blendv_epi8(v, hi, _mm256_cmpgt_epi64(v, hi));
+        _mm256_blendv_epi8(v, lo, _mm256_cmpgt_epi64(lo, v))
+    }
+
+    /// Per-lane `|scaled| < 2⁵⁰` (false for NaN), as a pd mask.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn in_window(scaled: __m256d) -> __m256d {
+        let abs = _mm256_andnot_pd(_mm256_set1_pd(-0.0), scaled);
+        _mm256_cmp_pd::<_CMP_LT_OQ>(abs, _mm256_set1_pd(ENC_LIM))
+    }
+
+    /// Round half away from zero and convert to i64 — `scaled.round()
+    /// as i64`, bit for bit, valid for `|scaled| < 2⁵⁰`: truncate, bump
+    /// ±1 where `|frac| ≥ ½` (the fraction of a truncation is exact, so
+    /// this reproduces `f64::round`), then the exact magic conversion.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn round_away_to_i64(scaled: __m256d) -> __m256i {
+        let tr = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(scaled);
+        let frac = _mm256_sub_pd(scaled, tr);
+        let afrac = _mm256_andnot_pd(_mm256_set1_pd(-0.0), frac);
+        let bump = _mm256_cmp_pd::<_CMP_GE_OQ>(afrac, _mm256_set1_pd(0.5));
+        let sign1 = _mm256_or_pd(_mm256_and_pd(scaled, _mm256_set1_pd(-0.0)), _mm256_set1_pd(1.0));
+        let rounded = _mm256_add_pd(tr, _mm256_and_pd(bump, sign1));
+        _mm256_sub_epi64(
+            _mm256_castpd_si256(_mm256_add_pd(rounded, _mm256_set1_pd(MAGIC))),
+            _mm256_set1_epi64x(MAGIC_BITS),
+        )
+    }
+
+    /// One vector `Fixed::accumulate_with_scale` over the 4 components
+    /// `[fx, fy, fz, pot]` of a single j-interaction.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn accumulate4(acc: __m256i, v: __m256d, c: &AccCtx) -> __m256i {
+        let scaled = _mm256_mul_pd(v, c.encv);
+        let ok = in_window(scaled);
+        if _mm256_movemask_pd(ok) != 0b1111 {
+            // Rare: a term saturates the format or is NaN. The scalar
+            // encode is the definition of correctness — defer to it.
+            let mut a = [0i64; 4];
+            let mut t = [0f64; 4];
+            _mm256_storeu_si256(a.as_mut_ptr().cast(), acc);
+            _mm256_storeu_pd(t.as_mut_ptr(), v);
+            for k in 0..4 {
+                a[k] = Fixed { raw: a[k], fmt: c.fmt }.accumulate_with_scale(c.enc, t[k]).raw;
+            }
+            return _mm256_loadu_si256(a.as_ptr().cast());
+        }
+        // encode = round (window checked above), then its saturation;
+        // sat_add: wrapping add, overflow detected by sign algebra,
+        // clamped to the format range.
+        let term = clamp_epi64(round_away_to_i64(scaled), c.rmin, c.rmax);
+        let sum = _mm256_add_epi64(acc, term);
+        let ovf = _mm256_and_si256(_mm256_xor_si256(acc, sum), _mm256_xor_si256(term, sum));
+        let ovf = _mm256_cmpgt_epi64(_mm256_setzero_si256(), ovf);
+        let acc_neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), acc);
+        let sat =
+            _mm256_blendv_epi8(_mm256_set1_epi64x(i64::MAX), _mm256_set1_epi64x(i64::MIN), acc_neg);
+        clamp_epi64(_mm256_blendv_epi8(sum, sat, ovf), c.rmin, c.rmax)
+    }
+
+    /// The AVX2 exact-mode block kernel. Caller must have verified AVX2
+    /// support.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_exact(
+        quantum: f64,
+        eps2: f64,
+        xi: &[[i64; 3]],
+        j: &JSlices<'_>,
+        force_scale: f64,
+        fmt: FixedFormat,
+        out: &mut [Force],
+    ) {
+        // Coordinate-magnitude guard: |a|,|b| < 2^50 bounds every
+        // subtract |a−b| < 2^51, the window where the vector i64→f64
+        // conversion is exact. Wider coordinate formats (coord_bits can
+        // reach 62) take the portable path instead.
+        let lim = 1i64 << 50;
+        let within = |s: &[i64]| s.iter().all(|&v| -lim < v && v < lim);
+        if !(within(j.x)
+            && within(j.y)
+            && within(j.z)
+            && xi.iter().all(|x| x.iter().all(|&v| -lim < v && v < lim)))
+        {
+            return super::block_exact_portable(quantum, eps2, xi, j, force_scale, fmt, out);
+        }
+        let nj = j.x.len();
+        let enc = fmt.encode_scale();
+        let ctx = AccCtx {
+            encv: _mm256_set1_pd(enc),
+            enc,
+            fmt,
+            rmin: _mm256_set1_epi64x(fmt.raw_min()),
+            rmax: _mm256_set1_epi64x(fmt.raw_max()),
+        };
+        // Group fast path: when the format's range covers the encode
+        // window (so the per-term clamp cannot bind) and the running
+        // accumulator has ≥ 2⁵² of headroom (> 4 terms × 2⁵⁰, so no
+        // prefix sum can clamp or overflow), the four saturating adds
+        // of a j-group collapse to one associative integer sum — the
+        // serial accumulate dependency is replaced by a tree add.
+        let group_fast = fmt.raw_max() >= (1i64 << 50) && fmt.raw_min() <= -(1i64 << 50) && {
+            let hmax = fmt.raw_max().saturating_sub(1 << 52);
+            let hmin = fmt.raw_min().saturating_add(1 << 52);
+            hmin < hmax
+        };
+        let hmaxv = _mm256_set1_epi64x(fmt.raw_max().saturating_sub(1 << 52));
+        let hminv = _mm256_set1_epi64x(fmt.raw_min().saturating_add(1 << 52));
+        let sm = scale_mode(force_scale);
+        let vs = match sm {
+            ScaleMode::One => VScale::None,
+            ScaleMode::Pow2Mul(inv) => VScale::Mul(_mm256_set1_pd(inv)),
+            ScaleMode::Div(s) => VScale::Div(_mm256_set1_pd(s)),
+        };
+        let qv = _mm256_set1_pd(quantum);
+        let e2v = _mm256_set1_pd(eps2);
+        let onev = _mm256_set1_pd(1.0);
+        for (xc, oc) in xi.chunks(I_TILE).zip(out.chunks_mut(I_TILE)) {
+            let mut acc = [_mm256_setzero_si256(); I_TILE];
+            let mut js = 0;
+            while js < nj {
+                let je = (js + J_BLOCK).min(nj);
+                let (bx, by, bz, bm) = (&j.x[js..je], &j.y[js..je], &j.z[js..je], &j.m[js..je]);
+                let bn = je - js;
+                let lanes_end = bn - bn % LANES;
+                for (ii, &x) in xc.iter().enumerate() {
+                    let mut av = acc[ii];
+                    let xv0 = _mm256_set1_epi64x(x[0]);
+                    let xv1 = _mm256_set1_epi64x(x[1]);
+                    let xv2 = _mm256_set1_epi64x(x[2]);
+                    let mut k = 0usize;
+                    while k < lanes_end {
+                        let jx = _mm256_loadu_si256(bx.as_ptr().add(k).cast());
+                        let jy = _mm256_loadu_si256(by.as_ptr().add(k).cast());
+                        let jz = _mm256_loadu_si256(bz.as_ptr().add(k).cast());
+                        let d0 = _mm256_sub_epi64(jx, xv0);
+                        let d1 = _mm256_sub_epi64(jy, xv1);
+                        let d2 = _mm256_sub_epi64(jz, xv2);
+                        let zero = _mm256_cmpeq_epi64(
+                            _mm256_or_si256(_mm256_or_si256(d0, d1), d2),
+                            _mm256_setzero_si256(),
+                        );
+                        let dx = _mm256_mul_pd(i64x4_to_f64(d0), qv);
+                        let dy = _mm256_mul_pd(i64x4_to_f64(d1), qv);
+                        let dz = _mm256_mul_pd(i64x4_to_f64(d2), qv);
+                        // (dx² + dy²) + dz² — explicit mul/add, never FMA,
+                        // matching pair_exact's association
+                        let r2 = _mm256_add_pd(
+                            _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                            _mm256_mul_pd(dz, dz),
+                        );
+                        let r2e = _mm256_add_pd(r2, e2v);
+                        let rinv = _mm256_div_pd(onev, _mm256_sqrt_pd(r2e));
+                        let rinv3 = _mm256_div_pd(rinv, r2e);
+                        let m4 = _mm256_loadu_pd(bm.as_ptr().add(k));
+                        let s = _mm256_mul_pd(m4, rinv3);
+                        // zero-distance guard: blend guarded lanes to +0.0
+                        let zm = _mm256_castsi256_pd(zero);
+                        let mut fx = _mm256_andnot_pd(zm, _mm256_mul_pd(dx, s));
+                        let mut fy = _mm256_andnot_pd(zm, _mm256_mul_pd(dy, s));
+                        let mut fz = _mm256_andnot_pd(zm, _mm256_mul_pd(dz, s));
+                        let mut fp = _mm256_andnot_pd(zm, _mm256_mul_pd(m4, rinv));
+                        match vs {
+                            VScale::None => {}
+                            VScale::Mul(iv) => {
+                                fx = _mm256_mul_pd(fx, iv);
+                                fy = _mm256_mul_pd(fy, iv);
+                                fz = _mm256_mul_pd(fz, iv);
+                                fp = _mm256_mul_pd(fp, iv);
+                            }
+                            VScale::Div(sv) => {
+                                fx = _mm256_div_pd(fx, sv);
+                                fy = _mm256_div_pd(fy, sv);
+                                fz = _mm256_div_pd(fz, sv);
+                                fp = _mm256_div_pd(fp, sv);
+                            }
+                        }
+                        // 4×4 transpose to per-j [fx, fy, fz, pot], then
+                        // accumulate in ascending j order
+                        let t0 = _mm256_unpacklo_pd(fx, fy);
+                        let t1 = _mm256_unpackhi_pd(fx, fy);
+                        let t2 = _mm256_unpacklo_pd(fz, fp);
+                        let t3 = _mm256_unpackhi_pd(fz, fp);
+                        let v0 = _mm256_permute2f128_pd::<0x20>(t0, t2);
+                        let v1 = _mm256_permute2f128_pd::<0x20>(t1, t3);
+                        let v2 = _mm256_permute2f128_pd::<0x31>(t0, t2);
+                        let v3 = _mm256_permute2f128_pd::<0x31>(t1, t3);
+                        let s0 = _mm256_mul_pd(v0, ctx.encv);
+                        let s1 = _mm256_mul_pd(v1, ctx.encv);
+                        let s2 = _mm256_mul_pd(v2, ctx.encv);
+                        let s3 = _mm256_mul_pd(v3, ctx.encv);
+                        let ok = _mm256_and_pd(
+                            _mm256_and_pd(in_window(s0), in_window(s1)),
+                            _mm256_and_pd(in_window(s2), in_window(s3)),
+                        );
+                        let acc_tight = _mm256_or_si256(
+                            _mm256_cmpgt_epi64(av, hmaxv),
+                            _mm256_cmpgt_epi64(hminv, av),
+                        );
+                        if group_fast
+                            && _mm256_movemask_pd(ok) == 0b1111
+                            && _mm256_testz_si256(acc_tight, acc_tight) != 0
+                        {
+                            // all terms in-window, accumulator far from
+                            // saturation: the sat-adds are plain adds
+                            let t = _mm256_add_epi64(
+                                _mm256_add_epi64(round_away_to_i64(s0), round_away_to_i64(s1)),
+                                _mm256_add_epi64(round_away_to_i64(s2), round_away_to_i64(s3)),
+                            );
+                            av = _mm256_add_epi64(av, t);
+                        } else {
+                            av = accumulate4(av, v0, &ctx);
+                            av = accumulate4(av, v1, &ctx);
+                            av = accumulate4(av, v2, &ctx);
+                            av = accumulate4(av, v3, &ctx);
+                        }
+                        k += LANES;
+                    }
+                    if k < bn {
+                        // scalar remainder tail, same ops as the scalar
+                        // batch path
+                        let mut a = [0i64; 4];
+                        _mm256_storeu_si256(a.as_mut_ptr().cast(), av);
+                        while k < bn {
+                            let d = [bx[k] - x[0], by[k] - x[1], bz[k] - x[2]];
+                            if (d[0] | d[1] | d[2]) != 0 {
+                                let f = G5Pipeline::pair_exact(quantum, eps2, None, d, bm[k]);
+                                a[0] = Fixed { raw: a[0], fmt }
+                                    .accumulate_with_scale(enc, sm.apply(f.acc.x))
+                                    .raw;
+                                a[1] = Fixed { raw: a[1], fmt }
+                                    .accumulate_with_scale(enc, sm.apply(f.acc.y))
+                                    .raw;
+                                a[2] = Fixed { raw: a[2], fmt }
+                                    .accumulate_with_scale(enc, sm.apply(f.acc.z))
+                                    .raw;
+                                a[3] = Fixed { raw: a[3], fmt }
+                                    .accumulate_with_scale(enc, sm.apply(f.pot))
+                                    .raw;
+                            }
+                            k += 1;
+                        }
+                        av = _mm256_loadu_si256(a.as_ptr().cast());
+                    }
+                    acc[ii] = av;
+                }
+                js = je;
+            }
+            for (o, a) in oc.iter_mut().zip(&acc) {
+                let mut r = [0i64; 4];
+                _mm256_storeu_si256(r.as_mut_ptr().cast(), *a);
+                *o = Force {
+                    acc: Vec3::new(
+                        Fixed { raw: r[0], fmt }.to_f64() * force_scale,
+                        Fixed { raw: r[1], fmt }.to_f64() * force_scale,
+                        Fixed { raw: r[2], fmt }.to_f64() * force_scale,
+                    ),
+                    pot: Fixed { raw: r[3], fmt }.to_f64() * force_scale,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArithMode, Grape5Config};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Run one exact-mode block through a forced lane path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_path(
+        path: LanePath,
+        quantum: f64,
+        eps: f64,
+        xi: &[[i64; 3]],
+        j: &JSlices<'_>,
+        force_scale: f64,
+        fmt: FixedFormat,
+    ) -> Vec<Force> {
+        let cfg = Grape5Config { mode: ArithMode::Exact, ..Grape5Config::paper() };
+        let mut p = G5Pipeline::new(&cfg, quantum, eps);
+        p.set_lane_path(path);
+        let mut out = vec![Force::ZERO; xi.len()];
+        p.interact_block(xi, j, force_scale, fmt, &mut out);
+        out
+    }
+
+    fn assert_bits_equal(a: &[Force], b: &[Force], what: &str) {
+        for (i, (fa, fb)) in a.iter().zip(b).enumerate() {
+            let pa = [fa.acc.x, fa.acc.y, fa.acc.z, fa.pot].map(f64::to_bits);
+            let pb = [fb.acc.x, fb.acc.y, fb.acc.z, fb.pot].map(f64::to_bits);
+            assert_eq!(pa, pb, "{what}: bit mismatch at i-particle {i}: {fa:?} vs {fb:?}");
+        }
+    }
+
+    /// i-positions plus SoA j-streams (x, y, z, m) for one test block.
+    type RandomBlock = (Vec<[i64; 3]>, Vec<i64>, Vec<i64>, Vec<i64>, Vec<f64>);
+
+    /// Random j-set with some coincident-with-i and zero-mass entries.
+    fn random_block(rng: &mut ChaCha8Rng, ni: usize, nj: usize, span: i64) -> RandomBlock {
+        let xi: Vec<[i64; 3]> = (0..ni)
+            .map(|_| {
+                [
+                    rng.random_range(-span..span),
+                    rng.random_range(-span..span),
+                    rng.random_range(-span..span),
+                ]
+            })
+            .collect();
+        let mut jx = Vec::with_capacity(nj);
+        let mut jy = Vec::with_capacity(nj);
+        let mut jz = Vec::with_capacity(nj);
+        let mut jm = Vec::with_capacity(nj);
+        for k in 0..nj {
+            if k % 17 == 3 && !xi.is_empty() {
+                // coincident with some i-particle: zero-distance lane
+                let x = xi[k % xi.len()];
+                jx.push(x[0]);
+                jy.push(x[1]);
+                jz.push(x[2]);
+            } else {
+                jx.push(rng.random_range(-span..span));
+                jy.push(rng.random_range(-span..span));
+                jz.push(rng.random_range(-span..span));
+            }
+            jm.push(if k % 23 == 7 { 0.0 } else { rng.random_range(0.01..10.0) });
+        }
+        (xi, jx, jy, jz, jm)
+    }
+
+    fn all_paths() -> Vec<LanePath> {
+        let mut v = vec![LanePath::Portable, LanePath::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            v.push(LanePath::Avx2);
+        }
+        v
+    }
+
+    #[test]
+    fn lane_paths_agree_bitwise_on_random_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed);
+        let fmt = FixedFormat::new(64, 32);
+        let lns = crate::config::Grape5Config::paper().lns;
+        // j-counts cover remainder tails (≢ 0 mod 4) and block edges
+        for &nj in &[0usize, 1, 3, 4, 5, 17, 301, 512, 513, 1000] {
+            for &ni in &[1usize, 2, 16, 17] {
+                let (xi, jx, jy, jz, jm) = random_block(&mut rng, ni, nj, 1 << 30);
+                let jml: Vec<_> = jm.iter().map(|&m| lns.encode(m)).collect();
+                let j = JSlices { x: &jx, y: &jy, z: &jz, m: &jm, m_lns: &jml };
+                for &(eps, fs) in &[(0.0, 1.0), (0.01, 0.25), (0.01, 1.37e-7)] {
+                    let refr = run_path(LanePath::Scalar, 2e-10, eps, &xi, &j, fs, fmt);
+                    for path in all_paths() {
+                        let got = run_path(path, 2e-10, eps, &xi, &j, fs, fmt);
+                        assert_bits_equal(
+                            &refr,
+                            &got,
+                            &format!("{path:?} nj={nj} ni={ni} eps={eps} fs={fs}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_terms_agree_via_encode_fallback() {
+        // Huge masses push |scaled| past 2^50: the vector path must
+        // defer to the scalar encode, including format saturation.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let lns = crate::config::Grape5Config::paper().lns;
+        for fmt in [FixedFormat::new(64, 32), FixedFormat::new(16, 8)] {
+            let (xi, jx, jy, jz, mut jm) = random_block(&mut rng, 5, 37, 1 << 20);
+            for (k, m) in jm.iter_mut().enumerate() {
+                if k % 3 == 0 {
+                    *m *= 1e30; // saturating term
+                }
+            }
+            let jml: Vec<_> = jm.iter().map(|&m| lns.encode(m)).collect();
+            let j = JSlices { x: &jx, y: &jy, z: &jz, m: &jm, m_lns: &jml };
+            let refr = run_path(LanePath::Scalar, 1e-6, 0.001, &xi, &j, 1.0, fmt);
+            for path in all_paths() {
+                let got = run_path(path, 1e-6, 0.001, &xi, &j, 1.0, fmt);
+                assert_bits_equal(&refr, &got, &format!("{path:?} fmt={fmt:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_coordinates_take_the_guard_and_agree() {
+        // Raw words at ±2^60: outside the magic-conversion window, so
+        // the AVX2 entry must fall back to the portable kernel whole.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let fmt = FixedFormat::new(64, 32);
+        let lns = crate::config::Grape5Config::paper().lns;
+        let (xi, jx, jy, jz, jm) = random_block(&mut rng, 4, 29, 1 << 60);
+        let jml: Vec<_> = jm.iter().map(|&m| lns.encode(m)).collect();
+        let j = JSlices { x: &jx, y: &jy, z: &jz, m: &jm, m_lns: &jml };
+        let refr = run_path(LanePath::Scalar, 1e-19, 0.0, &xi, &j, 1.0, fmt);
+        for path in all_paths() {
+            let got = run_path(path, 1e-19, 0.0, &xi, &j, 1.0, fmt);
+            assert_bits_equal(&refr, &got, &format!("{path:?} wide coords"));
+        }
+    }
+
+    #[test]
+    fn detect_honors_env_override() {
+        // Can't mutate the environment safely in a threaded test binary;
+        // just pin down that detection returns a usable path.
+        let p = detect_lane_path();
+        assert!(matches!(p, LanePath::Avx2 | LanePath::Portable | LanePath::Scalar));
+    }
+}

@@ -40,6 +40,7 @@ pub mod config;
 pub mod cost;
 pub mod cutoff;
 pub mod fault;
+pub mod lanes;
 pub mod pipeline;
 pub mod session;
 pub mod system;
@@ -50,6 +51,7 @@ pub use config::{ArithMode, Grape5Config};
 pub use cost::{CostModel, PricePerformance};
 pub use cutoff::CutoffTable;
 pub use fault::{splitmix, BoardDropout, DeviceError, FaultConfig, StuckPipe};
+pub use lanes::{detect_lane_path, LanePath};
 pub use pipeline::{Force, G5Pipeline};
 pub use session::{bounding_window, DeviceSession, RecoveryStats, RetryPolicy};
 pub use system::{Grape5, SelfTest};

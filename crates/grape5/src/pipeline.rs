@@ -21,6 +21,7 @@
 
 use crate::config::{ArithMode, Grape5Config};
 use crate::cutoff::CutoffTable;
+use crate::lanes::{self, LanePath};
 use g5util::fixed::{Fixed, FixedFormat};
 use g5util::lns::{Lns, LnsConfig};
 use g5util::lns_table::{conv_tables, LnsConvTables};
@@ -171,6 +172,9 @@ pub struct G5Pipeline {
     /// pipeline runs LNS arithmetic with a cutoff loaded and the format
     /// is tabulable.
     lns_cutoff: Option<Arc<LnsCutoffTable>>,
+    /// Which lane implementation the exact-mode batch kernel dispatches
+    /// to (detected once at construction; see [`lanes`]).
+    lane_path: LanePath,
 }
 
 impl G5Pipeline {
@@ -189,7 +193,21 @@ impl G5Pipeline {
             cutoff: None,
             conv: conv_tables(cfg.lns),
             lns_cutoff: None,
+            lane_path: lanes::detect_lane_path(),
         }
+    }
+
+    /// The lane implementation the exact-mode batch kernel uses.
+    #[inline]
+    pub fn lane_path(&self) -> LanePath {
+        self.lane_path
+    }
+
+    /// Override the exact-mode lane implementation — used by the perf
+    /// harness to A/B the SIMD, portable and scalar paths, and by tests
+    /// to referee them against each other.
+    pub fn set_lane_path(&mut self, path: LanePath) {
+        self.lane_path = path;
     }
 
     /// Load (or clear) the cutoff table — `g5_set_cutoff_table` in the
@@ -268,7 +286,7 @@ impl G5Pipeline {
 
     /// `f64` path: position quantization only.
     #[inline(always)]
-    fn pair_exact(
+    pub(crate) fn pair_exact(
         quantum: f64,
         eps2: f64,
         cutoff: Option<&CutoffTable>,
@@ -430,6 +448,22 @@ impl G5Pipeline {
         match (self.mode, self.conv) {
             (ArithMode::Exact, _) => {
                 let (quantum, eps2, cutoff) = (self.quantum, self.eps2, self.cutoff.as_ref());
+                // The lane kernels cover the dominant exact/no-cutoff
+                // configuration; cutoff'd exact mode keeps the scalar
+                // skeleton (the factors are per-pair table lookups).
+                if cutoff.is_none() && self.lane_path != LanePath::Scalar {
+                    lanes::block_exact_lanes(
+                        self.lane_path,
+                        quantum,
+                        eps2,
+                        xi,
+                        j,
+                        force_scale,
+                        fmt,
+                        out,
+                    );
+                    return;
+                }
                 Self::block_with(xi, j, force_scale, fmt, out, |d, jj| {
                     Self::pair_exact(quantum, eps2, cutoff, d, j.m[jj])
                 });
@@ -467,6 +501,10 @@ impl G5Pipeline {
         /// j-particles per block; 5 SoA streams stay well inside L1.
         const J_BLOCK: usize = 512;
         let nj = j.x.len();
+        // 2^frac_bits hoisted out of the pair loop: `accumulate` computes
+        // it per term through `exp2`, `accumulate_with_scale` takes it
+        // ready-made (bit-identical by construction).
+        let enc = fmt.encode_scale();
         // When the scale is a power of two its reciprocal is exact, and
         // multiplying by it rounds the same real value division would —
         // bit-identical, one multiply instead of four divides per pair.
@@ -497,10 +535,10 @@ impl G5Pipeline {
                             continue; // zero-distance guard
                         }
                         let f = pair(d, js + k);
-                        a[0] = a[0].accumulate(unscale(f.acc.x));
-                        a[1] = a[1].accumulate(unscale(f.acc.y));
-                        a[2] = a[2].accumulate(unscale(f.acc.z));
-                        a[3] = a[3].accumulate(unscale(f.pot));
+                        a[0] = a[0].accumulate_with_scale(enc, unscale(f.acc.x));
+                        a[1] = a[1].accumulate_with_scale(enc, unscale(f.acc.y));
+                        a[2] = a[2].accumulate_with_scale(enc, unscale(f.acc.z));
+                        a[3] = a[3].accumulate_with_scale(enc, unscale(f.pot));
                     }
                 }
                 js = je;

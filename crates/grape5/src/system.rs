@@ -30,6 +30,7 @@ use crate::cutoff::CutoffTable;
 use crate::fault::{
     corrupt_mass, corrupt_readback, CallFault, DeviceError, FaultConfig, FaultState,
 };
+use crate::lanes::LanePath;
 use crate::pipeline::{Force, G5Pipeline, JWord};
 use g5util::fixed::RangeScaler;
 use g5util::vec3::Vec3;
@@ -87,6 +88,8 @@ pub struct Grape5 {
     partials: Vec<Vec<Force>>,
     /// Reusable quantized i-coordinate buffer.
     i_scratch: Vec<[i64; 3]>,
+    /// Host-forced exact-mode lane path, surviving pipeline rebuilds.
+    lane_override: Option<LanePath>,
 }
 
 impl Grape5 {
@@ -116,12 +119,31 @@ impl Grape5 {
             quarantined_pipes: Vec::new(),
             partials: vec![Vec::new(); nb],
             i_scratch: Vec::new(),
+            lane_override: None,
         }
     }
 
     fn rebuild_pipeline(&mut self) {
         self.pipeline = G5Pipeline::new(&self.cfg, self.scaler.quantum(), self.eps)
             .with_cutoff(self.cutoff.clone());
+        if let Some(path) = self.lane_override {
+            self.pipeline.set_lane_path(path);
+        }
+    }
+
+    /// Force the exact-mode batch kernel onto a specific lane
+    /// implementation (see [`LanePath`]); sticks across `set_range` /
+    /// `set_eps` pipeline rebuilds. Used by the perf harness and the
+    /// bit-identity referees.
+    pub fn set_lane_path(&mut self, path: LanePath) {
+        self.lane_override = Some(path);
+        self.pipeline.set_lane_path(path);
+    }
+
+    /// The lane implementation currently active in the exact-mode batch
+    /// kernel.
+    pub fn lane_path(&self) -> LanePath {
+        self.pipeline.lane_path()
     }
 
     /// The configuration this system was opened with.

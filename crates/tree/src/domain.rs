@@ -46,9 +46,8 @@
 
 use crate::mac::{GroupSphere, Mac};
 use crate::tree::{Tree, NONE};
-use g5util::morton;
+use g5util::morton_sort;
 use g5util::vec3::Vec3;
-use rayon::prelude::*;
 
 /// A partition of a particle snapshot into `K` Morton-contiguous
 /// domains, by original (input-order) index.
@@ -176,40 +175,12 @@ impl Decomposition {
 }
 
 /// The Morton-sorted order of a point set: quantize onto the same 2²¹
-/// grid the octree build uses, sort by `(code, index)` — a total order,
-/// so the result is a pure function of the snapshot.
+/// grid the octree build uses (shared `g5util::morton_sort` frame, so a
+/// domain boundary is always a Morton-cell boundary of the tree grid),
+/// radix-sorted by `(code, index)` — a total order, so the result is a
+/// pure function of the snapshot.
 fn morton_order(pos: &[Vec3]) -> Vec<u32> {
-    // Same bounding cube + quantization the octree build uses, so a
-    // domain boundary is always a Morton-cell boundary of the grid.
-    let (lo, hi) = bounds(pos);
-    let center = (lo + hi) * 0.5;
-    let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
-    let inv_side = 1.0 / (2.0 * half);
-    let codes: Vec<u64> = pos
-        .par_iter()
-        .map(|p| {
-            let u = (p.x - (center.x - half)) * inv_side;
-            let v = (p.y - (center.y - half)) * inv_side;
-            let w = (p.z - (center.z - half)) * inv_side;
-            assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
-            morton::encode_unit(u, v, w)
-        })
-        .collect();
-    let mut order: Vec<u32> = (0..pos.len() as u32).collect();
-    order.par_sort_unstable_by_key(|&i| (codes[i as usize], i));
-    order
-}
-
-/// Padded axis-aligned bounds of a point set (serial fold; the caller
-/// is already parallel over shards).
-fn bounds(pos: &[Vec3]) -> (Vec3, Vec3) {
-    let mut lo = Vec3::splat(f64::INFINITY);
-    let mut hi = Vec3::splat(f64::NEG_INFINITY);
-    for p in pos {
-        lo = lo.min(*p);
-        hi = hi.max(*p);
-    }
-    (lo, hi)
+    morton_sort::morton_order(pos).order
 }
 
 /// Bounding sphere of a local tree's whole domain: centered on the

@@ -26,6 +26,7 @@
 //! and that callers compare against a threshold to trigger a rebuild.
 
 use g5util::morton;
+use g5util::morton_sort;
 use g5util::vec3::Vec3;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -181,25 +182,13 @@ impl Tree {
             morton::BITS_PER_DIM
         );
 
-        // Bounding cube, padded so the max corner quantizes inside the grid.
-        let (lo, hi) = bounds(pos);
-        let center = (lo + hi) * 0.5;
-        let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
-        let inv_side = 1.0 / (2.0 * half);
-
-        // Morton code per particle, then sort indices by code.
-        let codes: Vec<u64> = pos
-            .par_iter()
-            .map(|p| {
-                let u = (p.x - (center.x - half)) * inv_side;
-                let v = (p.y - (center.y - half)) * inv_side;
-                let w = (p.z - (center.z - half)) * inv_side;
-                assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
-                morton::encode_unit(u, v, w)
-            })
-            .collect();
-        let mut order: Vec<u32> = (0..pos.len() as u32).collect();
-        order.par_sort_unstable_by_key(|&i| codes[i as usize]);
+        // Shared quantize + radix sort (g5util::morton_sort): bounding
+        // cube padded so the max corner quantizes inside the grid, one
+        // Morton code per particle, indices radix-sorted by
+        // (code, index) — a stable total order, so particles at equal
+        // codes keep input order regardless of sort implementation.
+        let morton_sort::MortonOrdered { frame, codes, order } = morton_sort::morton_order(pos);
+        let (center, half) = (frame.center, frame.half);
 
         let sorted_codes: Vec<u64> = order.iter().map(|&i| codes[i as usize]).collect();
         let sorted_pos: Vec<Vec3> = order.iter().map(|&i| pos[i as usize]).collect();
@@ -514,13 +503,6 @@ impl Tree {
         }
         walk(self, 0, 0)
     }
-}
-
-fn bounds(pos: &[Vec3]) -> (Vec3, Vec3) {
-    pos.par_iter().map(|&p| (p, p)).reduce(
-        || (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY)),
-        |(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi)),
-    )
 }
 
 #[cfg(test)]

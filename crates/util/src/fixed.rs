@@ -73,11 +73,30 @@ impl FixedFormat {
         self.raw_min() as f64 * self.quantum()
     }
 
+    /// The multiplier `encode` applies before rounding (`2^frac_bits`).
+    ///
+    /// Batch kernels hoist this out of their pair loops and feed it to
+    /// [`encode_with_scale`](Self::encode_with_scale); `exp2` is
+    /// deterministic, so the hoisted value is the same one `encode`
+    /// would recompute per call.
+    #[inline]
+    pub fn encode_scale(self) -> f64 {
+        (self.frac_bits as f64).exp2()
+    }
+
     /// Encode a real value: round to nearest representable, saturate at
     /// the ends of the range. NaN encodes to zero.
     #[inline]
     pub fn encode(self, x: f64) -> Fixed {
-        let scaled = x * (self.frac_bits as f64).exp2();
+        self.encode_with_scale(self.encode_scale(), x)
+    }
+
+    /// [`encode`](Self::encode) with the `2^frac_bits` multiplier
+    /// hoisted by the caller. Bit-identical to `encode` whenever
+    /// `scale == self.encode_scale()`.
+    #[inline]
+    pub fn encode_with_scale(self, scale: f64, x: f64) -> Fixed {
+        let scaled = x * scale;
         let raw = if scaled.is_nan() {
             0
         } else if scaled >= self.raw_max() as f64 {
@@ -158,6 +177,13 @@ impl Fixed {
     #[inline]
     pub fn accumulate(self, term: f64) -> Fixed {
         self.sat_add(self.fmt.encode(term))
+    }
+
+    /// [`accumulate`](Self::accumulate) with the encode multiplier
+    /// hoisted by the caller (see [`FixedFormat::encode_scale`]).
+    #[inline]
+    pub fn accumulate_with_scale(self, scale: f64, term: f64) -> Fixed {
+        self.sat_add(self.fmt.encode_with_scale(scale, term))
     }
 }
 
@@ -300,6 +326,28 @@ mod tests {
     }
 
     #[test]
+    fn hoisted_scale_matches_encode_on_specials() {
+        for f in [FixedFormat::new(64, 32), FixedFormat::new(16, 8), FixedFormat::new(8, 0)] {
+            let s = f.encode_scale();
+            for x in [
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                -0.0,
+                1e300,
+                -1e300,
+                0.5,
+                -1.5,
+                f.max_value(),
+                f.min_value(),
+            ] {
+                assert_eq!(f.encode_with_scale(s, x).raw, f.encode(x).raw, "fmt={f:?} x={x}");
+            }
+        }
+    }
+
+    #[test]
     fn accumulate_many_small_terms() {
         // 64-bit accumulator with 2^-40 quantum: adding one million
         // terms of ~1e-3 must retain ~1e-12 absolute accuracy.
@@ -360,6 +408,22 @@ mod proptests {
             let f = FixedFormat::new(48, 24);
             let v = f.encode(x);
             prop_assert!((v.to_f64() - x).abs() <= 0.5 * f.quantum() + 1e-12);
+        }
+
+        #[test]
+        fn encode_with_hoisted_scale_is_bitwise_encode(
+            x in any::<f64>(),
+            bits in 4u32..=64,
+            frac in -8i32..=48,
+        ) {
+            let f = FixedFormat::new(bits, frac);
+            let hoisted = f.encode_scale();
+            prop_assert_eq!(f.encode_with_scale(hoisted, x).raw, f.encode(x).raw);
+            let acc = Fixed { raw: 123_456_789, fmt: f };
+            prop_assert_eq!(
+                acc.accumulate_with_scale(hoisted, x).raw,
+                acc.accumulate(x).raw
+            );
         }
 
         #[test]

@@ -13,6 +13,8 @@
 //!   the format the G5 pipeline uses internally; this is what gives the
 //!   hardware its characteristic ≈0.3 % pairwise force error.
 //! * [`morton`] — 3-D Morton (Z-order) codes used by the octree build.
+//! * [`morton_sort`] — the shared quantize + LSD-radix-sort step the
+//!   octree build and the cluster domain decomposition both start from.
 //! * [`counters`] — interaction/flop accounting with the 38-operation
 //!   convention the paper (and Warren & Salmon) use.
 //! * [`stats`] — mean / RMS / percentile / histogram helpers used by the
@@ -24,6 +26,7 @@ pub mod fixed;
 pub mod lns;
 pub mod lns_table;
 pub mod morton;
+pub mod morton_sort;
 pub mod stats;
 pub mod vec3;
 

@@ -1,0 +1,567 @@
+//! Shared Morton quantization + radix sort for the host tree pipeline.
+//!
+//! Both host-side consumers of Morton codes — the octree build and the
+//! cluster domain decomposition — quantize a point set onto the same
+//! padded bounding cube and sort particle indices by `(code, index)`.
+//! This module is the single implementation of that step:
+//!
+//! * [`MortonFrame`] — the padded bounding cube, identical to what the
+//!   octree build derives (so a domain boundary is always a Morton-cell
+//!   boundary of the tree grid).
+//! * [`sort_indices`] — a radix sort over the 63-bit codes. The serial
+//!   path is an MSD hybrid: one streaming scatter on the top 11
+//!   *varying* key bits fans the `(code, index)` tuples into 2048
+//!   buckets, oversized buckets (central concentration makes the top
+//!   Morton digits heavily skewed) get one more 11-bit scatter, and
+//!   each small bucket is finished with a comparison sort whose working
+//!   set is cache-hot and whose `log₂` is that of the bucket, not of
+//!   `n`. The multi-thread path is a classic LSD pipeline: 11-bit
+//!   digits least-significant first, per-chunk histograms merged by a
+//!   (digit-major, chunk-minor) prefix sum into disjoint scatter
+//!   ranges, ping-pong buffers, constant digits skipped outright.
+//! * [`sort_indices_comparison`] — the comparison-sort reference the
+//!   radix path is verified against (and A/B-benched against in
+//!   `exp_host`).
+//!
+//! A flat comparison sort pays `O(n log n)` key loads through an
+//! unpredictable-branch partitioner. The MSD hybrid replaces the first
+//! `~22` resolved key bits with two branch-free streaming scatters and
+//! leaves the partitioner only `log₂(bucket)` levels over L1-resident
+//! slices — measured ≈ 1.5× over `sort_unstable` at the headline
+//! N = 262,144 on Plummer-clustered codes. Leading bits every code
+//! agrees on are normalized away first (the digits are taken from
+//! `code << lead`), so a cold start with few occupied octants still
+//! fans out over the full radix.
+
+use crate::morton;
+use crate::vec3::Vec3;
+
+/// The padded bounding cube a point set is quantized onto.
+///
+/// Padding the half-side by one part in 10¹² keeps the maximum corner
+/// strictly inside the `2²¹`-cell grid so it cannot quantize onto a
+/// phantom 22nd cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MortonFrame {
+    /// Cube center.
+    pub center: Vec3,
+    /// Cube half-side (padded).
+    pub half: f64,
+}
+
+impl MortonFrame {
+    /// Frame for a point set (empty input yields a degenerate frame
+    /// that no point will ever be encoded on).
+    pub fn for_points(pos: &[Vec3]) -> MortonFrame {
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for p in pos {
+            lo = lo.min(*p);
+            hi = hi.max(*p);
+        }
+        let center = (lo + hi) * 0.5;
+        let half = ((hi - lo).max_component() * 0.5).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
+        MortonFrame { center, half }
+    }
+
+    /// Morton code per position on this frame's grid, in input order.
+    ///
+    /// # Panics
+    /// On non-finite positions.
+    pub fn codes(&self, pos: &[Vec3]) -> Vec<u64> {
+        let inv_side = 1.0 / (2.0 * self.half);
+        let min = Vec3::new(
+            self.center.x - self.half,
+            self.center.y - self.half,
+            self.center.z - self.half,
+        );
+        let encode = move |p: &Vec3| {
+            let u = (p.x - min.x) * inv_side;
+            let v = (p.y - min.y) * inv_side;
+            let w = (p.z - min.z) * inv_side;
+            assert!(u.is_finite() && v.is_finite() && w.is_finite(), "non-finite position");
+            morton::encode_unit(u, v, w)
+        };
+        let mut out = vec![0u64; pos.len()];
+        let threads = worker_count(pos.len());
+        if threads <= 1 {
+            for (o, p) in out.iter_mut().zip(pos) {
+                *o = encode(p);
+            }
+        } else {
+            let chunk = pos.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (oc, pc) in out.chunks_mut(chunk).zip(pos.chunks(chunk)) {
+                    s.spawn(move || {
+                        for (o, p) in oc.iter_mut().zip(pc) {
+                            *o = encode(p);
+                        }
+                    });
+                }
+            });
+        }
+        out
+    }
+}
+
+/// A Morton-quantized point set with its sorted order.
+#[derive(Debug, Clone)]
+pub struct MortonOrdered {
+    /// The frame the codes were quantized on.
+    pub frame: MortonFrame,
+    /// Morton code per input particle (input order).
+    pub codes: Vec<u64>,
+    /// Particle indices sorted ascending by `(code, index)`.
+    pub order: Vec<u32>,
+}
+
+/// Quantize and sort a point set in one call — the step both the octree
+/// build and the domain decomposition start from.
+///
+/// # Panics
+/// On non-finite positions.
+pub fn morton_order(pos: &[Vec3]) -> MortonOrdered {
+    let frame = MortonFrame::for_points(pos);
+    let codes = frame.codes(pos);
+    let order = sort_indices(&codes);
+    MortonOrdered { frame, codes, order }
+}
+
+/// Indices `0..codes.len()` sorted ascending by `(code, index)` via the
+/// radix pipeline (serial MSD hybrid or threaded LSD).
+pub fn sort_indices(codes: &[u64]) -> Vec<u32> {
+    sort_indices_with_threads(codes, worker_count(codes.len()))
+}
+
+/// Comparison-sort reference for [`sort_indices`]: same `(code, index)`
+/// total order through `sort_unstable_by_key`. Kept callable so the
+/// radix referees and the `exp_host` A/B column can measure against it
+/// in the same build.
+pub fn sort_indices_comparison(codes: &[u64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..codes.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| (codes[i as usize], i));
+    order
+}
+
+/// How many worker threads an `n`-element pass is worth.
+fn worker_count(n: usize) -> usize {
+    const MIN_PER_THREAD: usize = 1 << 14;
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    hw.min(n.div_ceil(MIN_PER_THREAD)).max(1)
+}
+
+/// A raw pointer the scatter phase may send across scoped threads.
+/// Safety argument at the single use site.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut (u64, u32));
+unsafe impl Send for SendPtr {}
+
+/// Digit width. 11 bits is the measured sweet spot at the headline
+/// N = 262144: the 2048 scatter destinations keep only 128 KiB of
+/// output lines hot (L2-resident), the LSD path covers all 64 key bits
+/// in 6 passes, and the MSD path's buckets average `n / 2048` elements
+/// — small enough that the finishing comparison sorts run in L1.
+const DIGIT_BITS: u32 = 11;
+const RADIX: usize = 1 << DIGIT_BITS;
+const DIGIT_MASK: u64 = RADIX as u64 - 1;
+const PASSES: u32 = u64::BITS.div_ceil(DIGIT_BITS);
+
+fn digit_histogram(part: &[(u64, u32)], shift: u32) -> Box<[u32; RADIX]> {
+    let mut h = vec![0u32; RADIX].into_boxed_slice();
+    for &(c, _) in part {
+        h[((c >> shift) & DIGIT_MASK) as usize] += 1;
+    }
+    h.try_into().expect("histogram length is RADIX")
+}
+
+/// Below this the MSD bucket machinery (two 8 KiB histograms to zero,
+/// a 2048-way fan-out over a handful of elements) costs more than it
+/// saves; `sort_unstable` on the whole input is already cache-resident.
+const MSD_MIN_N: usize = 512;
+
+/// Buckets larger than this get a second 11-bit scatter before the
+/// comparison finish. Plummer-clustered codes concentrate ~12% of the
+/// particles in one top-digit cell; one extra level caps the
+/// partitioner depth at `log₂(BIG)` instead of `log₂(n)`.
+const MSD_BIG_BUCKET: usize = 8192;
+
+/// A grow-only tuple buffer on its own 2 MiB-aligned allocation.
+///
+/// The scatter writes this buffer through 2048 bucket cursors at once,
+/// and that access pattern turned out to be acutely sensitive to where
+/// the block lands: the same sort measured ~65% slower when the
+/// scratch was first allocated late in a long-running harness (malloc
+/// arena placement) than when it came from a fresh heap (dedicated
+/// mapping). Requesting 2 MiB alignment forces the allocator to carve
+/// a dedicated mapping regardless of the arena's history, which makes
+/// the sort's speed independent of what the surrounding process did
+/// first. Freshly grown memory is zeroed once so the handed-out slice
+/// is always initialized; every sort overwrites it anyway (the scatter
+/// ranges tile `[0, n)`).
+struct TupleBuf {
+    ptr: std::ptr::NonNull<(u64, u32)>,
+    cap: usize,
+}
+
+impl TupleBuf {
+    const ALIGN: usize = 2 << 20;
+
+    const fn new() -> TupleBuf {
+        TupleBuf { ptr: std::ptr::NonNull::dangling(), cap: 0 }
+    }
+
+    fn layout(cap: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(cap * size_of::<(u64, u32)>(), TupleBuf::ALIGN)
+            .expect("tuple buffer layout")
+    }
+
+    /// A `&mut [(u64, u32)]` of length `n`, reusing the allocation when
+    /// it is already big enough.
+    fn ensure(&mut self, n: usize) -> &mut [(u64, u32)] {
+        if n > self.cap {
+            if self.cap > 0 {
+                // SAFETY: allocated below with the same layout recipe.
+                unsafe { std::alloc::dealloc(self.ptr.as_ptr().cast(), TupleBuf::layout(self.cap)) }
+            }
+            let cap = n.next_power_of_two();
+            // SAFETY: layout has non-zero size (n > cap >= 0 here).
+            let raw = unsafe { std::alloc::alloc_zeroed(TupleBuf::layout(cap)) };
+            self.ptr = std::ptr::NonNull::new(raw.cast())
+                .unwrap_or_else(|| std::alloc::handle_alloc_error(TupleBuf::layout(cap)));
+            self.cap = cap;
+        }
+        // SAFETY: ptr covers cap >= n zero-initialized tuples, and the
+        // borrow of self guards aliasing.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), n) }
+    }
+}
+
+impl Drop for TupleBuf {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: allocated in ensure() with the same layout.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr().cast(), TupleBuf::layout(self.cap)) }
+        }
+    }
+}
+
+/// Reusable tuple buffers for the serial MSD path.
+///
+/// A sort at the headline N touches ~4 MB of scratch; allocating it
+/// fresh every call means a page-fault storm whenever the surrounding
+/// process has fragmented the heap (measured: +40% sort time inside
+/// the host harness vs a standalone probe). The tree build runs this
+/// sort every step, so the scratch is kept thread-local and reused —
+/// same recycling discipline as the traversal plan buffers.
+struct SerialScratch {
+    /// The bucketed `(code, index)` tuples.
+    buf: TupleBuf,
+    /// Staging copy for second-level scatters of oversized buckets.
+    sub: TupleBuf,
+}
+
+thread_local! {
+    static SERIAL_SCRATCH: std::cell::RefCell<SerialScratch> =
+        const { std::cell::RefCell::new(SerialScratch { buf: TupleBuf::new(), sub: TupleBuf::new() }) };
+}
+
+/// Serial MSD hybrid: scatter on the top 11 varying key bits, re-split
+/// oversized buckets once, comparison-sort the rest.
+///
+/// Digits are taken from `code << lead` (the leading bits every code
+/// agrees on are shifted away), so the top digit always spans actually
+/// varying bits. Bucket membership is monotone in the code, each bucket
+/// is a contiguous range of the final order, and within a bucket the
+/// `(code, index)` tuples are unique — `sort_unstable` on them yields
+/// exactly the stable `(code, index)` total order the LSD path and the
+/// comparison referee produce. A bucket that still exceeds
+/// [`MSD_BIG_BUCKET`] after the second scatter just falls back to the
+/// `O(len log len)` finish — correct, merely slower, and unreachable
+/// from 63-bit Morton codes at the problem sizes the tree feeds.
+fn sort_serial_msd(codes: &[u64], diff: u64) -> Vec<u32> {
+    SERIAL_SCRATCH.with(|cell| sort_serial_msd_with(codes, diff, &mut cell.borrow_mut()))
+}
+
+fn sort_serial_msd_with(codes: &[u64], diff: u64, scratch: &mut SerialScratch) -> Vec<u32> {
+    let n = codes.len();
+    if diff == 0 {
+        // Every code equal: the (code, index) order is the identity.
+        return (0..n as u32).collect();
+    }
+    if n < MSD_MIN_N {
+        return sort_indices_comparison(codes);
+    }
+    let lead = diff.leading_zeros();
+    let top = u64::BITS - DIGIT_BITS; // digit 0: bits 53..64 of code << lead
+    let sub_shift = u64::BITS - 2 * DIGIT_BITS; // digit 1: bits 42..53
+    let mut hist = [0u32; RADIX];
+    for &c in codes {
+        hist[((c << lead) >> top) as usize] += 1;
+    }
+    // Exclusive prefix: offs[d]..offs[d + 1] is bucket d's slot range.
+    let mut offs = [0u32; RADIX + 1];
+    let mut sum = 0u32;
+    for (o, &h) in offs.iter_mut().zip(hist.iter()) {
+        *o = sum;
+        sum += h;
+    }
+    offs[RADIX] = sum;
+    let SerialScratch { buf, sub } = scratch;
+    let buf = buf.ensure(n);
+    {
+        let mut cur = offs;
+        let bufp = buf.as_mut_ptr();
+        for (i, &c) in codes.iter().enumerate() {
+            let d = ((c << lead) >> top) as usize;
+            // SAFETY: cur[d] walks the half-open slot range the prefix
+            // sum assigned to digit d; the ranges tile exactly [0, n),
+            // so every write is in bounds.
+            unsafe { bufp.add(cur[d] as usize).write((c, i as u32)) };
+            cur[d] += 1;
+        }
+    }
+    for d in 0..RADIX {
+        let bucket = &mut buf[offs[d] as usize..offs[d + 1] as usize];
+        if bucket.len() <= 1 {
+            continue;
+        }
+        if bucket.len() <= MSD_BIG_BUCKET {
+            bucket.sort_unstable();
+            continue;
+        }
+        // Second level: stable 11-bit scatter within the bucket (the
+        // staging copy preserves input order), then finish each
+        // sub-bucket.
+        let mut h2 = [0u32; RADIX];
+        for &(c, _) in bucket.iter() {
+            h2[(((c << lead) >> sub_shift) & DIGIT_MASK) as usize] += 1;
+        }
+        let mut o2 = [0u32; RADIX];
+        let mut s2 = 0u32;
+        for (o, &h) in o2.iter_mut().zip(h2.iter()) {
+            *o = s2;
+            s2 += h;
+        }
+        let sub = sub.ensure(bucket.len());
+        sub.copy_from_slice(bucket);
+        for &(c, i) in sub.iter() {
+            let d2 = (((c << lead) >> sub_shift) & DIGIT_MASK) as usize;
+            bucket[o2[d2] as usize] = (c, i);
+            o2[d2] += 1;
+        }
+        let mut start = 0usize;
+        for &len2 in h2.iter() {
+            let len2 = len2 as usize;
+            if len2 > 1 {
+                bucket[start..start + len2].sort_unstable();
+            }
+            start += len2;
+        }
+    }
+    buf.iter().map(|&(_, i)| i).collect()
+}
+
+/// Exclusive prefix sum in (digit-major, chunk-minor) order:
+/// `hists[t][d]` becomes the first output slot for chunk t's digit-d
+/// elements, which makes the scatter stable.
+fn prefix_sum(hists: &mut [Box<[u32; RADIX]>]) {
+    let mut sum = 0u32;
+    for d in 0..RADIX {
+        for h in hists.iter_mut() {
+            let c = h[d];
+            h[d] = sum;
+            sum += c;
+        }
+    }
+}
+
+pub(crate) fn sort_indices_with_threads(codes: &[u64], threads: usize) -> Vec<u32> {
+    let n = codes.len();
+    assert!(n <= u32::MAX as usize, "point count exceeds u32 index space");
+    if n <= 1 {
+        return (0..n as u32).collect();
+    }
+    // Digits where every code agrees would be stable identity passes —
+    // find them once and skip them.
+    let first = codes[0];
+    let mut diff = 0u64;
+    for &c in codes {
+        diff |= c ^ first;
+    }
+    let threads = threads.clamp(1, 64).min(n);
+    if threads == 1 {
+        return sort_serial_msd(codes, diff);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut src: Vec<(u64, u32)> = codes.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+    let mut dst: Vec<(u64, u32)> = vec![(0, 0); n];
+    for pass in 0..PASSES {
+        let shift = pass * DIGIT_BITS;
+        if (diff >> shift) & DIGIT_MASK == 0 {
+            continue;
+        }
+        // Phase 1: one histogram per thread chunk (chunk contents
+        // change every pass, so these cannot be hoisted like the
+        // serial path's).
+        let mut hists: Vec<Box<[u32; RADIX]>> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                src.chunks(chunk).map(|ch| s.spawn(move || digit_histogram(ch, shift))).collect();
+            handles.into_iter().map(|h| h.join().expect("histogram worker panicked")).collect()
+        });
+        prefix_sum(&mut hists);
+        // Phase 2: scatter. Each (chunk, digit) pair owns the disjoint
+        // slot range [offset, offset + count), so concurrent writes
+        // never alias.
+        let dstp = SendPtr(dst.as_mut_ptr());
+        std::thread::scope(|s| {
+            for (ch, offs) in src.chunks(chunk).zip(hists) {
+                let mut offs = offs;
+                s.spawn(move || {
+                    let dstp = dstp;
+                    for &(c, i) in ch {
+                        let d = ((c >> shift) & DIGIT_MASK) as usize;
+                        // SAFETY: slot ranges are disjoint across
+                        // (chunk, digit) pairs by the prefix-sum
+                        // construction above, and `dst` outlives
+                        // the scope.
+                        unsafe { *dstp.0.add(offs[d] as usize) = (c, i) };
+                        offs[d] += 1;
+                    }
+                });
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src.iter().map(|&(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn check(codes: &[u64]) {
+        let want = sort_indices_comparison(codes);
+        assert_eq!(sort_indices(codes), want, "radix != comparison on n={}", codes.len());
+        for t in 1..=4 {
+            assert_eq!(sort_indices_with_threads(codes, t), want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn radix_matches_comparison_on_edge_sizes() {
+        for n in [0usize, 1, 2, 3, 255, 256, 257, 1000] {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(n as u64);
+            let codes: Vec<u64> = (0..n).map(|_| rng.random::<u64>() >> 1).collect();
+            check(&codes);
+        }
+    }
+
+    #[test]
+    fn radix_matches_comparison_on_degenerate_keys() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        // heavy duplicates: 4 distinct codes over 10k elements
+        let dup: Vec<u64> = (0..10_000).map(|_| rng.random_range(0u64..4) << 40).collect();
+        check(&dup);
+        // all equal → every pass skipped, order must be identity
+        let same = vec![0xABCDu64; 513];
+        assert_eq!(sort_indices(&same), (0..513u32).collect::<Vec<_>>());
+        // pre-sorted and reverse-sorted
+        let sorted: Vec<u64> = (0..2000u64).collect();
+        check(&sorted);
+        let rev: Vec<u64> = (0..2000u64).rev().collect();
+        check(&rev);
+        // only high bytes vary (low passes all skipped)
+        let high: Vec<u64> =
+            (0..3000).map(|_| (rng.random::<u64>() >> 1) & !0xFFFF_FFFFu64).collect();
+        check(&high);
+    }
+
+    #[test]
+    fn stability_breaks_ties_by_index() {
+        let codes = [5u64, 1, 5, 1, 5, 1];
+        assert_eq!(sort_indices(&codes), vec![1, 3, 5, 0, 2, 4]);
+    }
+
+    #[test]
+    fn frame_codes_round_trip_through_order() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let pos: Vec<Vec3> = (0..4096)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-3.0..3.0),
+                    rng.random_range(-3.0..3.0),
+                    rng.random_range(-3.0..3.0),
+                )
+            })
+            .collect();
+        let m = morton_order(&pos);
+        assert_eq!(m.codes.len(), pos.len());
+        assert_eq!(m.order.len(), pos.len());
+        // order is a permutation sorted by (code, index)
+        let mut seen = vec![false; pos.len()];
+        for w in m.order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (ca, cb) = (m.codes[a as usize], m.codes[b as usize]);
+            assert!(ca < cb || (ca == cb && a < b));
+        }
+        for &i in &m.order {
+            assert!(!std::mem::replace(&mut seen[i as usize], true));
+        }
+    }
+
+    /// Quick A/B probe at the headline size (the real gate lives in
+    /// `exp_host`): `cargo test -p g5util --release -- --ignored
+    /// radix_probe --nocapture`.
+    #[test]
+    #[ignore = "perf probe, run manually in release"]
+    fn radix_probe_beats_comparison_at_headline_n() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(262_144);
+        let codes: Vec<u64> = (0..262_144).map(|_| rng.random::<u64>() >> 1).collect();
+        let time = |f: &dyn Fn() -> Vec<u32>| {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = std::time::Instant::now();
+                let got = f();
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(got.len(), codes.len());
+            }
+            best
+        };
+        let radix = time(&|| sort_indices(&codes));
+        let comparison = time(&|| sort_indices_comparison(&codes));
+        println!(
+            "radix {:.2} ms vs comparison {:.2} ms ({:.2}x)",
+            radix * 1e3,
+            comparison * 1e3,
+            comparison / radix
+        );
+        assert_eq!(sort_indices(&codes), sort_indices_comparison(&codes));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_positions_are_rejected() {
+        let pos = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(f64::NAN, 0.0, 0.0)];
+        let frame = MortonFrame::for_points(&[Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)]);
+        let _ = frame.codes(&pos);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn radix_is_comparison_sort(codes in proptest::collection::vec(any::<u64>(), 0..2000)) {
+            prop_assert_eq!(sort_indices(&codes), sort_indices_comparison(&codes));
+        }
+
+        #[test]
+        fn forced_thread_counts_agree(codes in proptest::collection::vec(any::<u64>(), 0..800), t in 1usize..6) {
+            prop_assert_eq!(sort_indices_with_threads(&codes, t), sort_indices_comparison(&codes));
+        }
+    }
+}

@@ -248,3 +248,151 @@ fn parallel_dispatch_matches_sequential_reference() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Lane-path suite: the SIMD / portable exact-mode kernels against the
+// fixture and the scalar skeleton.
+// ---------------------------------------------------------------------
+
+use grape5_nbody::grape5::pipeline::JSlices;
+use grape5_nbody::grape5::LanePath;
+use grape5_nbody::util::fixed::{Fixed, FixedFormat};
+
+/// Every lane path available on this machine, plus the scalar referee.
+fn lane_paths() -> Vec<LanePath> {
+    let mut v = vec![LanePath::Scalar, LanePath::Portable];
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx2") {
+        v.push(LanePath::Avx2);
+    }
+    v
+}
+
+/// The lane kernels reproduce the checked-in fixture: for each golden
+/// pair, a one-i × one-j `interact_block` readback must equal the
+/// fixture-recorded pipeline output pushed through one fixed-point
+/// accumulate — the definitional readback of a single term. This pins
+/// the lane paths' fixed-point dx subtract and quantization to the same
+/// bits `pair_exact` produced when the fixture was captured.
+#[test]
+fn lane_block_reproduces_golden_bits_in_exact_mode() {
+    let (q, pairs) = load_fixture();
+    let fmt = Grape5Config::paper().acc_format;
+    for (ei, &eps) in EPS.iter().enumerate() {
+        let combo = ei * 4; // (eps, Exact, no cutoff) in fixture order
+        let cfg = Grape5Config { mode: ArithMode::Exact, ..Grape5Config::paper() };
+        let mut pipe = G5Pipeline::new(&cfg, q, eps);
+        for path in lane_paths() {
+            pipe.set_lane_path(path);
+            for (k, pair) in pairs.iter().enumerate() {
+                let m_lns = [pair.j.m_lns];
+                let j = JSlices {
+                    x: &pair.j.raw[0..1],
+                    y: &pair.j.raw[1..2],
+                    z: &pair.j.raw[2..3],
+                    m: std::slice::from_ref(&pair.j.m),
+                    m_lns: &m_lns,
+                };
+                let mut out = [grape5_nbody::grape5::Force::ZERO];
+                pipe.interact_block(&[pair.xi], &j, 1.0, fmt, &mut out);
+                let want = pair.bits[combo]
+                    .map(|b| Fixed::zero(fmt).accumulate(f64::from_bits(b)).to_f64().to_bits());
+                assert_eq!(
+                    force_bits(&out[0]),
+                    want,
+                    "lane {path:?} drifts from fixture at pair {k} eps {eps}"
+                );
+            }
+        }
+    }
+}
+
+/// Edge cases the lane structure could plausibly break — remainder
+/// tails (j-counts ≢ 0 mod 4), zero-mass j-particles, coincident i/j
+/// pairs — are bit-identical across the scalar, portable and (where
+/// available) AVX2 paths, at unit and accumulator-stressing force
+/// scales, for a range of accumulator formats.
+#[test]
+fn lane_edge_cases_bit_identical_across_paths() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let scaler = RangeScaler::new(-1.0, 1.0, 32);
+    let q = scaler.quantum();
+    let cfg = Grape5Config { mode: ArithMode::Exact, ..Grape5Config::paper() };
+    let mut pipe = G5Pipeline::new(&cfg, q, 0.005);
+    let quant = |rng: &mut ChaCha8Rng| scaler.quantize(rng.random_range(-0.9..0.9));
+    let mut xi: Vec<[i64; 3]> =
+        (0..37).map(|_| [quant(&mut rng), quant(&mut rng), quant(&mut rng)]).collect();
+    let (mut jx, mut jy, mut jz, mut jm) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for k in 0..301usize {
+        let raw = if k % 13 == 2 {
+            xi[k % xi.len()] // coincident with an i-particle
+        } else {
+            [quant(&mut rng), quant(&mut rng), quant(&mut rng)]
+        };
+        jx.push(raw[0]);
+        jy.push(raw[1]);
+        jz.push(raw[2]);
+        jm.push(if k % 11 == 5 { 0.0 } else { rng.random_range(0.01..10.0) });
+    }
+    xi.push([jx[0], jy[0], jz[0]]); // i coincident with j 0 (covers nj = 1)
+    let jml: Vec<Lns> = jm.iter().map(|&m| pipe.encode_mass(m)).collect();
+    for &nj in &[1usize, 3, 5, 301] {
+        let j =
+            JSlices { x: &jx[..nj], y: &jy[..nj], z: &jz[..nj], m: &jm[..nj], m_lns: &jml[..nj] };
+        for fmt in [Grape5Config::paper().acc_format, FixedFormat::new(32, 16)] {
+            for force_scale in [1.0, 1e-7] {
+                let mut outs = Vec::new();
+                for path in lane_paths() {
+                    pipe.set_lane_path(path);
+                    let mut out = vec![grape5_nbody::grape5::Force::ZERO; xi.len()];
+                    pipe.interact_block(&xi, &j, force_scale, fmt, &mut out);
+                    outs.push((path, out));
+                }
+                let (_, ref scalar) = outs[0];
+                for (path, out) in &outs[1..] {
+                    for (k, (a, b)) in scalar.iter().zip(out).enumerate() {
+                        assert_eq!(
+                            force_bits(a),
+                            force_bits(b),
+                            "{path:?} diverges at i {k} nj {nj} fmt {fmt:?} scale {force_scale}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// System level: the full board-parallel `force_on` is bit-identical
+/// whichever lane path is forced, and the override survives the
+/// pipeline rebuild `set_range` / `set_eps` trigger.
+#[test]
+fn system_force_is_lane_path_invariant() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let pos: Vec<Vec3> = (0..150)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-0.9..0.9),
+                rng.random_range(-0.9..0.9),
+                rng.random_range(-0.9..0.9),
+            )
+        })
+        .collect();
+    let mass: Vec<f64> = (0..150).map(|_| rng.random_range(0.01..1.0)).collect();
+    let mut forces = Vec::new();
+    for path in lane_paths() {
+        let mut g5 = Grape5::open(Grape5Config::paper_exact());
+        g5.set_lane_path(path);
+        g5.set_range(-1.0, 1.0); // rebuilds the pipeline: override must stick
+        g5.set_eps(0.01);
+        assert_eq!(g5.lane_path(), path, "lane override lost across rebuild");
+        g5.set_j_particles(&pos, &mass);
+        forces.push((path, g5.force_on(&pos)));
+    }
+    let (_, ref reference) = forces[0];
+    for (path, f) in &forces[1..] {
+        for (k, (a, b)) in reference.iter().zip(f).enumerate() {
+            assert_eq!(force_bits(a), force_bits(b), "{path:?} system divergence at i {k}");
+        }
+    }
+}
