@@ -127,6 +127,7 @@ fn measure(n: usize, k: usize, steps: u64) -> ClusterCell {
                 iface_words: now.iface_words - p.iface_words,
                 calls: now.calls - p.calls,
                 interactions: now.interactions - p.interactions,
+                j_words: now.j_words - p.j_words,
             };
             *p = now;
             let report: ClockReport = delta.report(&cfg.base.grape);

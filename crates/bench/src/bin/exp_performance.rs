@@ -296,6 +296,7 @@ fn rescale_to_paper(m: &RunMeasurement) -> RunMeasurement {
         iface_words: (m.grape.iface_words as f64 * scale_int) as u64,
         calls: (m.grape.calls as f64 * scale_lists) as u64,
         interactions: modified.interactions,
+        j_words: (m.grape.j_words as f64 * scale_int) as u64,
     };
     let orig_per_target = m.original_interactions as f64 / (m.n as u64 * evals) as f64;
     // original lists are almost all cell terms; their depth factor is

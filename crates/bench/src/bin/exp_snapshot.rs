@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! cargo run --release -p g5-bench --bin exp_snapshot -- \
-//!     [--n 17000] [--steps 200] [--out figure4.pgm] [--ascii 64] \
+//!     [--n 17000] [--steps 200] [--out artifacts/figure4.pgm] [--ascii 64] \
 //!     [--checkpoint-every 20] [--checkpoint-dir figure4_ckpt] [--resume]
 //! ```
 //!
@@ -31,7 +31,7 @@ fn main() {
     let args = Args::parse();
     let n_target: usize = args.get("n", 17_000);
     let steps: u64 = args.get("steps", 200);
-    let out: String = args.get("out", "figure4.pgm".to_string());
+    let out: String = args.get("out", "artifacts/figure4.pgm".to_string());
     let ascii_px: usize = args.get("ascii", 64);
     let ckpt_every: u64 = args.get("checkpoint-every", 0);
     let ckpt_dir: String = args.get("checkpoint-dir", "figure4_ckpt".to_string());
@@ -113,7 +113,11 @@ fn main() {
     let com = sim.state.center_of_mass();
     let spec = SlabSpec { center: com, ..SlabSpec::figure4(512) };
     let map = project_slab(&sim.state.pos, &spec);
-    map.write_pgm(std::path::Path::new(&out)).expect("write PGM");
+    let out_path = std::path::Path::new(&out);
+    if let Some(dir) = out_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    map.write_pgm(out_path).expect("write PGM");
     println!();
     println!(
         "Figure 4 analog: {} particles in the 45x45x2.5 Mpc slab -> {out} ({}x{} PGM)",

@@ -1,26 +1,43 @@
-//! **E14 — benchmark suite driver and cross-PR trajectory ledger.**
+//! **E14 — benchmark suite driver, cross-PR trajectory ledger, and
+//! regression gate.**
 //!
-//! Runs the kernel and host harnesses (`exp_kernel`, `exp_host`) as
-//! sibling binaries, aggregates their PR 8 headline numbers into
-//! `BENCH_pr8.json`, and maintains `BENCH_trajectory.json` — a
-//! cumulative, commit-keyed ledger of each PR's headline metric, so a
-//! regression in any later PR is visible as a broken monotone series
-//! instead of requiring archaeology across per-PR report files.
+//! Runs the kernel, host, cluster, endurance, and flagship harnesses
+//! (`exp_kernel`, `exp_host`, `exp_cluster`, `exp_endurance`,
+//! `exp_flagship`) as sibling binaries, aggregates the kernel/host
+//! headline numbers into the suite report, and maintains
+//! `BENCH_trajectory.json` — a cumulative, commit-keyed ledger of each
+//! PR's headline metrics, so a regression in any later PR is visible as
+//! a broken monotone series instead of requiring archaeology across
+//! per-PR report files.
 //!
 //! ```text
 //! cargo run --release -p g5-bench --bin exp_suite -- \
-//!     [--quick] [--append] [--out BENCH_pr8.json] \
-//!     [--trajectory BENCH_trajectory.json] \
-//!     [--kernel-json K.json] [--host-json H.json]
+//!     [--quick] [--append] [--gate] [--gate-only] \
+//!     [--out BENCH_pr8.json] [--trajectory BENCH_trajectory.json] \
+//!     [--kernel-json K.json] [--host-json H.json] \
+//!     [--cluster-json C.json] [--endurance-json E.json] \
+//!     [--flagship-json F.json]
 //! ```
 //!
 //! Without `--append` the trajectory is (re)seeded: the committed
 //! `BENCH_pr3/4/6/7.json` reports are mined for their headline numbers,
 //! each keyed by the commit that last touched its file, and this run's
-//! PR 8 rows are added at `HEAD`. With `--append` the existing ledger
-//! is kept verbatim and only this run's rows are appended — the mode CI
-//! and future PRs use. `--kernel-json` / `--host-json` reuse existing
-//! reports instead of re-running the harnesses.
+//! rows are added at `HEAD`. With `--append` the existing ledger is
+//! kept verbatim and only this run's rows are appended — the mode CI
+//! and future PRs use. `--kernel-json` etc. reuse existing reports
+//! instead of re-running the harnesses; rows mined from a reused report
+//! are keyed by the commit that last touched the file and skipped
+//! entirely when an identical (metric, n, value) row is already in the
+//! ledger.
+//!
+//! **The gate.** `--gate` fails the run (exit 1) if, for any
+//! (metric, n) series in the final ledger, the newest entry is more
+//! than 10 % worse than the best earlier entry. "Worse" is
+//! direction-aware: speedups and interaction rates are
+//! higher-is-better; drift envelopes and modeled seconds are
+//! lower-is-better. `--gate-only` runs just that check against the
+//! committed ledger without executing any harness — the cheap CI mode
+//! that makes a regressed appended row fail the build.
 
 use g5_bench::Args;
 use std::fmt::Write as _;
@@ -39,6 +56,83 @@ fn json_f64(line: &str, key: &str) -> Option<f64> {
 /// First value of `key` anywhere in a report.
 fn json_f64_any(text: &str, key: &str) -> Option<f64> {
     text.lines().find_map(|l| json_f64(l, key))
+}
+
+/// Pull a string field out of one hand-rolled JSON line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Direction of goodness for a trajectory metric: drift envelopes and
+/// modeled/wall seconds regress upward, speedups and rates regress
+/// downward.
+fn lower_is_better(metric: &str) -> bool {
+    metric.contains("drift") || (metric.ends_with("_s") && !metric.ends_with("_per_s"))
+}
+
+/// (metric, n, value) triples parsed from ledger entry lines, in ledger
+/// (chronological) order.
+fn parse_rows(lines: &[String]) -> Vec<(String, u64, f64)> {
+    lines
+        .iter()
+        .filter_map(|l| {
+            Some((json_str(l, "metric")?, json_f64(l, "n")? as u64, json_f64(l, "value")?))
+        })
+        .collect()
+}
+
+/// The regression check: for every (metric, n) series with at least two
+/// entries, the newest must be within `tol` (fractional) of the best
+/// earlier value in the metric's good direction. Returns one message
+/// per failing series.
+fn gate_failures(rows: &[(String, u64, f64)], tol: f64) -> Vec<String> {
+    use std::collections::BTreeMap;
+    let mut series: BTreeMap<(String, u64), Vec<f64>> = BTreeMap::new();
+    for (m, n, v) in rows {
+        series.entry((m.clone(), *n)).or_default().push(*v);
+    }
+    let mut fails = Vec::new();
+    for ((metric, n), vs) in series {
+        if vs.len() < 2 {
+            continue;
+        }
+        let newest = *vs.last().unwrap();
+        let prior = &vs[..vs.len() - 1];
+        let lb = lower_is_better(&metric);
+        let best = if lb {
+            prior.iter().copied().fold(f64::INFINITY, f64::min)
+        } else {
+            prior.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        };
+        let regressed = if lb { newest > best * (1.0 + tol) } else { newest < best * (1.0 - tol) };
+        if regressed {
+            let pct = 100.0 * (newest - best) / best;
+            fails.push(format!(
+                "{metric} (n = {n}, {}): newest {newest:.6e} vs best-known {best:.6e} ({pct:+.1}%)",
+                if lb { "lower is better" } else { "higher is better" },
+            ));
+        }
+    }
+    fails
+}
+
+/// Run the gate over ledger lines; returns true when clean.
+fn run_gate(lines: &[String]) -> bool {
+    let fails = gate_failures(&parse_rows(lines), 0.10);
+    println!();
+    if fails.is_empty() {
+        println!("gate: no (metric, n) series regressed by more than 10% — PASS");
+        true
+    } else {
+        println!("gate: {} series regressed by more than 10% — FAIL", fails.len());
+        for f in &fails {
+            println!("  {f}");
+        }
+        false
+    }
 }
 
 /// Short hash of the commit that last touched `path` (`HEAD` if None).
@@ -139,26 +233,61 @@ fn seed_entries() -> Vec<Entry> {
     out
 }
 
+/// The PR label stamped on rows appended by this build of the suite.
+const CURRENT_PR: &str = "pr9";
+
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
     let append = args.flag("append");
+    let gate = args.flag("gate");
     let out_path: String = args.get("out", "BENCH_pr8.json".to_string());
     let traj_path: String = args.get("trajectory", "BENCH_trajectory.json".to_string());
+
+    if args.flag("gate-only") {
+        let text = std::fs::read_to_string(&traj_path).expect("trajectory ledger readable");
+        let lines: Vec<String> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\"pr\""))
+            .map(|l| l.to_string())
+            .collect();
+        println!("gate-only: checking {} ledger entries in {traj_path}", lines.len());
+        if !run_gate(&lines) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let kernel_json: String = args.get("kernel-json", String::new());
     let host_json: String = args.get("host-json", String::new());
+    let cluster_json: String = args.get("cluster-json", String::new());
+    let endurance_json: String = args.get("endurance-json", String::new());
+    let flagship_json: String = args.get("flagship-json", String::new());
 
+    // run each harness, or reuse an existing report; a reused report's
+    // rows are keyed by the commit that last touched the file
     let tmp = std::env::temp_dir();
-    let kernel_text = if kernel_json.is_empty() {
-        run_sibling("exp_kernel", &tmp.join("exp_suite_kernel.json"), quick)
-    } else {
-        std::fs::read_to_string(&kernel_json).expect("kernel report readable")
+    let get = |name: &str, json: &String, out: &str| -> (String, String) {
+        if json.is_empty() {
+            (run_sibling(name, &tmp.join(out), quick), commit_for(None))
+        } else {
+            // a reused report keeps its own commit key; a not-yet-
+            // committed report (this PR's fresh numbers) keys at HEAD
+            let c = match commit_for(Some(json)) {
+                c if c == "unknown" => commit_for(None),
+                c => c,
+            };
+            (std::fs::read_to_string(json).unwrap_or_else(|e| panic!("read {json}: {e}")), c)
+        }
     };
-    let host_text = if host_json.is_empty() {
-        run_sibling("exp_host", &tmp.join("exp_suite_host.json"), quick)
-    } else {
-        std::fs::read_to_string(&host_json).expect("host report readable")
-    };
+    let (kernel_text, kernel_commit) = get("exp_kernel", &kernel_json, "exp_suite_kernel.json");
+    let (host_text, host_commit) = get("exp_host", &host_json, "exp_suite_host.json");
+    let (cluster_text, cluster_commit) =
+        get("exp_cluster", &cluster_json, "exp_suite_cluster.json");
+    let (endurance_text, endurance_commit) =
+        get("exp_endurance", &endurance_json, "exp_suite_endurance.json");
+    let (flagship_text, flagship_commit) =
+        get("exp_flagship", &flagship_json, "exp_suite_flagship.json");
 
     // ---- mine this run's PR 8 headline numbers ----
     let exact_rows: Vec<&str> = kernel_text
@@ -174,11 +303,42 @@ fn main() {
         json_f64(headline_kernel, "n").unwrap() as u64,
         json_f64(headline_kernel, "lane_speedup").unwrap(),
     );
-    let sort_n = json_f64_any(&host_text, "sort_n").expect("sort_n in exp_host report") as u64;
+    // a raw exp_host report carries "sort_n"; a reused suite aggregate
+    // carries the same number as "n" on its "host_sort" line
+    let sort_n = json_f64_any(&host_text, "sort_n")
+        .or_else(|| {
+            host_text.lines().find(|l| l.contains("\"host_sort\"")).and_then(|l| json_f64(l, "n"))
+        })
+        .expect("sort_n in exp_host report") as u64;
     let sort_speedup = json_f64_any(&host_text, "sort_speedup").expect("sort_speedup");
     let build_radix = json_f64_any(&host_text, "build_radix_s").expect("build_radix_s");
     let build_cmp = json_f64_any(&host_text, "build_comparison_s").expect("build_comparison_s");
     let head = commit_for(None);
+
+    // ---- mine the cluster / endurance / flagship headline numbers ----
+    let (cluster_n, cluster_rate) = cluster_text
+        .lines()
+        .filter_map(|l| Some((json_f64(l, "n")? as u64, json_f64(l, "interactions_per_s")?)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("interactions_per_s rows in exp_cluster report");
+    let endurance_n = json_f64_any(&endurance_text, "n").expect("n in exp_endurance report") as u64;
+    let endurance_drift =
+        json_f64_any(&endurance_text, "max_energy_drift").expect("max_energy_drift");
+    let gate_line = flagship_text
+        .lines()
+        .find(|l| l.contains("overlap_critical_path_speedup"))
+        .expect("gate line in exp_flagship report");
+    let (overlap_n, overlap_speedup) = (
+        json_f64(gate_line, "n").expect("gate n") as u64,
+        json_f64(gate_line, "overlap_critical_path_speedup").expect("overlap speedup"),
+    );
+    let seg_line = flagship_text
+        .lines()
+        .find(|l| l.contains("\"segment\""))
+        .expect("segment line in exp_flagship report");
+    let flagship_n = json_f64(seg_line, "n").expect("segment n") as u64;
+    let flagship_rate = json_f64_any(&flagship_text, "flagship_interactions_per_s")
+        .expect("flagship_interactions_per_s");
 
     // ---- BENCH_pr8.json: the aggregated PR 8 report ----
     let mut text = String::new();
@@ -215,20 +375,48 @@ fn main() {
     println!("wrote PR 8 aggregate to {out_path}");
 
     // ---- trajectory ledger ----
-    let pr8_rows = [
+    let this_run = [
         Entry {
-            pr: "pr8",
-            commit: head.clone(),
+            pr: CURRENT_PR,
+            commit: kernel_commit,
             metric: "kernel_exact_lane_speedup",
             n: kn,
             value: lane_speedup,
         },
         Entry {
-            pr: "pr8",
-            commit: head.clone(),
+            pr: CURRENT_PR,
+            commit: host_commit,
             metric: "morton_sort_speedup",
             n: sort_n,
             value: sort_speedup,
+        },
+        Entry {
+            pr: CURRENT_PR,
+            commit: cluster_commit,
+            metric: "cluster_interactions_per_s",
+            n: cluster_n,
+            value: cluster_rate,
+        },
+        Entry {
+            pr: CURRENT_PR,
+            commit: endurance_commit,
+            metric: "endurance_max_energy_drift",
+            n: endurance_n,
+            value: endurance_drift,
+        },
+        Entry {
+            pr: CURRENT_PR,
+            commit: flagship_commit.clone(),
+            metric: "overlap_critical_path_speedup",
+            n: overlap_n,
+            value: overlap_speedup,
+        },
+        Entry {
+            pr: CURRENT_PR,
+            commit: flagship_commit,
+            metric: "flagship_interactions_per_s",
+            n: flagship_n,
+            value: flagship_rate,
         },
     ];
     let existing = std::fs::read_to_string(&traj_path).ok();
@@ -240,7 +428,20 @@ fn main() {
             .collect(),
         _ => seed_entries().iter().map(|e| e.json()).collect(),
     };
-    lines.extend(pr8_rows.iter().map(|e| e.json()));
+    // a reused report re-mines a number the ledger already carries —
+    // skip rows whose (metric, n, value) is already present verbatim
+    let prior_rows = parse_rows(&lines);
+    let appended: Vec<String> = this_run
+        .iter()
+        .filter(|e| {
+            !prior_rows
+                .iter()
+                .any(|(m, n, v)| m == e.metric && *n == e.n && v.to_bits() == e.value.to_bits())
+        })
+        .map(|e| e.json())
+        .collect();
+    let appended_count = appended.len();
+    lines.extend(appended);
     let mut t = String::new();
     writeln!(t, "{{").unwrap();
     writeln!(t, "  \"schema\": \"bench-trajectory-v1\",").unwrap();
@@ -257,14 +458,106 @@ fn main() {
         if append && existing.is_some() { "appended to" } else { "seeded" },
         traj_path,
         lines.len(),
-        pr8_rows.len()
+        appended_count
     );
     println!();
     println!(
-        "PR 8 headline: exact lanes {lane_speedup:.2}x at N = {kn}; \
+        "kernel/host headline: exact lanes {lane_speedup:.2}x at N = {kn}; \
          Morton radix sort {sort_speedup:.2}x at N = {sort_n} \
          (build {:.2} ms radix vs {:.2} ms comparison)",
         build_radix * 1e3,
         build_cmp * 1e3
     );
+    println!(
+        "cluster/flagship headline: {cluster_rate:.3e} inter/s at N = {cluster_n}; \
+         overlap {overlap_speedup:.2}x at N = {overlap_n}; \
+         flagship {flagship_rate:.3e} inter/s at N = {flagship_n}; \
+         endurance drift {endurance_drift:.3e} at N = {endurance_n}"
+    );
+
+    if gate && !run_gate(&lines) {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{gate_failures, lower_is_better, parse_rows};
+
+    fn row(metric: &str, n: u64, value: f64) -> (String, u64, f64) {
+        (metric.to_string(), n, value)
+    }
+
+    #[test]
+    fn direction_classification() {
+        // higher-is-better families
+        assert!(!lower_is_better("kernel_exact_lane_speedup"));
+        assert!(!lower_is_better("overlap_critical_path_speedup"));
+        assert!(!lower_is_better("cluster_interactions_per_s"));
+        assert!(!lower_is_better("flagship_interactions_per_s"));
+        // lower-is-better families
+        assert!(lower_is_better("endurance_max_energy_drift"));
+        assert!(lower_is_better("critical_path_s"));
+        assert!(lower_is_better("modeled_total_s"));
+    }
+
+    #[test]
+    fn improvement_and_within_tolerance_pass() {
+        let rows = [
+            row("x_speedup", 100, 2.0),
+            row("x_speedup", 100, 2.5), // improvement
+            row("y_drift", 100, 1e-3),
+            row("y_drift", 100, 1.05e-3), // 5% worse, inside 10%
+        ];
+        assert!(gate_failures(&rows, 0.10).is_empty());
+    }
+
+    #[test]
+    fn higher_better_regression_fails() {
+        let rows = [row("x_speedup", 100, 2.0), row("x_speedup", 100, 1.7)];
+        let fails = gate_failures(&rows, 0.10);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("x_speedup"), "{fails:?}");
+    }
+
+    #[test]
+    fn lower_better_regression_fails() {
+        let rows = [row("y_drift", 100, 1e-3), row("y_drift", 100, 1.2e-3)];
+        assert_eq!(gate_failures(&rows, 0.10).len(), 1);
+    }
+
+    #[test]
+    fn best_known_is_best_not_latest() {
+        // latest-but-one dipped; newest only has to beat the BEST prior
+        // entry's 10% envelope, so a recovery to near-best passes while
+        // a value 10% under the best still fails
+        let rows =
+            [row("x_speedup", 100, 3.0), row("x_speedup", 100, 2.0), row("x_speedup", 100, 2.95)];
+        assert!(gate_failures(&rows, 0.10).is_empty());
+        let rows =
+            [row("x_speedup", 100, 3.0), row("x_speedup", 100, 2.0), row("x_speedup", 100, 2.6)];
+        assert_eq!(gate_failures(&rows, 0.10).len(), 1);
+    }
+
+    #[test]
+    fn distinct_n_are_distinct_series_and_singletons_skip() {
+        let rows = [
+            row("x_speedup", 100, 3.0),
+            row("x_speedup", 200, 1.0), // different n: not compared to the 3.0
+            row("z_rate_per_s", 100, 5.0), // singleton: nothing to compare
+        ];
+        assert!(gate_failures(&rows, 0.10).is_empty());
+    }
+
+    #[test]
+    fn ledger_lines_parse() {
+        let lines = vec![
+            "    {\"pr\": \"pr3\", \"commit\": \"abc\", \"metric\": \"kernel_lns_speedup\", \
+             \"n\": 262144, \"value\": 3.25}"
+                .to_string(),
+            "not an entry".to_string(),
+        ];
+        let rows = parse_rows(&lines);
+        assert_eq!(rows, vec![("kernel_lns_speedup".to_string(), 262144, 3.25)]);
+    }
 }

@@ -34,6 +34,11 @@ pub enum ForceError {
     Plan(PlanError),
     /// The GRAPE layer gave up after retries/quarantine.
     Device(DeviceError),
+    /// A shard's whole evaluation thread panicked (caught at the thread
+    /// boundary). The cluster backend classifies this shard-fatal: the
+    /// shard is killed and its particles re-owned by the survivors,
+    /// exactly like a dead device.
+    ShardPanic(String),
 }
 
 impl std::fmt::Display for ForceError {
@@ -41,6 +46,9 @@ impl std::fmt::Display for ForceError {
         match self {
             ForceError::Plan(e) => write!(f, "{e}"),
             ForceError::Device(e) => write!(f, "{e}"),
+            ForceError::ShardPanic(msg) => {
+                write!(f, "shard evaluation thread panicked: {msg}")
+            }
         }
     }
 }
@@ -533,7 +541,17 @@ impl TreeGrape {
             }
         }
         let t0 = Instant::now();
-        let tree = Tree::build_with(pos, mass, self.cfg.tree_config);
+        // The retiring tree's Morton order seeds the rebuild's sort
+        // (incremental re-sort of drifted runs); a snapshot-size change
+        // mismatches lengths and falls back to the from-scratch sort.
+        // Either way the built tree is bitwise hint-independent.
+        let prev = self.tree.take();
+        let tree = Tree::build_with_hint(
+            pos,
+            mass,
+            self.cfg.tree_config,
+            prev.as_ref().map(|t| t.order()),
+        );
         tr.find_groups_into(&tree, self.cfg.n_crit, &mut self.gscratch, &mut self.groups);
         self.tree = Some(tree);
         self.tree_age = 1;

@@ -56,6 +56,8 @@ use grape5::{
     ClockAccounting, ClusterSession, DeviceError, DeviceSession, FaultConfig, Grape5, ProbeOutcome,
     RecoveryStats, ShardHealth,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The shard lifecycle supervisor's knobs. The default turns both
@@ -87,17 +89,41 @@ pub struct ClusterTreeGrapeConfig {
     pub shards: usize,
     /// Shard lifecycle supervision (probing + straggler deadlines).
     pub lifecycle: LifecyclePolicy,
+    /// Overlapped step pipeline: resolve each group's LET terms on the
+    /// plan's *producer* side (inside the bounded-channel stream), so
+    /// remote-tree walks for group k+1 overlap the device evaluation of
+    /// group k instead of serializing in front of every device call.
+    /// Off (the default) keeps the phase-barrier reference path:
+    /// consumer-side LET resolution, serial modeled-clock pricing. The
+    /// two paths make identical device calls on identical words, so
+    /// forces, tallies, and recorded hardware counters are bit-identical
+    /// either way (see the `overlapped_*` tests).
+    pub overlap: bool,
 }
 
 impl ClusterTreeGrapeConfig {
     /// The paper's operating point on `shards` paper-configured
-    /// devices, supervisor off.
+    /// devices, supervisor off, phase-barrier reference pipeline.
     pub fn paper(eps: f64, shards: usize) -> Self {
         ClusterTreeGrapeConfig {
             base: TreeGrapeConfig::paper(eps),
             shards,
             lifecycle: LifecyclePolicy::default(),
+            overlap: false,
         }
+    }
+
+    /// The paper's operating point with the overlapped step pipeline:
+    /// producer-side LET resolution plus double-buffered j-memory loads
+    /// ([`grape5::Grape5Config::double_buffer_j`]) on the modeled
+    /// device clock. Recorded hardware counters stay bit-identical to
+    /// [`ClusterTreeGrapeConfig::paper`]; only host scheduling and the
+    /// modeled pricing of j-load transfer change.
+    pub fn paper_overlapped(eps: f64, shards: usize) -> Self {
+        let mut cfg = Self::paper(eps, shards);
+        cfg.overlap = true;
+        cfg.base.grape.double_buffer_j = true;
+        cfg
     }
 }
 
@@ -132,6 +158,11 @@ struct ShardState {
     gscratch: TraverseScratch,
     pool: PlanPool,
     timers: PhaseTimers,
+    /// Dense per-shard force output, recycled across evaluations so a
+    /// steady-state step allocates no result buffers (at flagship scale
+    /// that is K shard-sized accelerations + potentials per step).
+    acc: Vec<Vec3>,
+    pot: Vec<f64>,
 }
 
 impl ShardState {
@@ -144,6 +175,8 @@ impl ShardState {
             gscratch: TraverseScratch::default(),
             pool: PlanPool::new(),
             timers: PhaseTimers::default(),
+            acc: Vec::new(),
+            pot: Vec::new(),
         }
     }
 }
@@ -163,6 +196,33 @@ struct ShardOutcome {
     wall_s: f64,
     recovery: RecoveryStats,
     err: Option<ForceError>,
+}
+
+impl ShardOutcome {
+    /// Outcome synthesized when a shard's evaluation thread panicked:
+    /// no usable forces, a typed [`ForceError::ShardPanic`] that the
+    /// assembler classifies shard-fatal (kill + re-decompose), exactly
+    /// like a dead device.
+    fn panicked(slot: usize, payload: Box<dyn std::any::Any + Send>) -> ShardOutcome {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        ShardOutcome {
+            slot,
+            acc: Vec::new(),
+            pot: Vec::new(),
+            tally: InteractionTally::default(),
+            produce_s: 0.0,
+            device_s: 0.0,
+            exchange_s: 0.0,
+            consumer_blocked_s: 0.0,
+            wall_s: 0.0,
+            recovery: RecoveryStats::default(),
+            err: Some(ForceError::ShardPanic(msg)),
+        }
+    }
 }
 
 /// Barnes' modified treecode, domain-decomposed over a pool of
@@ -199,6 +259,12 @@ pub struct ClusterTreeGrape {
     /// Per-slot recovery totals (cluster-wide summary = their merge).
     shard_recovery: Vec<RecoveryStats>,
     ledger: RecoveryLedger,
+    /// Morton order of the *previous* decomposition's sort — the warm
+    /// start for the next re-sort ([`g5util::morton_sort`]'s
+    /// incremental path). Falls back to a from-scratch sort whenever
+    /// the snapshot size changes; either way the resulting order is
+    /// bitwise the from-scratch order, so cuts are hint-independent.
+    order_hint: Option<Vec<u32>>,
     /// Cut weights a checkpoint restore pinned for the replay
     /// evaluation, consumed by the first rebuild after the restore.
     replay_weights: Option<Vec<u64>>,
@@ -207,6 +273,10 @@ pub struct ClusterTreeGrape {
     /// re-execution, or ledger writes) so the replayed evaluation makes
     /// exactly the device calls the interrupted one made.
     replaying: bool,
+    /// Test hook: slots whose next evaluation thread panics on entry —
+    /// the deterministic drill for the panic-containment path.
+    #[cfg(test)]
+    panic_next_eval: Vec<usize>,
 }
 
 impl ClusterTreeGrape {
@@ -240,8 +310,11 @@ impl ClusterTreeGrape {
             cut_weights: Vec::new(),
             shard_recovery: vec![RecoveryStats::default(); cfg.shards],
             ledger: RecoveryLedger::default(),
+            order_hint: None,
             replay_weights: None,
             replaying: false,
+            #[cfg(test)]
+            panic_next_eval: Vec::new(),
         }
     }
 
@@ -412,7 +485,14 @@ impl ClusterTreeGrape {
             Some(w) if w.len() == alive.len() => w,
             _ => self.capacity_weights(&alive),
         };
-        let decomp = Decomposition::morton_weighted(pos, &weights);
+        // Incremental Morton maintenance: between refreshes most
+        // particles keep their rank, so re-sorting only the drifted
+        // runs against the previous order's backbone beats a full sort.
+        // The merged order is bitwise the from-scratch order ((code,
+        // index) keys are unique), so the cuts are hint-independent.
+        let (decomp, order) =
+            Decomposition::morton_weighted_hinted(pos, &weights, self.order_hint.as_deref());
+        self.order_hint = Some(order);
         let decompose_s = t0.elapsed().as_secs_f64();
         // Routine same-membership, same-weights rebuilds (tree aging)
         // are not recovery events; membership or weight changes are.
@@ -428,7 +508,16 @@ impl ClusterTreeGrape {
             let st = &mut self.shards_state[k];
             let t1 = Instant::now();
             decomp.gather(d, pos, mass, &mut st.pos, &mut st.mass);
-            let tree = Tree::build_with(&st.pos, &st.mass, self.cfg.base.tree_config);
+            // the retiring tree's order seeds the rebuild's sort; a
+            // membership change (re-decomposition) mismatches lengths
+            // and falls back to the from-scratch sort automatically
+            let prev = st.tree.take();
+            let tree = Tree::build_with_hint(
+                &st.pos,
+                &st.mass,
+                self.cfg.base.tree_config,
+                prev.as_ref().map(|t| t.order()),
+            );
             tr.find_groups_into(&tree, self.cfg.base.n_crit, &mut st.gscratch, &mut st.groups);
             st.tree = Some(tree);
             let dt = t1.elapsed().as_secs_f64();
@@ -552,10 +641,29 @@ impl ClusterTreeGrape {
 /// on this group's list. With no remote trees (K = 1) the group list
 /// streams untouched.
 ///
+/// Two schedules resolve those remote terms:
+///
+/// * **barrier** (`overlap == false`, the reference): the consumer
+///   copies the local list into scratch and walks the remote trees in
+///   front of every device call — LET resolution serializes with
+///   device time.
+/// * **overlapped** (`overlap == true`): the remote walk runs as a
+///   [`plan::stream_with_augment`] producer hook, inside the bounded
+///   channel — group k+1's LET terms resolve while the device
+///   evaluates group k, and the consumer issues the device call
+///   straight from the (already combined) `GroupWork` lists with no
+///   copy. Terms append in the same fixed slot order, so the device
+///   sees identical words in both schedules and forces, tallies, and
+///   hardware counters are bit-identical.
+///
 /// `window_pos` is the **full** snapshot — every shard quantizes over
 /// the same position window, which keeps K = 1 bit-identical to
 /// [`TreeGrape`] and spares shards from re-ranging as particles
 /// migrate between domains.
+///
+/// `acc_buf`/`pot_buf` are recycled dense output buffers (any length);
+/// they come back through the outcome for reuse next evaluation.
+#[allow(clippy::too_many_arguments)]
 fn shard_eval(
     slot: usize,
     g5: &mut Grape5,
@@ -563,13 +671,20 @@ fn shard_eval(
     remote: &[&Tree],
     window_pos: &[Vec3],
     cfg: &TreeGrapeConfig,
+    overlap: bool,
+    mut acc_buf: Vec<Vec3>,
+    mut pot_buf: Vec<f64>,
 ) -> ShardOutcome {
     let t_all = Instant::now();
     let n = st.pos.len();
+    acc_buf.clear();
+    acc_buf.resize(n, Vec3::ZERO);
+    pot_buf.clear();
+    pot_buf.resize(n, 0.0);
     let mut out = ShardOutcome {
         slot,
-        acc: vec![Vec3::ZERO; n],
-        pot: vec![0.0; n],
+        acc: acc_buf,
+        pot: pot_buf,
         tally: InteractionTally::default(),
         produce_s: 0.0,
         device_s: 0.0,
@@ -591,50 +706,108 @@ fn shard_eval(
         }
     };
     let mut device_s = 0.0;
-    let mut exchange_s = 0.0;
-    let mut remote_terms = 0u64;
-    let mut remote_inter = 0u64;
+    let exchange_s;
+    let remote_terms;
+    let remote_inter;
     let mut device_err: Option<DeviceError> = None;
     let acc = &mut out.acc;
     let pot = &mut out.pot;
-    // Scratch for the combined local + remote list, retained across
-    // groups so a steady state allocates nothing.
-    let mut rjp: Vec<Vec3> = Vec::new();
-    let mut rjm: Vec<f64> = Vec::new();
-    let stats = plan::stream_with(tree, &tr, &st.groups, &cfg.plan, &st.pool, |work| {
-        if device_err.is_some() {
-            return;
-        }
-        let (jp, jm): (&[Vec3], &[f64]) = if remote.is_empty() {
-            (&work.jpos, &work.jmass)
-        } else {
+    let stats = if overlap && !remote.is_empty() {
+        // Producer-side LET: the augment hook appends remote terms to
+        // the group's own (pooled) j-lists inside the stream, so the
+        // walk overlaps device evaluation of earlier groups. Atomics
+        // because the hook runs on plan worker threads.
+        let exch_ns = AtomicU64::new(0);
+        let r_terms = AtomicU64::new(0);
+        let r_inter = AtomicU64::new(0);
+        let augment = |work: &mut plan::GroupWork| {
             let te = Instant::now();
-            rjp.clear();
-            rjm.clear();
-            rjp.extend_from_slice(&work.jpos);
-            rjm.extend_from_slice(&work.jmass);
+            let before = work.jpos.len();
             let sphere = tr.group_sphere(tree, work.group);
             for src in remote {
-                let_terms_into(src, &mac, &sphere, &mut rjp, &mut rjm);
+                let_terms_into(src, &mac, &sphere, &mut work.jpos, &mut work.jmass);
             }
-            let added = (rjp.len() - work.jpos.len()) as u64;
-            remote_terms += added;
-            remote_inter += added * work.xi.len() as u64;
-            exchange_s += te.elapsed().as_secs_f64();
-            (&rjp, &rjm)
+            let added = (work.jpos.len() - before) as u64;
+            r_terms.fetch_add(added, Ordering::Relaxed);
+            r_inter.fetch_add(added * work.xi.len() as u64, Ordering::Relaxed);
+            exch_ns.fetch_add(te.elapsed().as_nanos() as u64, Ordering::Relaxed);
         };
-        let t = Instant::now();
-        match session.try_force_for(jp, jm, &work.xi) {
-            Ok(forces) => {
-                for (t_idx, f) in work.targets.iter().zip(forces) {
-                    acc[*t_idx] = f.acc;
-                    pot[*t_idx] = f.pot;
+        let stats = plan::stream_with_augment(
+            tree,
+            &tr,
+            &st.groups,
+            &cfg.plan,
+            &st.pool,
+            &augment,
+            |work| {
+                if device_err.is_some() {
+                    return;
                 }
+                let t = Instant::now();
+                match session.try_force_for(&work.jpos, &work.jmass, &work.xi) {
+                    Ok(forces) => {
+                        for (t_idx, f) in work.targets.iter().zip(forces) {
+                            acc[*t_idx] = f.acc;
+                            pot[*t_idx] = f.pot;
+                        }
+                    }
+                    Err(e) => device_err = Some(e),
+                }
+                device_s += t.elapsed().as_secs_f64();
+            },
+        );
+        exchange_s = exch_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+        remote_terms = r_terms.load(Ordering::Relaxed);
+        remote_inter = r_inter.load(Ordering::Relaxed);
+        stats
+    } else {
+        // Barrier reference: consumer-side LET in front of every device
+        // call, combined list in retained scratch so a steady state
+        // allocates nothing.
+        let mut exch = 0.0;
+        let mut terms = 0u64;
+        let mut inter = 0u64;
+        let mut rjp: Vec<Vec3> = Vec::new();
+        let mut rjm: Vec<f64> = Vec::new();
+        let stats = plan::stream_with(tree, &tr, &st.groups, &cfg.plan, &st.pool, |work| {
+            if device_err.is_some() {
+                return;
             }
-            Err(e) => device_err = Some(e),
-        }
-        device_s += t.elapsed().as_secs_f64();
-    });
+            let (jp, jm): (&[Vec3], &[f64]) = if remote.is_empty() {
+                (&work.jpos, &work.jmass)
+            } else {
+                let te = Instant::now();
+                rjp.clear();
+                rjm.clear();
+                rjp.extend_from_slice(&work.jpos);
+                rjm.extend_from_slice(&work.jmass);
+                let sphere = tr.group_sphere(tree, work.group);
+                for src in remote {
+                    let_terms_into(src, &mac, &sphere, &mut rjp, &mut rjm);
+                }
+                let added = (rjp.len() - work.jpos.len()) as u64;
+                terms += added;
+                inter += added * work.xi.len() as u64;
+                exch += te.elapsed().as_secs_f64();
+                (&rjp, &rjm)
+            };
+            let t = Instant::now();
+            match session.try_force_for(jp, jm, &work.xi) {
+                Ok(forces) => {
+                    for (t_idx, f) in work.targets.iter().zip(forces) {
+                        acc[*t_idx] = f.acc;
+                        pot[*t_idx] = f.pot;
+                    }
+                }
+                Err(e) => device_err = Some(e),
+            }
+            device_s += t.elapsed().as_secs_f64();
+        });
+        exchange_s = exch;
+        remote_terms = terms;
+        remote_inter = inter;
+        stats
+    };
     out.tally = out.tally.merged(InteractionTally {
         interactions: remote_inter,
         terms: remote_terms,
@@ -717,6 +890,21 @@ impl ForceBackend for ClusterTreeGrape {
             // exclusively, reads the *other* shards' trees immutably
             // (the in-line LET exchange), and writes a shard-local
             // dense result, so no output cell is shared across threads.
+            // Each thread takes its slot's recycled output buffers and
+            // hands them back through the outcome. A panic anywhere in
+            // the evaluation is caught at the thread boundary and
+            // synthesized into a typed shard-fatal outcome — one
+            // shard's bug costs its shard, not the whole process.
+            #[cfg(test)]
+            let panic_slots = std::mem::take(&mut self.panic_next_eval);
+            #[cfg(test)]
+            let panic_slots = &panic_slots;
+            let mut bufs: Vec<Option<(Vec<Vec3>, Vec<f64>)>> = self
+                .shards_state
+                .iter_mut()
+                .map(|st| Some((std::mem::take(&mut st.acc), std::mem::take(&mut st.pot))))
+                .collect();
+            let overlap = self.cfg.overlap;
             let devices = self.cluster.alive_devices_mut();
             let states = &self.shards_state;
             let live = &self.live;
@@ -731,12 +919,23 @@ impl ForceBackend for ClusterTreeGrape {
                             .filter(|&&k| k != slot)
                             .map(|&k| states[k].tree.as_ref().expect("live shard has a tree"))
                             .collect();
-                        scope.spawn(move || shard_eval(slot, g5, st, &remote, pos, cfg))
+                        let (abuf, pbuf) =
+                            bufs[slot].take().expect("each slot evaluates at most once");
+                        scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                #[cfg(test)]
+                                if panic_slots.contains(&slot) {
+                                    panic!("injected shard panic");
+                                }
+                                shard_eval(slot, g5, st, &remote, pos, cfg, overlap, abuf, pbuf)
+                            }))
+                            .unwrap_or_else(|payload| ShardOutcome::panicked(slot, payload))
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard evaluation thread panicked"))
+                    .map(|h| h.join().expect("shard evaluation thread panicked outside its guard"))
                     .collect()
             });
 
@@ -761,7 +960,7 @@ impl ForceBackend for ClusterTreeGrape {
                 }
             }
 
-            let mut fatal: Vec<usize> = Vec::new();
+            let mut fatal: Vec<(usize, String)> = Vec::new();
             let mut first_err: Option<ForceError> = None;
             for o in &outcomes {
                 self.recovery = self.recovery.merged(o.recovery);
@@ -781,7 +980,13 @@ impl ForceBackend for ClusterTreeGrape {
                 }
                 match &o.err {
                     Some(ForceError::Device(de)) if ClusterSession::shard_fatal(de) => {
-                        fatal.push(o.slot);
+                        fatal.push((o.slot, "shard-fatal device error".to_string()));
+                    }
+                    // A panicked evaluation thread is a dead shard: its
+                    // forces never materialized and its state is
+                    // suspect, so the survivors re-own its particles.
+                    Some(ForceError::ShardPanic(msg)) => {
+                        fatal.push((o.slot, format!("evaluation thread panicked: {msg}")));
                     }
                     Some(e) if first_err.is_none() => first_err = Some(e.clone()),
                     Some(_) => {}
@@ -793,13 +998,10 @@ impl ForceBackend for ClusterTreeGrape {
                 // particles and this evaluation starts over. Work the
                 // healthy shards did this round is discarded — shard
                 // death is rare enough that simplicity wins.
-                for &k in &fatal {
-                    self.cluster.kill(k);
+                for (k, why) in &fatal {
+                    self.cluster.kill(*k);
                     if !self.replaying {
-                        self.ledger.record(
-                            self.evals,
-                            format!("shard {k} killed (shard-fatal device error)"),
-                        );
+                        self.ledger.record(self.evals, format!("shard {k} killed ({why})"));
                     }
                 }
                 self.decomp = None;
@@ -858,7 +1060,17 @@ impl ForceBackend for ClusterTreeGrape {
                                 })
                                 .collect();
                             let g5 = self.cluster.device_mut(survivor);
-                            let redo = shard_eval(slot, g5, st, &remote, pos, &self.cfg.base);
+                            let redo = shard_eval(
+                                slot,
+                                g5,
+                                st,
+                                &remote,
+                                pos,
+                                &self.cfg.base,
+                                self.cfg.overlap,
+                                Vec::new(),
+                                Vec::new(),
+                            );
                             if redo.err.is_none() {
                                 self.recovery = self.recovery.merged(redo.recovery);
                                 self.shard_recovery[survivor] =
@@ -897,7 +1109,7 @@ impl ForceBackend for ClusterTreeGrape {
 
             let decomp = self.decomp.as_ref().expect("evaluated with a decomposition");
             let mut out = ForceSet::zeros(pos.len());
-            for (d, o) in outcomes.iter().enumerate() {
+            for (d, o) in outcomes.iter_mut().enumerate() {
                 for (j, &gi) in decomp.owned(d).iter().enumerate() {
                     out.acc[gi as usize] = o.acc[j];
                     out.pot[gi as usize] = o.pot[j];
@@ -909,6 +1121,9 @@ impl ForceBackend for ClusterTreeGrape {
                 st.timers.exchange_s = o.exchange_s;
                 st.timers.consumer_blocked_s = o.consumer_blocked_s;
                 st.timers.force_wall_s = o.wall_s;
+                // the dense result buffers go home for next evaluation
+                st.acc = std::mem::take(&mut o.acc);
+                st.pot = std::mem::take(&mut o.pot);
             }
             let mut timers = PhaseTimers {
                 build_s,
@@ -976,7 +1191,12 @@ mod tests {
         base.n_crit = 64;
         base.grape = Grape5Config::single_board();
         base.plan = PlanConfig::serial();
-        ClusterTreeGrapeConfig { base, shards, lifecycle: LifecyclePolicy::default() }
+        ClusterTreeGrapeConfig {
+            base,
+            shards,
+            lifecycle: LifecyclePolicy::default(),
+            overlap: false,
+        }
     }
 
     #[test]
@@ -1157,6 +1377,116 @@ mod tests {
             events.iter().filter(|e| e.contains("decomposed over 3 shards")).count() >= 2,
             "weight change must re-decompose: {events:?}"
         );
+    }
+
+    #[test]
+    fn overlapped_matches_barrier_bit_for_bit() {
+        // producer-side LET (overlap) and consumer-side LET (barrier)
+        // must make identical device calls: same forces, same tallies,
+        // same recorded hardware counters — per shard, at every K
+        let (pos, mass) = plummer(1100, 31);
+        for k in [2, 3, 4] {
+            let mut barrier = ClusterTreeGrape::new(small_cfg(k));
+            let mut over_cfg = small_cfg(k);
+            over_cfg.overlap = true;
+            over_cfg.base.grape.double_buffer_j = true;
+            over_cfg.base.plan = PlanConfig::overlapped(2, 2);
+            let mut over = ClusterTreeGrape::new(over_cfg);
+            let a = barrier.compute(&pos, &mass);
+            let b = over.compute(&pos, &mass);
+            assert_eq!(a.acc, b.acc, "K={k}");
+            assert_eq!(a.pot, b.pot, "K={k}");
+            assert_eq!(a.tally, b.tally, "K={k}");
+            for s in 0..k {
+                assert_eq!(
+                    barrier.shard_accounting(s),
+                    over.shard_accounting(s),
+                    "K={k} shard {s} counters must not depend on the schedule"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_k1_matches_treegrape_bit_for_bit() {
+        // the overlapped pipeline collapses to the monolithic backend
+        // at K=1: augment is a no-op with no remote trees, and the
+        // double-buffer flag changes pricing, never counters
+        let (pos, mass) = plummer(700, 11);
+        let mut mono = TreeGrape::new(small_cfg(1).base);
+        let mut cfg = small_cfg(1);
+        cfg.overlap = true;
+        cfg.base.grape.double_buffer_j = true;
+        let mut cluster = ClusterTreeGrape::new(cfg);
+        let a = mono.compute(&pos, &mass);
+        let b = cluster.compute(&pos, &mass);
+        assert_eq!(a.acc, b.acc);
+        assert_eq!(a.pot, b.pot);
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(mono.accounting(), cluster.shard_accounting(0));
+    }
+
+    #[test]
+    fn double_buffer_pricing_hides_j_load_on_the_modeled_clock() {
+        let (pos, mass) = plummer(900, 33);
+        let mut cl = ClusterTreeGrape::new(small_cfg(2));
+        cl.compute(&pos, &mass);
+        let acct = cl.shard_accounting(0);
+        assert!(acct.j_words > 0, "group j-lists must be tracked as j-loads");
+        let serial_cfg = small_cfg(2).base.grape;
+        let db_cfg = grape5::Grape5Config { double_buffer_j: true, ..serial_cfg };
+        let serial = acct.report(&serial_cfg);
+        let db = acct.report(&db_cfg);
+        assert_eq!(serial.hidden_s, 0.0);
+        assert!(db.hidden_s > 0.0);
+        assert!(db.total_s() < serial.total_s(), "overlap must shorten the critical path");
+        assert!(
+            (serial.total_s() - db.total_s() - db.hidden_s).abs() < 1e-12,
+            "the entire gain must be accounted j-load overlap"
+        );
+    }
+
+    #[test]
+    fn shard_panic_is_shard_fatal_and_survivors_reown() {
+        let (pos, mass) = plummer(800, 35);
+        let exact = DirectHost { eps: 0.01 }.compute(&pos, &mass);
+        let mut cl = ClusterTreeGrape::new(small_cfg(3));
+        cl.panic_next_eval = vec![1];
+        let fs = cl.try_compute(&pos, &mass).expect("panic must be contained, not propagated");
+        assert_eq!(cl.alive_shards(), 2, "panicked shard must be killed");
+        assert_eq!(cl.decomposition().unwrap().shards(), 2);
+        let events = cl.ledger().events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("evaluation thread panicked") && e.contains("shard 1 killed")),
+            "{events:?}"
+        );
+        // forces still came out, at treecode accuracy, from the survivors
+        let err = rms_relative_error(&to_pf(&exact), &to_pf(&fs));
+        assert!(err < 1e-2, "post-panic rms error {err}");
+    }
+
+    #[test]
+    fn hinted_rebuilds_are_bit_identical_across_steps() {
+        // every rebuild after the first reuses the previous Morton
+        // order (decomposition hint + per-shard tree hints); a drifted
+        // second step must still equal what a hint-less fresh backend
+        // computes on the same snapshot
+        let (pos, mass) = plummer(900, 37);
+        let mut warm = ClusterTreeGrape::new(small_cfg(3));
+        warm.compute(&pos, &mass);
+        let mut drifted = pos.clone();
+        for (i, p) in drifted.iter_mut().enumerate() {
+            let k = 1e-3 * ((i % 7) as f64 - 3.0);
+            *p += Vec3::new(k, -0.5 * k, 0.25 * k);
+        }
+        let a = warm.compute(&drifted, &mass); // hinted re-sort path
+        let mut cold = ClusterTreeGrape::new(small_cfg(3));
+        let b = cold.compute(&drifted, &mass); // from-scratch sort path
+        assert_eq!(a.acc, b.acc);
+        assert_eq!(a.pot, b.pot);
+        assert_eq!(a.tally, b.tally);
     }
 
     #[test]

@@ -55,6 +55,17 @@ pub struct Grape5Config {
     pub acc_format: FixedFormat,
     /// Arithmetic simulation mode.
     pub mode: ArithMode,
+    /// Price j-memory loads as double-buffered: the modeled clock hides
+    /// j-load transfer words under pipeline time
+    /// ([`crate::clock::ClockReport::hidden_s`]), the way a host that
+    /// stages the next step's j-set while this step's groups are still
+    /// streaming overlaps the reload with evaluation. Off by default —
+    /// the paper-era library charged the load serially — and purely a
+    /// pricing-mode change: recorded counters and computed forces are
+    /// identical either way. (`serde(default)` keeps configs serialized
+    /// before this flag loadable.)
+    #[serde(default)]
+    pub double_buffer_j: bool,
     /// Virtual-multiple-pipeline scheduling: when fewer i-particles
     /// than pipelines are submitted, idle pipelines take disjoint
     /// j-subsets and an on-board adder combines the partials, so a
@@ -88,6 +99,7 @@ impl Grape5Config {
             // dynamic range ±2^31 force units with ~2e-10 resolution.
             acc_format: FixedFormat { bits: 64, frac_bits: 32 },
             mode: ArithMode::Lns,
+            double_buffer_j: false,
             vmp: false,
         }
     }

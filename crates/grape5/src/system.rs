@@ -379,9 +379,10 @@ impl Grape5 {
         }
         self.nj_total = words.len();
         // j-load moves through per-board interfaces in parallel: charge
-        // the busiest one, no pipeline cycles, no call latency.
-        self.clock.record_call(0, max_words_one_iface, 0);
-        self.clock.calls -= 1; // transfers piggyback on the next force call
+        // the busiest one, no pipeline cycles, no call latency (the
+        // transfer piggybacks on the next force call). Tracked as
+        // j-words so double-buffered pricing can overlap it.
+        self.clock.record_j_load(max_words_one_iface);
     }
 
     /// Compute forces on `xi` from the loaded j-set

@@ -93,6 +93,24 @@ impl Decomposition {
     /// On empty input, empty or all-zero `weights`,
     /// `weights.len() > pos.len()`, or non-finite positions.
     pub fn morton_weighted(pos: &[Vec3], weights: &[u64]) -> Decomposition {
+        Decomposition::morton_weighted_hinted(pos, weights, None).0
+    }
+
+    /// [`morton_weighted`](Self::morton_weighted), seeding the Morton
+    /// sort with the sorted order of a previous decomposition of the
+    /// same (since drifted) snapshot and returning the new sorted order
+    /// for the caller to keep as the next step's hint. The resulting
+    /// decomposition is bit-identical to the unhinted one (the
+    /// `(code, index)` total order is unique); only the sort cost
+    /// changes ([`morton_sort::sort_indices_incremental`]).
+    ///
+    /// # Panics
+    /// As [`morton_weighted`](Self::morton_weighted).
+    pub fn morton_weighted_hinted(
+        pos: &[Vec3],
+        weights: &[u64],
+        hint: Option<&[u32]>,
+    ) -> (Decomposition, Vec<u32>) {
         let shards = weights.len();
         assert!(!pos.is_empty(), "cannot decompose zero particles");
         assert!(shards >= 1, "shard count must be positive");
@@ -100,7 +118,14 @@ impl Decomposition {
         let total: u128 = weights.iter().map(|&w| w as u128).sum();
         assert!(total > 0, "cut weights must not all be zero");
         let n = pos.len();
-        let order = morton_order(pos);
+        // Same 2²¹ grid as the octree build (shared g5util::morton_sort
+        // frame, so a domain boundary is always a Morton-cell boundary
+        // of the tree grid), radix-sorted by (code, index) — a total
+        // order, so the result is a pure function of the snapshot.
+        let order = match hint {
+            Some(h) => morton_sort::morton_order_incremental(pos, h).order,
+            None => morton_sort::morton_order(pos).order,
+        };
 
         // Proportional cut points on the sorted order: boundary k sits
         // at floor(n · prefix_k / total) (u128: no overflow even at
@@ -132,7 +157,7 @@ impl Decomposition {
             slice.sort_unstable();
             owned.push(slice);
         }
-        Decomposition { owned, total: n }
+        (Decomposition { owned, total: n }, order)
     }
 
     /// Number of domains.
@@ -172,15 +197,6 @@ impl Decomposition {
             out_mass.push(mass[i as usize]);
         }
     }
-}
-
-/// The Morton-sorted order of a point set: quantize onto the same 2²¹
-/// grid the octree build uses (shared `g5util::morton_sort` frame, so a
-/// domain boundary is always a Morton-cell boundary of the tree grid),
-/// radix-sorted by `(code, index)` — a total order, so the result is a
-/// pure function of the snapshot.
-fn morton_order(pos: &[Vec3]) -> Vec<u32> {
-    morton_sort::morton_order(pos).order
 }
 
 /// Bounding sphere of a local tree's whole domain: centered on the
@@ -346,6 +362,29 @@ mod tests {
     fn all_zero_weights_rejected() {
         let (pos, _) = cloud(10, 10);
         let _ = Decomposition::morton_weighted(&pos, &[0, 0]);
+    }
+
+    #[test]
+    fn hinted_decomposition_is_bit_identical() {
+        let (pos, _) = cloud(800, 12);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let (_, order) = Decomposition::morton_weighted_hinted(&pos, &[2, 1, 1], None);
+        let moved: Vec<Vec3> = pos
+            .iter()
+            .map(|&p| {
+                p + Vec3::new(
+                    rng.random_range(-0.01..0.01),
+                    rng.random_range(-0.01..0.01),
+                    rng.random_range(-0.01..0.01),
+                )
+            })
+            .collect();
+        let plain = Decomposition::morton_weighted(&moved, &[2, 1, 1]);
+        let (hinted, new_order) =
+            Decomposition::morton_weighted_hinted(&moved, &[2, 1, 1], Some(&order));
+        assert_eq!(plain, hinted);
+        let (_, scratch_order) = Decomposition::morton_weighted_hinted(&moved, &[2, 1, 1], None);
+        assert_eq!(new_order, scratch_order);
     }
 
     #[test]

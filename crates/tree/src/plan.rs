@@ -301,8 +301,38 @@ pub fn stream_with<F: FnMut(&GroupWork)>(
     groups: &[Group],
     cfg: &PlanConfig,
     pool: &PlanPool,
-    mut consume: F,
+    consume: F,
 ) -> Result<PlanStats, PlanError> {
+    stream_with_augment(tree, tr, groups, cfg, pool, &|_| {}, consume)
+}
+
+/// [`stream_with`], with a producer-side *augment hook*: after a group
+/// is resolved against the local tree, `augment` runs on the producer
+/// thread (or inline on the serial path) and may extend the husk's
+/// `jpos`/`jmass` with additional interaction terms before the item is
+/// sent. This is how the cluster backend folds local-essential-tree
+/// resolution into the stream — remote terms are appended while the
+/// consumer is already driving the device for earlier groups, instead
+/// of behind a pre-evaluation barrier.
+///
+/// The hook runs inside the same catch-unwind bracket as the
+/// traversal, so a panic while augmenting surfaces as a [`PlanError`]
+/// exactly like a resolution panic. `work.tally` is computed *before*
+/// the hook and deliberately left alone: tallies keep counting the
+/// local treecode terms, bit-identical to the unaugmented path.
+pub fn stream_with_augment<A, F>(
+    tree: &Tree,
+    tr: &Traversal,
+    groups: &[Group],
+    cfg: &PlanConfig,
+    pool: &PlanPool,
+    augment: &A,
+    mut consume: F,
+) -> Result<PlanStats, PlanError>
+where
+    A: Fn(&mut GroupWork) + Sync,
+    F: FnMut(&GroupWork),
+{
     let mut stats = PlanStats::default();
     let minted_before = pool.minted();
     let workers = cfg.resolved_workers();
@@ -316,7 +346,8 @@ pub fn stream_with<F: FnMut(&GroupWork)>(
         for &g in groups {
             let t = Instant::now();
             let ok = catch_unwind(AssertUnwindSafe(|| {
-                resolve_group_into(tree, tr, g, &mut scratch, &mut work)
+                resolve_group_into(tree, tr, g, &mut scratch, &mut work);
+                augment(&mut work);
             }));
             stats.produce_s += t.elapsed().as_secs_f64();
             if let Err(p) = ok {
@@ -354,6 +385,7 @@ pub fn stream_with<F: FnMut(&GroupWork)>(
                     let t = Instant::now();
                     let item = catch_unwind(AssertUnwindSafe(|| {
                         resolve_group_into(tree, tr, groups[i], &mut scratch, &mut work);
+                        augment(&mut work);
                         work
                     }))
                     .map_err(|p| PlanError {
@@ -515,6 +547,80 @@ mod tests {
         let mut seen = 0usize;
         stream(&tree, &tr, &groups, &PlanConfig::overlapped(2, 1), |_| seen += 1).unwrap();
         assert_eq!(seen, groups.len());
+    }
+
+    #[test]
+    fn augment_extends_lists_without_touching_tally() {
+        let (pos, mass) = cloud(700, 9);
+        let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.7);
+        let groups = tr.find_groups(&tree, 32);
+        let pool = PlanPool::new();
+        let extra = Vec3::new(5.0, 5.0, 5.0);
+        let augment = |w: &mut GroupWork| {
+            w.jpos.push(extra);
+            w.jmass.push(2.5);
+        };
+        // per-group j-list contents must be identical across schedules:
+        // (group node → appended list length and last term)
+        let collect = |cfg: &PlanConfig| {
+            let mut seen: Vec<(u32, usize, Vec3, f64)> = Vec::new();
+            let stats = stream_with_augment(&tree, &tr, &groups, cfg, &pool, &augment, |w| {
+                seen.push((
+                    w.group.node,
+                    w.jpos.len(),
+                    *w.jpos.last().unwrap(),
+                    w.tally.terms as f64,
+                ));
+            })
+            .unwrap();
+            seen.sort_by_key(|&(node, ..)| node);
+            (seen, stats.tally)
+        };
+        let (serial, serial_tally) = collect(&PlanConfig::serial());
+        let (overlapped, overlapped_tally) = collect(&PlanConfig::overlapped(3, 2));
+        assert_eq!(serial, overlapped);
+        assert_eq!(serial_tally, overlapped_tally);
+        for &(_, len, last, terms) in &serial {
+            assert_eq!(last, extra, "augmented term must arrive last");
+            assert_eq!(len as f64, terms + 1.0, "tally counts only local terms");
+        }
+        // tallies are bit-identical to the unaugmented stream
+        let plain = stream_with(&tree, &tr, &groups, &PlanConfig::serial(), &pool, |_| {}).unwrap();
+        assert_eq!(plain.tally, serial_tally);
+    }
+
+    #[test]
+    fn augment_panic_surfaces_as_error() {
+        let (pos, mass) = cloud(300, 10);
+        let tree = Tree::build_with(&pos, &mass, TreeConfig::default());
+        let tr = Traversal::new(0.7);
+        let groups = tr.find_groups(&tree, 16);
+        let pool = PlanPool::new();
+        let augment = |_: &mut GroupWork| panic!("LET resolution failed");
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let serial = stream_with_augment(
+            &tree,
+            &tr,
+            &groups,
+            &PlanConfig::serial(),
+            &pool,
+            &augment,
+            |_| {},
+        );
+        let overlapped = stream_with_augment(
+            &tree,
+            &tr,
+            &groups,
+            &PlanConfig::overlapped(2, 2),
+            &pool,
+            &augment,
+            |_| {},
+        );
+        std::panic::set_hook(prev_hook);
+        assert!(serial.unwrap_err().message.contains("LET resolution"));
+        assert!(overlapped.unwrap_err().message.contains("LET resolution"));
     }
 
     #[test]

@@ -173,6 +173,28 @@ impl Tree {
     /// # Panics
     /// On empty input, length mismatch, or non-finite positions.
     pub fn build_with(pos: &[Vec3], mass: &[f64], cfg: TreeConfig) -> Tree {
+        Tree::build_with_hint(pos, mass, cfg, None)
+    }
+
+    /// Build an octree, seeding the Morton sort with the sorted order of
+    /// a previous build over the same (since drifted) particle set —
+    /// typically [`Tree::order`] of the tree being replaced. Between
+    /// rebuilds only a small fraction of particles cross Morton-cell
+    /// boundaries, so the incremental re-sort
+    /// ([`morton_sort::sort_indices_incremental`]) replaces the full
+    /// radix sort with one scan plus a small merge. The result is
+    /// bit-identical to [`build_with`](Self::build_with): `(code,
+    /// index)` keys are unique, so the sorted order is unique whatever
+    /// route produced it.
+    ///
+    /// # Panics
+    /// On empty input, length mismatch, or non-finite positions.
+    pub fn build_with_hint(
+        pos: &[Vec3],
+        mass: &[f64],
+        cfg: TreeConfig,
+        hint: Option<&[u32]>,
+    ) -> Tree {
         assert!(!pos.is_empty(), "cannot build a tree over zero particles");
         assert_eq!(pos.len(), mass.len(), "position/mass length mismatch");
         assert!(cfg.leaf_capacity >= 1, "leaf capacity must be positive");
@@ -187,7 +209,10 @@ impl Tree {
         // Morton code per particle, indices radix-sorted by
         // (code, index) — a stable total order, so particles at equal
         // codes keep input order regardless of sort implementation.
-        let morton_sort::MortonOrdered { frame, codes, order } = morton_sort::morton_order(pos);
+        let morton_sort::MortonOrdered { frame, codes, order } = match hint {
+            Some(h) => morton_sort::morton_order_incremental(pos, h),
+            None => morton_sort::morton_order(pos),
+        };
         let (center, half) = (frame.center, frame.half);
 
         let sorted_codes: Vec<u64> = order.iter().map(|&i| codes[i as usize]).collect();
@@ -723,6 +748,42 @@ mod tests {
         for k in 0..t.len() {
             assert_eq!(t.mass()[k], doubled[t.original_index(k)]);
         }
+    }
+
+    #[test]
+    fn hinted_rebuild_is_bit_identical_to_fresh_build() {
+        let (pos, mass) = random_cloud(900, 26);
+        let prev = Tree::build(&pos, &mass);
+        // drift everyone a little, then rebuild with and without the hint
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(27);
+        let moved: Vec<Vec3> = pos
+            .iter()
+            .map(|&p| {
+                p + Vec3::new(
+                    rng.random_range(-0.02..0.02),
+                    rng.random_range(-0.02..0.02),
+                    rng.random_range(-0.02..0.02),
+                )
+            })
+            .collect();
+        let fresh = Tree::build(&moved, &mass);
+        let hinted =
+            Tree::build_with_hint(&moved, &mass, TreeConfig::default(), Some(prev.order()));
+        assert_eq!(fresh.order(), hinted.order());
+        assert_eq!(fresh.pos(), hinted.pos());
+        assert_eq!(fresh.mass(), hinted.mass());
+        assert_eq!(fresh.nodes().len(), hinted.nodes().len());
+        for (a, b) in fresh.nodes().iter().zip(hinted.nodes()) {
+            assert_eq!(a.com, b.com);
+            assert_eq!(a.mass, b.mass);
+            assert_eq!(a.first, b.first);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.children, b.children);
+        }
+        assert_eq!(fresh.columns().moment, hinted.columns().moment);
+        // a stale hint of the wrong length falls back to from-scratch
+        let wrong = Tree::build_with_hint(&moved, &mass, TreeConfig::default(), Some(&[0, 1]));
+        assert_eq!(fresh.order(), wrong.order());
     }
 
     #[test]

@@ -127,6 +127,97 @@ pub fn morton_order(pos: &[Vec3]) -> MortonOrdered {
     MortonOrdered { frame, codes, order }
 }
 
+/// Quantize and sort a point set, seeding the sort with the order from
+/// a previous step of the same particles ([`sort_indices_incremental`]).
+/// Falls back to a from-scratch sort when the hint does not match the
+/// point count; the result is always identical to [`morton_order`].
+///
+/// # Panics
+/// On non-finite positions.
+pub fn morton_order_incremental(pos: &[Vec3], prev_order: &[u32]) -> MortonOrdered {
+    let frame = MortonFrame::for_points(pos);
+    let codes = frame.codes(pos);
+    let order = sort_indices_incremental(&codes, prev_order);
+    MortonOrdered { frame, codes, order }
+}
+
+/// Fraction of displaced elements above which the incremental merge
+/// abandons the hint and re-sorts from scratch: past ~25% displaced the
+/// spill sort plus full merge costs more than one radix pass.
+const INCREMENTAL_MAX_SPILL_NUM: usize = 1;
+const INCREMENTAL_MAX_SPILL_DEN: usize = 4;
+
+/// Indices `0..codes.len()` sorted ascending by `(code, index)`,
+/// reusing a previous sorted order of the *same index set* as a hint.
+///
+/// Between tree rebuilds only a small fraction of particles drift
+/// across a Morton-cell boundary, so the previous order is almost
+/// sorted under the new codes. One scan peels it into a non-decreasing
+/// backbone (kept in place) and a spill of displaced indices; the spill
+/// is sorted on its own and linearly merged back. Because `(code,
+/// index)` keys are unique, the sorted total order is unique — any
+/// correct merge is bitwise identical to a from-scratch
+/// [`sort_indices`], which is what the referee proptests pin.
+///
+/// A hint whose length does not match, or a spill larger than ~n/4
+/// (heavy drift), falls back to the full radix sort. The hint must be a
+/// permutation of `0..codes.len()` (any previous sort of the same
+/// particle set is); a malformed hint is rejected by length where
+/// cheap, and debug-asserted otherwise.
+pub fn sort_indices_incremental(codes: &[u64], prev_order: &[u32]) -> Vec<u32> {
+    let n = codes.len();
+    if prev_order.len() != n || n <= 1 {
+        return sort_indices(codes);
+    }
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            prev_order
+                .iter()
+                .all(|&i| (i as usize) < n && !std::mem::replace(&mut seen[i as usize], true))
+        },
+        "incremental sort hint is not a permutation"
+    );
+    let mut backbone: Vec<u32> = Vec::with_capacity(n);
+    let mut spill: Vec<u32> = Vec::new();
+    let mut last: (u64, u32) = (0, 0);
+    let mut have_last = false;
+    for &i in prev_order {
+        let key = (codes[i as usize], i);
+        if !have_last || last <= key {
+            backbone.push(i);
+            last = key;
+            have_last = true;
+        } else {
+            spill.push(i);
+        }
+    }
+    if spill.is_empty() {
+        return backbone;
+    }
+    if spill.len() * INCREMENTAL_MAX_SPILL_DEN > n * INCREMENTAL_MAX_SPILL_NUM {
+        return sort_indices(codes);
+    }
+    spill.sort_unstable_by_key(|&i| (codes[i as usize], i));
+    // Linear merge of two sorted runs over disjoint unique keys.
+    let mut out: Vec<u32> = Vec::with_capacity(n);
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < backbone.len() && b < spill.len() {
+        let ka = (codes[backbone[a] as usize], backbone[a]);
+        let kb = (codes[spill[b] as usize], spill[b]);
+        if ka <= kb {
+            out.push(backbone[a]);
+            a += 1;
+        } else {
+            out.push(spill[b]);
+            b += 1;
+        }
+    }
+    out.extend_from_slice(&backbone[a..]);
+    out.extend_from_slice(&spill[b..]);
+    out
+}
+
 /// Indices `0..codes.len()` sorted ascending by `(code, index)` via the
 /// radix pipeline (serial MSD hybrid or threaded LSD).
 pub fn sort_indices(codes: &[u64]) -> Vec<u32> {
@@ -546,6 +637,110 @@ mod tests {
         let frame = MortonFrame::for_points(&[Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)]);
         let _ = frame.codes(&pos);
     }
+
+    #[test]
+    fn incremental_identity_when_nothing_drifts() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let codes: Vec<u64> = (0..5000).map(|_| rng.random::<u64>() >> 1).collect();
+        let prev = sort_indices(&codes);
+        // unchanged codes: the backbone is the whole hint, no merge
+        assert_eq!(sort_indices_incremental(&codes, &prev), prev);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_under_light_drift() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let mut codes: Vec<u64> = (0..20_000).map(|_| rng.random::<u64>() >> 1).collect();
+        let prev = sort_indices(&codes);
+        // drift 2% of the particles to arbitrary new cells
+        for _ in 0..400 {
+            let k = rng.random_range(0..codes.len());
+            codes[k] = rng.random::<u64>() >> 1;
+        }
+        assert_eq!(sort_indices_incremental(&codes, &prev), sort_indices_comparison(&codes));
+    }
+
+    #[test]
+    fn incremental_falls_back_on_heavy_drift_and_bad_hints() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let codes: Vec<u64> = (0..4000).map(|_| rng.random::<u64>() >> 1).collect();
+        let want = sort_indices_comparison(&codes);
+        // reversed hint: nearly everything spills → from-scratch fallback
+        let mut rev = sort_indices(&codes);
+        rev.reverse();
+        assert_eq!(sort_indices_incremental(&codes, &rev), want);
+        // length-mismatched hint is rejected up front
+        assert_eq!(sort_indices_incremental(&codes, &[0, 1, 2]), want);
+        assert_eq!(sort_indices_incremental(&codes, &[]), want);
+    }
+
+    #[test]
+    fn incremental_handles_radix_bucket_boundaries() {
+        // codes sitting exactly on top-digit bucket edges (d << 53 and
+        // its predecessor) for every 11-bit digit, shuffled, with a hint
+        // from a drifted predecessor — exercises bucket 0, bucket 2047,
+        // and every boundary in between through both code paths.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(14);
+        let mut codes: Vec<u64> = Vec::new();
+        for d in 0..RADIX as u64 {
+            let edge = d << (u64::BITS - DIGIT_BITS);
+            codes.push(edge);
+            codes.push(edge.saturating_sub(1));
+            codes.push(edge | rng.random_range(0..1u64 << 40));
+        }
+        let prev = sort_indices(&codes);
+        for _ in 0..100 {
+            let k = rng.random_range(0..codes.len());
+            codes[k] = rng.random::<u64>() >> 1;
+        }
+        assert_eq!(sort_indices_incremental(&codes, &prev), sort_indices_comparison(&codes));
+    }
+
+    #[test]
+    fn incremental_through_oversized_bucket_second_level() {
+        // all codes share the top digit, so the serial MSD path (used
+        // both for the hintless reference and the heavy-drift fallback)
+        // funnels > MSD_BIG_BUCKET elements into one bucket and takes
+        // the second-level scatter.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(15);
+        let top = 7u64 << (u64::BITS - DIGIT_BITS - 3);
+        let mut codes: Vec<u64> =
+            (0..MSD_BIG_BUCKET + 4096).map(|_| top | rng.random_range(0..1u64 << 42)).collect();
+        let prev = sort_indices(&codes);
+        assert_eq!(prev, sort_indices_comparison(&codes), "oversized-bucket scratch sort");
+        for _ in 0..256 {
+            let k = rng.random_range(0..codes.len());
+            codes[k] = top | rng.random_range(0..1u64 << 42);
+        }
+        assert_eq!(sort_indices_incremental(&codes, &prev), sort_indices_comparison(&codes));
+    }
+
+    #[test]
+    fn morton_order_incremental_matches_from_scratch() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(16);
+        let mut pos: Vec<Vec3> = (0..3000)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-2.0..2.0),
+                    rng.random_range(-2.0..2.0),
+                    rng.random_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        let prev = morton_order(&pos);
+        for p in &mut pos {
+            *p += Vec3::new(
+                rng.random_range(-0.01..0.01),
+                rng.random_range(-0.01..0.01),
+                rng.random_range(-0.01..0.01),
+            );
+        }
+        let inc = morton_order_incremental(&pos, &prev.order);
+        let scratch = morton_order(&pos);
+        assert_eq!(inc.order, scratch.order);
+        assert_eq!(inc.codes, scratch.codes);
+        assert_eq!(inc.frame, scratch.frame);
+    }
 }
 
 #[cfg(test)]
@@ -562,6 +757,52 @@ mod proptests {
         #[test]
         fn forced_thread_counts_agree(codes in proptest::collection::vec(any::<u64>(), 0..800), t in 1usize..6) {
             prop_assert_eq!(sort_indices_with_threads(&codes, t), sort_indices_comparison(&codes));
+        }
+
+        /// Partially-drifted inputs: mutate a random subset of the codes
+        /// after taking the hint. Whatever the drift pattern (including
+        /// none, and including enough to trip the fallback), the
+        /// incremental order must equal the from-scratch stable
+        /// (code, index) order.
+        #[test]
+        fn incremental_is_from_scratch_sort(
+            codes in proptest::collection::vec(any::<u64>(), 1..1500),
+            drifts in proptest::collection::vec((any::<usize>(), any::<u64>()), 0..400),
+        ) {
+            let prev = sort_indices(&codes);
+            let mut drifted = codes;
+            for (at, val) in drifts {
+                let k = at % drifted.len();
+                drifted[k] = val;
+            }
+            prop_assert_eq!(
+                sort_indices_incremental(&drifted, &prev),
+                sort_indices_comparison(&drifted)
+            );
+        }
+
+        /// Drift restricted to top-digit bucket edges, so displaced
+        /// elements land exactly on 2048-bucket boundaries of the MSD
+        /// path and merge adjacent to backbone runs.
+        #[test]
+        fn incremental_on_bucket_boundary_drift(
+            codes in proptest::collection::vec(any::<u64>(), 2..1000),
+            drifts in proptest::collection::vec(
+                (any::<usize>(), 0u64..(RADIX as u64), any::<bool>()),
+                1..120,
+            ),
+        ) {
+            let prev = sort_indices(&codes);
+            let mut drifted = codes;
+            for (at, digit, minus_one) in drifts {
+                let k = at % drifted.len();
+                let edge = digit << (u64::BITS - DIGIT_BITS);
+                drifted[k] = if minus_one { edge.saturating_sub(1) } else { edge };
+            }
+            prop_assert_eq!(
+                sort_indices_incremental(&drifted, &prev),
+                sort_indices_comparison(&drifted)
+            );
         }
     }
 }

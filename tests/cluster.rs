@@ -29,7 +29,7 @@ fn cluster_cfg(shards: usize, n_crit: usize) -> ClusterTreeGrapeConfig {
     base.n_crit = n_crit;
     base.grape = Grape5Config::single_board();
     base.plan = PlanConfig::serial();
-    ClusterTreeGrapeConfig { base, shards, lifecycle: LifecyclePolicy::default() }
+    ClusterTreeGrapeConfig { base, shards, lifecycle: LifecyclePolicy::default(), overlap: false }
 }
 
 fn rms_err(fs: &[Vec3], exact: &[Vec3]) -> f64 {

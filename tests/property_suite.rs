@@ -2,7 +2,10 @@
 //! snapshots through every backend, randomized hardware configurations
 //! through the device, randomized simulations through the integrator.
 
-use grape5_nbody::core::{DirectHost, ForceBackend, TreeGrape, TreeGrapeConfig, TreeHost};
+use grape5_nbody::core::{
+    ClusterTreeGrape, ClusterTreeGrapeConfig, DirectHost, ForceBackend, TreeGrape, TreeGrapeConfig,
+    TreeHost,
+};
 use grape5_nbody::grape5::{Grape5, Grape5Config};
 use grape5_nbody::util::Vec3;
 use proptest::prelude::*;
@@ -73,4 +76,59 @@ proptest! {
             prop_assert!((*a - *b).norm() < 1e-10);
         }
     }
+
+    /// The overlapped cluster step pipeline (producer-side LET, worker
+    /// scheduling, double-buffered j-load pricing) is bit-identical to
+    /// the phase-barrier reference at K in {2, 4, 8} on arbitrary
+    /// snapshots: same forces, same tallies, same hardware counters.
+    #[test]
+    fn overlapped_cluster_matches_barrier_at_k_2_4_8(
+        (pos, mass) in snapshot_strategy_min(96, 260),
+        k_idx in 0usize..3,
+    ) {
+        let k = [2usize, 4, 8][k_idx];
+        let mut base = TreeGrapeConfig::paper(0.05);
+        base.n_crit = 24;
+        base.grape = grape5_nbody::grape5::Grape5Config::single_board();
+        let barrier_cfg = ClusterTreeGrapeConfig {
+            base,
+            shards: k,
+            lifecycle: Default::default(),
+            overlap: false,
+        };
+        let mut over_cfg = barrier_cfg;
+        over_cfg.overlap = true;
+        over_cfg.base.grape.double_buffer_j = true;
+        over_cfg.base.plan = grape5_nbody::tree::plan::PlanConfig::overlapped(2, 2);
+        let mut barrier = ClusterTreeGrape::new(barrier_cfg);
+        let mut over = ClusterTreeGrape::new(over_cfg);
+        let a = barrier.compute(&pos, &mass);
+        let b = over.compute(&pos, &mass);
+        prop_assert_eq!(&a.acc, &b.acc, "K={}", k);
+        prop_assert_eq!(&a.pot, &b.pot, "K={}", k);
+        prop_assert_eq!(a.tally, b.tally, "K={}", k);
+        for s in 0..k {
+            prop_assert_eq!(
+                barrier.shard_accounting(s),
+                over.shard_accounting(s),
+                "K={} shard {} counters diverged",
+                k, s
+            );
+        }
+    }
+}
+
+fn snapshot_strategy_min(
+    min_n: usize,
+    max_n: usize,
+) -> impl Strategy<Value = (Vec<Vec3>, Vec<f64>)> {
+    proptest::collection::vec(
+        ((-3.0f64..3.0), (-3.0f64..3.0), (-3.0f64..3.0), (0.1f64..2.0)),
+        min_n..max_n,
+    )
+    .prop_map(|v| {
+        let pos = v.iter().map(|&(x, y, z, _)| Vec3::new(x, y, z)).collect();
+        let mass = v.iter().map(|&(_, _, _, m)| m).collect();
+        (pos, mass)
+    })
 }
