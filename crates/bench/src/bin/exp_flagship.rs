@@ -27,7 +27,7 @@
 //! cargo run --release -p g5-bench --bin exp_flagship -- \
 //!     [--quick] [--segment 3] [--full] [--resume] \
 //!     [--n 2159038] [--k 8] [--steps 999] \
-//!     [--checkpoint-dir flagship_ckpt] [--out BENCH_pr9.json]
+//!     [--checkpoint-dir artifacts/flagship_ckpt] [--out BENCH_pr9.json]
 //! ```
 //!
 //! Default mode runs the gate + segment + projection and writes the
@@ -273,7 +273,9 @@ fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
     let out_path: String = args.get("out", "BENCH_pr9.json".to_string());
-    let ckpt_dir: String = args.get("checkpoint-dir", "flagship_ckpt".to_string());
+    // artifacts/ convention (PR 9): generated state stays out of the
+    // repo root
+    let ckpt_dir: String = args.get("checkpoint-dir", "artifacts/flagship_ckpt".to_string());
     let n: usize = args.get("n", if quick { 65_536 } else { N_FLAGSHIP });
     let k: usize = args.get("k", if quick { 2 } else { 8 });
     let steps: u64 = args.get("steps", STEPS_FLAGSHIP);

@@ -1,9 +1,9 @@
 //! **E14 — benchmark suite driver, cross-PR trajectory ledger, and
 //! regression gate.**
 //!
-//! Runs the kernel, host, cluster, endurance, and flagship harnesses
-//! (`exp_kernel`, `exp_host`, `exp_cluster`, `exp_endurance`,
-//! `exp_flagship`) as sibling binaries, aggregates the kernel/host
+//! Runs the kernel, host, cluster, endurance, flagship, and serve
+//! harnesses (`exp_kernel`, `exp_host`, `exp_cluster`, `exp_endurance`,
+//! `exp_flagship`, `exp_serve`) as sibling binaries, aggregates the kernel/host
 //! headline numbers into the suite report, and maintains
 //! `BENCH_trajectory.json` — a cumulative, commit-keyed ledger of each
 //! PR's headline metrics, so a regression in any later PR is visible as
@@ -16,7 +16,7 @@
 //!     [--out BENCH_pr8.json] [--trajectory BENCH_trajectory.json] \
 //!     [--kernel-json K.json] [--host-json H.json] \
 //!     [--cluster-json C.json] [--endurance-json E.json] \
-//!     [--flagship-json F.json]
+//!     [--flagship-json F.json] [--serve-json S.json]
 //! ```
 //!
 //! Without `--append` the trajectory is (re)seeded: the committed
@@ -234,7 +234,7 @@ fn seed_entries() -> Vec<Entry> {
 }
 
 /// The PR label stamped on rows appended by this build of the suite.
-const CURRENT_PR: &str = "pr9";
+const CURRENT_PR: &str = "pr10";
 
 fn main() {
     let args = Args::parse();
@@ -263,6 +263,7 @@ fn main() {
     let cluster_json: String = args.get("cluster-json", String::new());
     let endurance_json: String = args.get("endurance-json", String::new());
     let flagship_json: String = args.get("flagship-json", String::new());
+    let serve_json: String = args.get("serve-json", String::new());
 
     // run each harness, or reuse an existing report; a reused report's
     // rows are keyed by the commit that last touched the file
@@ -288,6 +289,7 @@ fn main() {
         get("exp_endurance", &endurance_json, "exp_suite_endurance.json");
     let (flagship_text, flagship_commit) =
         get("exp_flagship", &flagship_json, "exp_suite_flagship.json");
+    let (serve_text, serve_commit) = get("exp_serve", &serve_json, "exp_suite_serve.json");
 
     // ---- mine this run's PR 8 headline numbers ----
     let exact_rows: Vec<&str> = kernel_text
@@ -339,6 +341,13 @@ fn main() {
     let flagship_n = json_f64(seg_line, "n").expect("segment n") as u64;
     let flagship_rate = json_f64_any(&flagship_text, "flagship_interactions_per_s")
         .expect("flagship_interactions_per_s");
+
+    // ---- mine the serve (multi-tenant job service) headline numbers ----
+    let serve_jobs = json_f64_any(&serve_text, "jobs").expect("jobs in exp_serve report") as u64;
+    let serve_rate = json_f64_any(&serve_text, "aggregate_interactions_per_s")
+        .expect("aggregate_interactions_per_s in exp_serve report");
+    let serve_p95 = json_f64_any(&serve_text, "p95_latency_s").expect("p95_latency_s");
+    let serve_jain = json_f64_any(&serve_text, "jain_fairness").expect("jain_fairness");
 
     // ---- BENCH_pr8.json: the aggregated PR 8 report ----
     let mut text = String::new();
@@ -418,6 +427,27 @@ fn main() {
             n: flagship_n,
             value: flagship_rate,
         },
+        Entry {
+            pr: CURRENT_PR,
+            commit: serve_commit.clone(),
+            metric: "serve_aggregate_interactions_per_s",
+            n: serve_jobs,
+            value: serve_rate,
+        },
+        Entry {
+            pr: CURRENT_PR,
+            commit: serve_commit.clone(),
+            metric: "serve_p95_latency_s",
+            n: serve_jobs,
+            value: serve_p95,
+        },
+        Entry {
+            pr: CURRENT_PR,
+            commit: serve_commit,
+            metric: "serve_jain_fairness",
+            n: serve_jobs,
+            value: serve_jain,
+        },
     ];
     let existing = std::fs::read_to_string(&traj_path).ok();
     let mut lines: Vec<String> = match (&existing, append) {
@@ -474,6 +504,10 @@ fn main() {
          flagship {flagship_rate:.3e} inter/s at N = {flagship_n}; \
          endurance drift {endurance_drift:.3e} at N = {endurance_n}"
     );
+    println!(
+        "serve headline: {serve_rate:.3e} aggregate inter/s across {serve_jobs} tenant jobs; \
+         p95 turnaround {serve_p95:.2} s; Jain fairness {serve_jain:.3}"
+    );
 
     if gate && !run_gate(&lines) {
         std::process::exit(1);
@@ -495,10 +529,13 @@ mod tests {
         assert!(!lower_is_better("overlap_critical_path_speedup"));
         assert!(!lower_is_better("cluster_interactions_per_s"));
         assert!(!lower_is_better("flagship_interactions_per_s"));
+        assert!(!lower_is_better("serve_aggregate_interactions_per_s"));
+        assert!(!lower_is_better("serve_jain_fairness"));
         // lower-is-better families
         assert!(lower_is_better("endurance_max_energy_drift"));
         assert!(lower_is_better("critical_path_s"));
         assert!(lower_is_better("modeled_total_s"));
+        assert!(lower_is_better("serve_p95_latency_s"));
     }
 
     #[test]

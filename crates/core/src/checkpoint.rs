@@ -54,6 +54,13 @@ pub struct Checkpoint {
     /// before the lifecycle layer, or for single-device runs). Stored
     /// under additive keys a pre-lifecycle reader skips as unknown.
     pub lifecycle: Option<ClusterLifecycle>,
+    /// Owning job id of a job-scoped checkpoint directory (`None` for
+    /// manifests written by single-run binaries). A multi-tenant
+    /// server writes its job id into every manifest and refuses to
+    /// resume a job from a manifest carrying someone else's id — the
+    /// guard against two jobs ever sharing (or being pointed at) one
+    /// directory.
+    pub job_id: Option<String>,
 }
 
 /// The shard lifecycle supervisor's state at checkpoint time — what a
@@ -97,6 +104,7 @@ pub struct Checkpointer {
     dir: PathBuf,
     every: u64,
     keep: Option<usize>,
+    job_id: Option<String>,
 }
 
 impl Checkpointer {
@@ -105,7 +113,20 @@ impl Checkpointer {
     pub fn new(dir: &Path, every: u64) -> io::Result<Checkpointer> {
         assert!(every >= 1, "checkpoint interval must be at least 1");
         std::fs::create_dir_all(dir)?;
-        Ok(Checkpointer { dir: dir.to_path_buf(), every, keep: None })
+        Ok(Checkpointer { dir: dir.to_path_buf(), every, keep: None, job_id: None })
+    }
+
+    /// Stamp every manifest with a job id (single whitespace-free
+    /// token), making the directory job-scoped: readers that expect a
+    /// job ([`latest_for_job`]) reject manifests carrying a different
+    /// id or none at all.
+    pub fn with_job_id(mut self, job_id: &str) -> Checkpointer {
+        assert!(
+            !job_id.is_empty() && !job_id.contains(char::is_whitespace),
+            "job id must be a nonempty whitespace-free token: {job_id:?}"
+        );
+        self.job_id = Some(job_id.to_string());
+        self
     }
 
     /// Retain only the newest `keep` checkpoint pairs (`keep` ≥ 1),
@@ -161,6 +182,9 @@ impl Checkpointer {
         // f64 as its exact bit pattern: a text manifest must not round
         writeln!(f, "time {:016x}", time.to_bits())?;
         writeln!(f, "snapshot {}", snap_path.file_name().unwrap().to_string_lossy())?;
+        if let Some(job) = &self.job_id {
+            writeln!(f, "job {job}")?;
+        }
         if let Some(words) = fault_state {
             let hex: Vec<String> = words.iter().map(|w| format!("{w:016x}")).collect();
             writeln!(f, "fault_state {}", hex.join(" "))?;
@@ -197,6 +221,9 @@ impl Checkpointer {
         writeln!(f, "step {step}")?;
         writeln!(f, "time {:016x}", time.to_bits())?;
         writeln!(f, "snapshot {}", snap_path.file_name().unwrap().to_string_lossy())?;
+        if let Some(job) = &self.job_id {
+            writeln!(f, "job {job}")?;
+        }
         writeln!(f, "shards {shards}")?;
         for (slot, words) in shard_fault_states {
             let hex: Vec<String> = words.iter().map(|w| format!("{w:016x}")).collect();
@@ -281,6 +308,7 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
     let mut snapshot = None;
     let mut fault_state = None;
     let mut shards = None;
+    let mut job_id = None;
     let mut shard_fault_states = Vec::new();
     let mut evals = None;
     let mut healths = Vec::new();
@@ -306,6 +334,12 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
             }
             "shards" => {
                 shards = Some(value.parse::<usize>().map_err(|_| bad("bad shard count"))?);
+            }
+            "job" => {
+                if value.is_empty() || value.contains(char::is_whitespace) {
+                    return Err(bad("bad job id"));
+                }
+                job_id = Some(value.to_string());
             }
             "shard_fault_state" => {
                 let mut it = value.split_whitespace();
@@ -353,6 +387,7 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
         shards,
         shard_fault_states,
         lifecycle,
+        job_id,
     })
 }
 
@@ -360,6 +395,23 @@ pub fn read_manifest(path: &Path) -> io::Result<Checkpoint> {
 /// descending step order and the first whose snapshot passes its CRC is
 /// returned. `Ok(None)` if the directory holds no usable checkpoint.
 pub fn latest(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    latest_filtered(dir, |_| true)
+}
+
+/// Newest valid checkpoint in a job-scoped directory, *validating
+/// ownership*: manifests whose `job` key is absent or differs from
+/// `job_id` are skipped exactly like corrupt ones. This is how a
+/// multi-tenant server refuses to resume job A from a directory that a
+/// collision, copy mistake, or stale symlink filled with job B's
+/// checkpoints.
+pub fn latest_for_job(dir: &Path, job_id: &str) -> io::Result<Option<Checkpoint>> {
+    latest_filtered(dir, |c| c.job_id.as_deref() == Some(job_id))
+}
+
+fn latest_filtered(
+    dir: &Path,
+    accept: impl Fn(&Checkpoint) -> bool,
+) -> io::Result<Option<Checkpoint>> {
     if !dir.exists() {
         return Ok(None);
     }
@@ -371,7 +423,7 @@ pub fn latest(dir: &Path) -> io::Result<Option<Checkpoint>> {
     manifests.sort();
     for path in manifests.iter().rev() {
         let Ok(ckpt) = read_manifest(path) else { continue };
-        if ckpt.load_snapshot().is_ok() {
+        if accept(&ckpt) && ckpt.load_snapshot().is_ok() {
             return Ok(Some(ckpt));
         }
     }
@@ -696,6 +748,78 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         assert_eq!(latest(&dir).unwrap(), None);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn job_id_roundtrips_and_gates_resume() {
+        let dir = tmpdir("job_scoped");
+        let ck = Checkpointer::new(&dir, 1).unwrap().with_job_id("job-0007");
+        ck.write(&sample(1.0), 1.0, 1, Some(&[3])).unwrap();
+
+        let got = latest_for_job(&dir, "job-0007").unwrap().unwrap();
+        assert_eq!(got.job_id.as_deref(), Some("job-0007"));
+        assert_eq!(got.fault_state, Some(vec![3]));
+        // a different job must not resume from this directory, and the
+        // unvalidated reader still sees the manifest (forward compat)
+        assert_eq!(latest_for_job(&dir, "job-0008").unwrap(), None);
+        assert_eq!(latest(&dir).unwrap().unwrap().step, 1);
+        // an unstamped manifest is equally unacceptable to a job reader
+        let unstamped = Checkpointer::new(&dir, 1).unwrap();
+        unstamped.write(&sample(2.0), 2.0, 2, None).unwrap();
+        assert_eq!(latest_for_job(&dir, "job-0007").unwrap().unwrap().step, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn job_id_stamps_cluster_manifests_too() {
+        let dir = tmpdir("job_cluster");
+        let ck = Checkpointer::new(&dir, 1).unwrap().with_job_id("fleet-3");
+        ck.write_cluster(&sample(1.0), 1.0, 4, 2, &[(0, vec![9])], None).unwrap();
+        let got = latest_for_job(&dir, "fleet-3").unwrap().unwrap();
+        assert_eq!(got.shards, Some(2));
+        assert_eq!(got.job_id.as_deref(), Some("fleet-3"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn job_id_with_spaces_rejected() {
+        let dir = tmpdir("job_bad_id");
+        let _ = Checkpointer::new(&dir, 1).unwrap().with_job_id("two words");
+    }
+
+    #[test]
+    fn concurrent_job_writers_retention_and_scrub_stay_isolated() {
+        // satellite: many jobs checkpoint concurrently, each into its
+        // own job-scoped directory with retention; pruning and scrub
+        // in one directory must never disturb a neighbor's files.
+        let root = tmpdir("concurrent_jobs");
+        std::fs::create_dir_all(&root).unwrap();
+        let mut handles = Vec::new();
+        for j in 0..8 {
+            let dir = root.join(format!("job-{j:04}"));
+            handles.push(std::thread::spawn(move || {
+                let id = format!("job-{j:04}");
+                let ck = Checkpointer::new(&dir, 1).unwrap().with_retention(3).with_job_id(&id);
+                for step in 1..=20u64 {
+                    ck.write(&sample(j as f64 + step as f64), step as f64, step, None).unwrap();
+                }
+                let report = scrub(&dir, 10).unwrap();
+                assert_eq!(report.checked, 3, "retention must leave exactly 3");
+                assert_eq!(report.valid, 3);
+                assert!(report.corrupt.is_empty());
+                let got = latest_for_job(&dir, &id).unwrap().unwrap();
+                assert_eq!(got.step, 20);
+                got
+            }));
+        }
+        for (j, h) in handles.into_iter().enumerate() {
+            let ckpt = h.join().unwrap();
+            assert_eq!(ckpt.job_id.as_deref(), Some(format!("job-{j:04}").as_str()));
+            let (snap, _) = ckpt.load_snapshot().unwrap();
+            assert_eq!(snap.pos, sample(j as f64 + 20.0).pos, "cross-job bleed");
+        }
+        std::fs::remove_dir_all(root).ok();
     }
 
     #[test]

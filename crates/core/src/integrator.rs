@@ -125,6 +125,33 @@ impl<B: ForceBackend> Simulation<B> {
         Ok(())
     }
 
+    /// Advance at most `n` equal steps, consulting `keep_going` after
+    /// every *completed* step — the step-boundary yield point a job
+    /// scheduler preempts at. Returns the number of steps completed;
+    /// when `keep_going` answers `false` the loop stops with the state
+    /// at the top of a step, exactly where a checkpoint/resume is
+    /// bit-identical. A failed step surfaces its error with the state
+    /// at the last completed step, as in [`try_run`](Self::try_run).
+    pub fn try_run_while<F>(
+        &mut self,
+        dt: f64,
+        n: u64,
+        mut keep_going: F,
+    ) -> Result<u64, ForceError>
+    where
+        F: FnMut(&Simulation<B>) -> bool,
+    {
+        let mut done = 0;
+        for _ in 0..n {
+            self.try_step(dt)?;
+            done += 1;
+            if !keep_going(self) {
+                break;
+            }
+        }
+        Ok(done)
+    }
+
     /// Advance to absolute time `t` in one step.
     pub fn step_to(&mut self, t: f64) {
         let dt = t - self.time;
@@ -309,6 +336,34 @@ mod tests {
         sim.backend_mut().fail = false;
         sim.try_step(0.01).unwrap();
         assert_eq!(sim.steps, steps + 1);
+    }
+
+    #[test]
+    fn yielded_run_matches_uninterrupted_bitwise() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let snap = plummer_sphere(120, &mut rng);
+
+        let mut full = Simulation::new(snap.clone(), DirectHost::new(0.02), 0.0);
+        full.run(0.01, 30);
+
+        // preempt every 4 steps, resuming from the carried state —
+        // the scheduler's quantum loop in miniature
+        let mut sim = Simulation::new(snap, DirectHost::new(0.02), 0.0);
+        while sim.steps < 30 {
+            let mut in_quantum = 0;
+            let done = sim
+                .try_run_while(0.01, 30 - sim.steps, |_| {
+                    in_quantum += 1;
+                    in_quantum < 4
+                })
+                .unwrap();
+            assert!((1..=4).contains(&done));
+            sim = Simulation::resume(sim.state.clone(), DirectHost::new(0.02), sim.time, sim.steps)
+                .unwrap();
+        }
+        assert_eq!(sim.state.pos, full.state.pos);
+        assert_eq!(sim.state.vel, full.state.vel);
+        assert_eq!(sim.steps, 30);
     }
 
     /// A resumed simulation continues bit-identically: KDK holds only

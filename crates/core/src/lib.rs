@@ -33,6 +33,9 @@
 //! * [`checkpoint`] — periodic checkpoint/restart: manifests carrying
 //!   step index, bit-exact integrator time and fault-injector state,
 //!   resumable bit-identically.
+//! * [`spec`] — declarative backend construction ([`BackendSpec`] →
+//!   [`AnyBackend`]): the value-typed handle a multi-tenant job
+//!   service builds, checkpoints and restores workers from.
 
 pub mod accuracy;
 pub mod backends;
@@ -45,6 +48,7 @@ pub mod integrator;
 pub mod perf;
 pub mod render;
 pub mod snapshot_io;
+pub mod spec;
 
 pub use backends::{
     DirectGrape, DirectHost, ForceBackend, ForceError, ForceSet, RefreshPolicy, TreeGrape,
@@ -56,3 +60,4 @@ pub use diagnostics::{Diagnostics, EnergyWatchdog};
 pub use g5tree::plan::PlanConfig;
 pub use integrator::Simulation;
 pub use perf::{HostModel, PaperProjection, PhaseTimers, StepBreakdown};
+pub use spec::{AnyBackend, BackendKind, BackendSpec};

@@ -42,6 +42,7 @@ pub mod cutoff;
 pub mod fault;
 pub mod lanes;
 pub mod pipeline;
+pub mod pool;
 pub mod session;
 pub mod system;
 
@@ -53,5 +54,6 @@ pub use cutoff::CutoffTable;
 pub use fault::{splitmix, BoardDropout, DeviceError, FaultConfig, StuckPipe};
 pub use lanes::{detect_lane_path, LanePath};
 pub use pipeline::{Force, G5Pipeline};
+pub use pool::{DevicePool, PoolError, PoolLease, PoolUsage};
 pub use session::{bounding_window, DeviceSession, RecoveryStats, RetryPolicy};
 pub use system::{Grape5, SelfTest};

@@ -1,0 +1,282 @@
+//! Pooled device capacity for multi-tenant serving.
+//!
+//! The real GRAPE systems were shared facilities (GRAPE-6 ran as a
+//! multi-user resource); keeping the $7.0/Mflops economics honest means
+//! keeping the boards busy with *many* concurrent workloads. A
+//! [`DevicePool`] is the capacity ledger a job service admits against:
+//! it tracks two aggregate budgets —
+//!
+//! * **j-memory slots** — how many j-particles the pooled boards can
+//!   hold resident at once (each board contributes
+//!   [`crate::Grape5Config::jmem_capacity`]);
+//! * **resident particles** — how many i-particles of host state the
+//!   service is willing to keep in flight simultaneously (bounding host
+//!   RSS, not device memory).
+//!
+//! Admission takes a [`PoolLease`]; the lease returns its words to the
+//! pool on drop (RAII), so no error path can leak capacity. The pool
+//! is a ledger, not an allocator: it never touches a device, it only
+//! answers "may one more job enter?" deterministically.
+
+use std::sync::{Arc, Mutex};
+
+/// Why a lease request cannot be granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The request exceeds the pool's *total* capacity: it can never be
+    /// granted, no matter what completes. Callers should reject the
+    /// job rather than queue it forever.
+    NeverFits {
+        /// Which budget is impossible ("jmem" or "resident").
+        budget: &'static str,
+        /// Slots requested.
+        asked: usize,
+        /// The pool's total for that budget.
+        total: usize,
+    },
+    /// The request fits the pool but not the currently free capacity;
+    /// retry after a lease is released.
+    Exhausted {
+        /// Which budget ran out ("jmem" or "resident").
+        budget: &'static str,
+        /// Slots requested.
+        asked: usize,
+        /// Slots currently free in that budget.
+        free: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::NeverFits { budget, asked, total } => {
+                write!(f, "{budget} request {asked} exceeds pool total {total}")
+            }
+            PoolError::Exhausted { budget, asked, free } => {
+                write!(f, "{budget} request {asked} exceeds free {free}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[derive(Debug)]
+struct PoolInner {
+    jmem_total: usize,
+    jmem_used: usize,
+    resident_total: usize,
+    resident_used: usize,
+    leases: usize,
+}
+
+/// Aggregate j-memory / resident-particle capacity shared by every
+/// admitted job. Clone-cheap: clones share the same ledger.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+/// A granted slice of pool capacity; returns it on drop.
+#[derive(Debug)]
+pub struct PoolLease {
+    inner: Arc<Mutex<PoolInner>>,
+    jmem: usize,
+    resident: usize,
+}
+
+/// A point-in-time occupancy snapshot, for reports and fairness audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolUsage {
+    /// j-memory slots currently leased.
+    pub jmem_used: usize,
+    /// Total j-memory slots.
+    pub jmem_total: usize,
+    /// Resident particles currently leased.
+    pub resident_used: usize,
+    /// Total resident-particle budget.
+    pub resident_total: usize,
+    /// Outstanding leases.
+    pub leases: usize,
+}
+
+impl DevicePool {
+    /// A pool with `jmem_total` j-memory slots and `resident_total`
+    /// resident-particle budget.
+    pub fn new(jmem_total: usize, resident_total: usize) -> DevicePool {
+        assert!(jmem_total > 0, "empty j-memory pool");
+        assert!(resident_total > 0, "empty resident budget");
+        DevicePool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                jmem_total,
+                jmem_used: 0,
+                resident_total,
+                resident_used: 0,
+                leases: 0,
+            })),
+        }
+    }
+
+    /// A pool sized as `boards` paper boards ([`crate::Grape5Config::paper`]
+    /// j-memory per board) with a resident budget of `resident_total`.
+    pub fn of_boards(boards: usize, resident_total: usize) -> DevicePool {
+        let cfg = crate::Grape5Config::paper();
+        DevicePool::new(boards * cfg.jmem_capacity, resident_total)
+    }
+
+    /// Try to lease `jmem` j-memory slots and `resident` resident
+    /// particles. `Err(NeverFits)` means the request exceeds the pool
+    /// outright; `Err(Exhausted)` means try again after a release.
+    pub fn try_lease(&self, jmem: usize, resident: usize) -> Result<PoolLease, PoolError> {
+        let mut g = self.inner.lock().unwrap();
+        if jmem > g.jmem_total {
+            return Err(PoolError::NeverFits { budget: "jmem", asked: jmem, total: g.jmem_total });
+        }
+        if resident > g.resident_total {
+            return Err(PoolError::NeverFits {
+                budget: "resident",
+                asked: resident,
+                total: g.resident_total,
+            });
+        }
+        let jmem_free = g.jmem_total - g.jmem_used;
+        if jmem > jmem_free {
+            return Err(PoolError::Exhausted { budget: "jmem", asked: jmem, free: jmem_free });
+        }
+        let resident_free = g.resident_total - g.resident_used;
+        if resident > resident_free {
+            return Err(PoolError::Exhausted {
+                budget: "resident",
+                asked: resident,
+                free: resident_free,
+            });
+        }
+        g.jmem_used += jmem;
+        g.resident_used += resident;
+        g.leases += 1;
+        Ok(PoolLease { inner: Arc::clone(&self.inner), jmem, resident })
+    }
+
+    /// Current occupancy.
+    pub fn usage(&self) -> PoolUsage {
+        let g = self.inner.lock().unwrap();
+        PoolUsage {
+            jmem_used: g.jmem_used,
+            jmem_total: g.jmem_total,
+            resident_used: g.resident_used,
+            resident_total: g.resident_total,
+            leases: g.leases,
+        }
+    }
+}
+
+impl PoolLease {
+    /// j-memory slots this lease holds.
+    pub fn jmem(&self) -> usize {
+        self.jmem
+    }
+
+    /// Resident particles this lease holds.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        let mut g = self.inner.lock().unwrap();
+        g.jmem_used -= self.jmem;
+        g.resident_used -= self.resident;
+        g.leases -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_and_release_roundtrip() {
+        let pool = DevicePool::new(100, 50);
+        let a = pool.try_lease(60, 20).unwrap();
+        assert_eq!(pool.usage().jmem_used, 60);
+        assert_eq!(pool.usage().leases, 1);
+        let b = pool.try_lease(40, 30).unwrap();
+        assert_eq!(pool.usage().jmem_used, 100);
+        assert_eq!(pool.usage().resident_used, 50);
+        drop(a);
+        assert_eq!(pool.usage().jmem_used, 40);
+        assert_eq!(pool.usage().leases, 1);
+        drop(b);
+        assert_eq!(
+            pool.usage(),
+            PoolUsage {
+                jmem_used: 0,
+                jmem_total: 100,
+                resident_used: 0,
+                resident_total: 50,
+                leases: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn exhausted_vs_never_fits() {
+        let pool = DevicePool::new(100, 50);
+        let _hold = pool.try_lease(90, 10).unwrap();
+        match pool.try_lease(20, 1) {
+            Err(PoolError::Exhausted { budget: "jmem", asked: 20, free: 10 }) => {}
+            other => panic!("expected jmem exhaustion, got {other:?}"),
+        }
+        match pool.try_lease(101, 1) {
+            Err(PoolError::NeverFits { budget: "jmem", asked: 101, total: 100 }) => {}
+            other => panic!("expected jmem never-fits, got {other:?}"),
+        }
+        match pool.try_lease(1, 51) {
+            Err(PoolError::NeverFits { budget: "resident", .. }) => {}
+            other => panic!("expected resident never-fits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_paths_leak_nothing() {
+        let pool = DevicePool::new(10, 10);
+        for _ in 0..100 {
+            let ok = pool.try_lease(7, 7).unwrap();
+            assert!(pool.try_lease(7, 7).is_err());
+            drop(ok);
+        }
+        assert_eq!(pool.usage().leases, 0);
+        assert_eq!(pool.usage().jmem_used, 0);
+    }
+
+    #[test]
+    fn concurrent_leasing_never_oversubscribes() {
+        let pool = DevicePool::new(64, 64);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut granted = 0usize;
+                for _ in 0..200 {
+                    if let Ok(lease) = p.try_lease(16, 16) {
+                        let u = p.usage();
+                        assert!(u.jmem_used <= u.jmem_total, "oversubscribed: {u:?}");
+                        granted += 1;
+                        drop(lease);
+                    }
+                }
+                granted
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "no lease ever granted under contention");
+        assert_eq!(pool.usage().leases, 0);
+    }
+
+    #[test]
+    fn of_boards_sizes_by_paper_jmem() {
+        let pool = DevicePool::of_boards(3, 10);
+        assert_eq!(pool.usage().jmem_total, 3 << 20);
+    }
+}

@@ -1,0 +1,431 @@
+//! The durable job ledger — an append-only text log that makes the
+//! *fleet* survive a server kill the way a manifest makes one run
+//! survive it.
+//!
+//! Format (one record per line, `G5JOBS1` magic first):
+//!
+//! ```text
+//! G5JOBS1
+//! job <id> <spec tokens…>
+//! energy0 <id> <f64 bit pattern>
+//! state <id> queued|ready|running <steps>|preempted <steps>|completed <steps>
+//! state <id> failed <kind> <detail…>
+//! ```
+//!
+//! The idiom matches the checkpoint manifests: text key–value lines,
+//! `f64` as exact hex bit patterns (a restarted server must reproduce
+//! energy-drift numbers bit-for-bit), unknown keys skipped for forward
+//! compatibility. Replay folds the log: the last `state` line per job
+//! wins; every non-terminal job is re-queued for admission and resumes
+//! from the newest valid manifest in its own directory (or from its
+//! seed when it never checkpointed — both replay the identical
+//! trajectory).
+
+use crate::job::{IcClass, JobError, JobId, JobSpec, JobState};
+use grape5::{ArithMode, FaultConfig};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use treegrape::backends::ForceError;
+use treegrape::{BackendKind, BackendSpec};
+
+/// Ledger format marker (first line of the file).
+const LEDGER_MAGIC: &str = "G5JOBS1";
+
+/// Append-only writer over the ledger file.
+#[derive(Debug)]
+pub struct Ledger {
+    out: BufWriter<std::fs::File>,
+}
+
+/// One job reconstructed by replay.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Job identifier.
+    pub id: JobId,
+    /// Full spec, decoded.
+    pub spec: JobSpec,
+    /// Last recorded state.
+    pub state: JobState,
+    /// Steps recorded with the last state line (informational — the
+    /// authoritative resume point is the job's newest valid manifest).
+    pub steps_done: u64,
+    /// Initial total energy, bit-exact, once recorded.
+    pub energy0: Option<f64>,
+}
+
+impl Ledger {
+    /// Create a fresh ledger (truncating), writing the magic line.
+    pub fn create(path: &Path) -> io::Result<Ledger> {
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "{LEDGER_MAGIC}")?;
+        out.flush()?;
+        Ok(Ledger { out })
+    }
+
+    /// Open an existing ledger for appending.
+    pub fn append_to(path: &Path) -> io::Result<Ledger> {
+        let f = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Ledger { out: BufWriter::new(f) })
+    }
+
+    /// Record a submission (spec is immutable once logged).
+    pub fn submit(&mut self, id: JobId, spec: &JobSpec) -> io::Result<()> {
+        writeln!(self.out, "job {id} {}", encode_spec(spec))?;
+        self.out.flush()
+    }
+
+    /// Record the job's initial total energy, bit-exact.
+    pub fn energy0(&mut self, id: JobId, e0: f64) -> io::Result<()> {
+        writeln!(self.out, "energy0 {id} {:016x}", e0.to_bits())?;
+        self.out.flush()
+    }
+
+    /// Record a state transition.
+    pub fn state(&mut self, id: JobId, state: &JobState, steps: u64) -> io::Result<()> {
+        match state {
+            JobState::Queued => writeln!(self.out, "state {id} queued")?,
+            JobState::Ready => writeln!(self.out, "state {id} ready")?,
+            JobState::Running => writeln!(self.out, "state {id} running {steps}")?,
+            JobState::Preempted => writeln!(self.out, "state {id} preempted {steps}")?,
+            JobState::Completed => writeln!(self.out, "state {id} completed {steps}")?,
+            JobState::Failed(e) => {
+                // detail is display-formatted and single-line; kind is
+                // the machine-readable field replay recovers exactly
+                let detail = e.to_string().replace('\n', " ");
+                writeln!(self.out, "state {id} failed {} {detail}", e.kind())?;
+            }
+        }
+        self.out.flush()
+    }
+}
+
+/// Replay a ledger file. Torn trailing lines (a kill mid-append) are
+/// skipped; a missing or garbage file is an error.
+pub fn replay(path: &Path) -> io::Result<Vec<ReplayedJob>> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{m}: {path:?}"));
+    let mut lines = text.lines();
+    if lines.next() != Some(LEDGER_MAGIC) {
+        return Err(bad("bad ledger magic"));
+    }
+    let mut jobs: Vec<ReplayedJob> = Vec::new();
+    fn find(jobs: &mut [ReplayedJob], id: JobId) -> Option<&mut ReplayedJob> {
+        jobs.iter_mut().find(|j| j.id == id)
+    }
+    for line in lines {
+        let Some((key, rest)) = line.split_once(' ') else { continue };
+        let Some((id_str, value)) = rest.split_once(' ') else { continue };
+        let Ok(id) = id_str.parse::<JobId>() else { continue };
+        match key {
+            "job" => {
+                let Some(spec) = decode_spec(value) else { continue };
+                // resubmission of a known id never happens; keep first
+                if find(&mut jobs, id).is_none() {
+                    jobs.push(ReplayedJob {
+                        id,
+                        spec,
+                        state: JobState::Queued,
+                        steps_done: 0,
+                        energy0: None,
+                    });
+                }
+            }
+            "energy0" => {
+                if let (Some(j), Ok(bits)) = (find(&mut jobs, id), u64::from_str_radix(value, 16)) {
+                    j.energy0 = Some(f64::from_bits(bits));
+                }
+            }
+            "state" => {
+                let Some(j) = find(&mut jobs, id) else { continue };
+                let (word, tail) = value.split_once(' ').unwrap_or((value, ""));
+                match word {
+                    "queued" => j.state = JobState::Queued,
+                    "ready" => j.state = JobState::Ready,
+                    "running" | "preempted" | "completed" => {
+                        let Ok(steps) = tail.parse::<u64>() else { continue };
+                        j.steps_done = steps;
+                        j.state = match word {
+                            "running" => JobState::Running,
+                            "preempted" => JobState::Preempted,
+                            _ => JobState::Completed,
+                        };
+                    }
+                    "failed" => {
+                        let (kind, detail) = tail.split_once(' ').unwrap_or((tail, ""));
+                        j.state = JobState::Failed(decode_error(kind, detail));
+                    }
+                    _ => {} // unknown state words: forward compatibility
+                }
+            }
+            _ => {} // unknown keys: forward compatibility
+        }
+    }
+    Ok(jobs)
+}
+
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn unhex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Encode a spec as the ledger's single-line token list.
+pub fn encode_spec(s: &JobSpec) -> String {
+    let ic = match s.ic {
+        IcClass::Plummer => "plummer".to_string(),
+        IcClass::Hernquist { r_max } => format!("hernquist:{}", hex(r_max)),
+    };
+    let kind = match s.backend.kind {
+        BackendKind::Tree => "tree".to_string(),
+        BackendKind::Cluster { shards } => format!("cluster:{shards}"),
+    };
+    let mode = match s.backend.mode {
+        ArithMode::Lns => "lns",
+        ArithMode::Exact => "exact",
+    };
+    let fault = match &s.backend.fault {
+        None => "none".to_string(),
+        Some(f) => format!("{}:{}:{}", f.seed, hex(f.transient_rate), hex(f.jmem_corrupt_rate)),
+    };
+    format!(
+        "ic={ic} n={} seed={} steps={} dt={} kind={kind} mode={mode} eps={} theta={} \
+         ncrit={} boards={} fault={fault} ckpt={} retain={}",
+        s.n,
+        s.seed,
+        s.steps,
+        hex(s.dt),
+        hex(s.backend.eps),
+        hex(s.backend.theta),
+        s.backend.n_crit,
+        s.backend.boards,
+        s.checkpoint_every,
+        s.retain
+    )
+}
+
+/// Decode [`encode_spec`]'s token list; `None` on any malformed or
+/// missing field.
+pub fn decode_spec(line: &str) -> Option<JobSpec> {
+    let mut ic = None;
+    let mut n = None;
+    let mut seed = None;
+    let mut steps = None;
+    let mut dt = None;
+    let mut kind = None;
+    let mut mode = None;
+    let mut eps = None;
+    let mut theta = None;
+    let mut ncrit = None;
+    let mut boards = None;
+    let mut fault = None;
+    let mut ckpt = None;
+    let mut retain = None;
+    for token in line.split_whitespace() {
+        let (k, v) = token.split_once('=')?;
+        match k {
+            "ic" => {
+                ic = Some(match v.split_once(':') {
+                    None if v == "plummer" => IcClass::Plummer,
+                    Some(("hernquist", bits)) => IcClass::Hernquist { r_max: unhex(bits)? },
+                    _ => return None,
+                });
+            }
+            "n" => n = v.parse().ok(),
+            "seed" => seed = v.parse().ok(),
+            "steps" => steps = v.parse().ok(),
+            "dt" => dt = unhex(v),
+            "kind" => {
+                kind = Some(match v.split_once(':') {
+                    None if v == "tree" => BackendKind::Tree,
+                    Some(("cluster", k)) => BackendKind::Cluster { shards: k.parse().ok()? },
+                    _ => return None,
+                });
+            }
+            "mode" => {
+                mode = Some(match v {
+                    "lns" => ArithMode::Lns,
+                    "exact" => ArithMode::Exact,
+                    _ => return None,
+                });
+            }
+            "eps" => eps = unhex(v),
+            "theta" => theta = unhex(v),
+            "ncrit" => ncrit = v.parse().ok(),
+            "boards" => boards = v.parse().ok(),
+            "fault" => {
+                fault = Some(if v == "none" {
+                    None
+                } else {
+                    let mut it = v.split(':');
+                    let f_seed: u64 = it.next()?.parse().ok()?;
+                    let transient = unhex(it.next()?)?;
+                    let jmem = unhex(it.next()?)?;
+                    Some(FaultConfig {
+                        transient_rate: transient,
+                        jmem_corrupt_rate: jmem,
+                        ..FaultConfig::none(f_seed)
+                    })
+                });
+            }
+            "ckpt" => ckpt = v.parse().ok(),
+            "retain" => retain = v.parse().ok(),
+            _ => {} // unknown tokens: forward compatibility
+        }
+    }
+    let backend = BackendSpec {
+        kind: kind?,
+        mode: mode?,
+        eps: eps?,
+        theta: theta?,
+        n_crit: ncrit?,
+        boards: boards?,
+        fault: fault?,
+    };
+    Some(JobSpec {
+        ic: ic?,
+        n: n?,
+        seed: seed?,
+        steps: steps?,
+        dt: dt?,
+        backend,
+        checkpoint_every: ckpt?,
+        retain: retain?,
+    })
+}
+
+fn decode_error(kind: &str, detail: &str) -> JobError {
+    match kind {
+        "admission-rejected" => {
+            JobError::AdmissionRejected { budget: detail.to_string(), asked: 0, total: 0 }
+        }
+        "backend-fatal" => JobError::BackendFatal(ForceError::ShardPanic(detail.to_string())),
+        "checkpoint-corrupt" => JobError::CheckpointCorrupt(detail.to_string()),
+        _ => JobError::Cancelled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("g5jobs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn specs() -> Vec<JobSpec> {
+        let storm = FaultConfig { transient_rate: 0.01, ..FaultConfig::none(42) };
+        vec![
+            JobSpec::plummer(256, 1, 40),
+            JobSpec::hernquist(300, 2, 25),
+            JobSpec {
+                backend: BackendSpec::cluster(0.03, 3).with_fault(storm),
+                dt: 0.1 + 0.2, // messy bit pattern must survive
+                ..JobSpec::plummer(512, 3, 10)
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_encoding_roundtrips_bit_exactly() {
+        for spec in specs() {
+            let line = encode_spec(&spec);
+            let back = decode_spec(&line).expect("decodable");
+            assert_eq!(back, spec, "lossy encoding: {line}");
+            assert_eq!(back.dt.to_bits(), spec.dt.to_bits());
+        }
+    }
+
+    #[test]
+    fn replay_folds_states_and_energy() {
+        let path = tmpfile("fold.ledger");
+        let mut led = Ledger::create(&path).unwrap();
+        let all = specs();
+        for (i, spec) in all.iter().enumerate() {
+            led.submit(i as JobId, spec).unwrap();
+        }
+        led.energy0(0, -0.25).unwrap();
+        led.state(0, &JobState::Running, 0).unwrap();
+        led.state(0, &JobState::Preempted, 16).unwrap();
+        led.state(1, &JobState::Completed, 25).unwrap();
+        led.state(2, &JobState::Failed(JobError::Cancelled), 4).unwrap();
+        drop(led);
+
+        let jobs = replay(&path).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].state, JobState::Preempted);
+        assert_eq!(jobs[0].steps_done, 16);
+        assert_eq!(jobs[0].energy0.unwrap().to_bits(), (-0.25f64).to_bits());
+        assert_eq!(jobs[0].spec, all[0]);
+        assert_eq!(jobs[1].state, JobState::Completed);
+        assert_eq!(jobs[2].state, JobState::Failed(JobError::Cancelled));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_tail_and_future_keys_are_skipped() {
+        let path = tmpfile("torn.ledger");
+        let mut led = Ledger::create(&path).unwrap();
+        led.submit(7, &JobSpec::plummer(64, 9, 5)).unwrap();
+        led.state(7, &JobState::Running, 0).unwrap();
+        drop(led);
+        // a kill mid-append leaves a torn line; a future server writes
+        // keys we do not know — both must be skipped, not fatal
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("lease_epoch 7 12 extra\nstate 7 pre");
+        std::fs::write(&path, text).unwrap();
+
+        let jobs = replay(&path).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, JobState::Running);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn failure_taxonomy_survives_replay() {
+        let path = tmpfile("taxonomy.ledger");
+        let mut led = Ledger::create(&path).unwrap();
+        let spec = JobSpec::plummer(64, 1, 5);
+        for id in 0..4u64 {
+            led.submit(id, &spec).unwrap();
+        }
+        led.state(
+            0,
+            &JobState::Failed(JobError::AdmissionRejected {
+                budget: "jmem".into(),
+                asked: 10,
+                total: 5,
+            }),
+            0,
+        )
+        .unwrap();
+        led.state(
+            1,
+            &JobState::Failed(JobError::BackendFatal(ForceError::ShardPanic("boom".into()))),
+            2,
+        )
+        .unwrap();
+        led.state(2, &JobState::Failed(JobError::CheckpointCorrupt("bad words".into())), 3)
+            .unwrap();
+        led.state(3, &JobState::Failed(JobError::Cancelled), 1).unwrap();
+        drop(led);
+
+        let kinds: Vec<&str> = replay(&path)
+            .unwrap()
+            .iter()
+            .map(|j| match &j.state {
+                JobState::Failed(e) => e.kind(),
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["admission-rejected", "backend-fatal", "checkpoint-corrupt", "cancelled"]
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,200 @@
+#![warn(missing_docs)]
+//! # g5serve — a multi-tenant simulation job service over pooled GRAPE backends
+//!
+//! The paper's $7.0/Mflops only matters if the machine stays busy: the
+//! real GRAPE installations were *shared facilities*, multiplexing many
+//! users' runs onto the boards. This crate is that operational layer
+//! for the reproduction — a thread-based job server (no async runtime;
+//! `std::thread` + the mutex/condvar coordination style proven in
+//! `g5tree::plan`) that turns the single-run binary into a facility:
+//!
+//! * **[`JobSpec`]** describes a run as a plain value: IC family,
+//!   particle count, seed, steps, backend ([`treegrape::BackendSpec`]:
+//!   tree or cluster, arithmetic mode, fault policy), checkpoint
+//!   policy. Everything a worker needs to (re)build the run
+//!   deterministically, any number of times.
+//! * **Admission** bounds aggregate j-memory and resident particles
+//!   against a [`grape5::DevicePool`]; jobs lease capacity FIFO and
+//!   hold it to the terminal state.
+//! * **Fair scheduling** slices every runnable job round-robin onto a
+//!   fixed worker pool; preemption happens only at step boundaries by
+//!   writing the existing crash-atomic, job-scoped manifest and
+//!   resuming later — long jobs cannot starve short ones, and the
+//!   preemption path *is* the crash-recovery path.
+//! * **Durability**: an append-only job ledger plus per-job checkpoint
+//!   directories make the whole fleet resumable — kill the server,
+//!   [`Server::open`] the same directory, and every in-flight job
+//!   continues bit-identically from its latest manifest.
+//! * **Observability**: each job streams [`JobEvent`]s (steps, energy
+//!   drift, checkpoints, preemptions, recovery and cluster lifecycle
+//!   activity) over a subscription channel, and [`JobError`] gives
+//!   failures a typed taxonomy.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use g5serve::{JobSpec, Server, ServerConfig, JobState};
+//!
+//! let cfg = ServerConfig::new(std::path::Path::new("serve_state"));
+//! let server = Server::open(cfg).unwrap();
+//! let id = server.submit(JobSpec::plummer(512, 42, 100)).unwrap();
+//! let events = server.subscribe(id).unwrap();
+//! assert_eq!(server.wait(id), JobState::Completed);
+//! for ev in events.try_iter() {
+//!     println!("{ev:?}");
+//! }
+//! server.shutdown();
+//! ```
+
+pub mod job;
+pub mod ledger;
+pub mod server;
+
+pub use job::{job_dir_name, IcClass, JobError, JobEvent, JobId, JobSpec, JobState, JobStatus};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::{Path, PathBuf};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("g5serve_test_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn small_cfg(dir: &Path) -> ServerConfig {
+        ServerConfig { workers: 2, quantum: 6, ..ServerConfig::new(dir) }
+    }
+
+    #[test]
+    fn single_job_runs_to_completion_with_events() {
+        let dir = tmpdir("single");
+        let server = Server::open(small_cfg(&dir)).unwrap();
+        let id = server.submit(JobSpec::plummer(96, 3, 10)).unwrap();
+        let events = server.subscribe(id).unwrap();
+        assert_eq!(server.wait(id), JobState::Completed);
+        let st = server.status(id).unwrap();
+        assert_eq!(st.steps_done, 10);
+        assert!(st.interactions > 0);
+        assert!(st.drift.abs() < 0.05, "drift {}", st.drift);
+        // completion must release the lease
+        assert_eq!(server.pool_usage().leases, 0);
+        server.shutdown();
+        let evs: Vec<JobEvent> = events.try_iter().collect();
+        assert!(evs.iter().any(|e| matches!(e, JobEvent::Step { .. })));
+        assert!(evs.iter().any(|e| matches!(e, JobEvent::Checkpointed { .. })));
+        assert!(evs.iter().any(|e| matches!(e, JobEvent::Completed { steps: 10 })));
+        assert!(dir.join("job-000000").join("final.g5snap").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn long_job_is_preempted_and_short_jobs_finish_first() {
+        let dir = tmpdir("fairness");
+        // one worker: without preemption the long job would block the
+        // short one for its whole duration
+        let cfg = ServerConfig { workers: 1, quantum: 4, ..ServerConfig::new(&dir) };
+        let server = Server::open(cfg).unwrap();
+        let long = server.submit(JobSpec::plummer(128, 1, 40)).unwrap();
+        let short = server.submit(JobSpec::plummer(64, 2, 4)).unwrap();
+        assert_eq!(server.wait(short), JobState::Completed);
+        let long_then = server.status(long).unwrap();
+        assert!(
+            long_then.steps_done < 40,
+            "long job should still be in flight when the short one finishes"
+        );
+        assert_eq!(server.wait(long), JobState::Completed);
+        let st = server.status(long).unwrap();
+        assert!(st.preemptions >= 1, "40 steps at quantum 4 must preempt");
+        assert_eq!(st.steps_done, 40);
+        server.shutdown();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn impossible_demand_is_admission_rejected() {
+        let dir = tmpdir("admission");
+        let cfg = ServerConfig {
+            workers: 1,
+            jmem_budget: 1000,
+            resident_budget: 1000,
+            ..ServerConfig::new(&dir)
+        };
+        let server = Server::open(cfg).unwrap();
+        let id = server.submit(JobSpec::plummer(5000, 1, 5)).unwrap();
+        match server.wait(id) {
+            JobState::Failed(JobError::AdmissionRejected { budget, asked, total }) => {
+                assert_eq!(budget, "jmem");
+                assert_eq!(asked, 5000);
+                assert_eq!(total, 1000);
+            }
+            other => panic!("expected admission rejection, got {other:?}"),
+        }
+        assert!(server.status(id).unwrap().state.is_terminal());
+        server.shutdown();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn admission_bounds_concurrent_residency() {
+        let dir = tmpdir("budget");
+        // budget fits exactly one 200-particle job at a time
+        let cfg = ServerConfig {
+            workers: 2,
+            quantum: 4,
+            jmem_budget: 250,
+            resident_budget: 250,
+            ..ServerConfig::new(&dir)
+        };
+        let server = Server::open(cfg).unwrap();
+        let a = server.submit(JobSpec::plummer(200, 1, 8)).unwrap();
+        let b = server.submit(JobSpec::plummer(200, 2, 8)).unwrap();
+        let u = server.pool_usage();
+        assert!(u.leases <= 1, "only one job may hold a lease: {u:?}");
+        assert_eq!(server.wait(a), JobState::Completed);
+        assert_eq!(server.wait(b), JobState::Completed);
+        server.shutdown();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cancel_hits_queued_and_running_jobs() {
+        let dir = tmpdir("cancel");
+        let cfg = ServerConfig { workers: 1, quantum: 4, ..ServerConfig::new(&dir) };
+        let server = Server::open(cfg).unwrap();
+        let running = server.submit(JobSpec::plummer(256, 1, 400)).unwrap();
+        let queued = server.submit(JobSpec::plummer(64, 2, 400)).unwrap();
+        assert!(server.cancel(queued));
+        assert_eq!(server.wait(queued), JobState::Failed(JobError::Cancelled));
+        // let the long job get going, then cancel it mid-run
+        while server.status(running).unwrap().steps_done == 0 {
+            std::thread::yield_now();
+        }
+        assert!(server.cancel(running));
+        assert_eq!(server.wait(running), JobState::Failed(JobError::Cancelled));
+        assert!(!server.cancel(running), "terminal jobs cannot be re-cancelled");
+        assert_eq!(server.pool_usage().leases, 0);
+        server.shutdown();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn graceful_shutdown_resumes_on_reopen() {
+        let dir = tmpdir("reopen");
+        let server = Server::open(small_cfg(&dir)).unwrap();
+        let id = server.submit(JobSpec::plummer(128, 7, 30)).unwrap();
+        // wait for some durable progress, then drain
+        while server.status(id).unwrap().steps_done == 0 {
+            std::thread::yield_now();
+        }
+        server.shutdown();
+
+        let server = Server::open(small_cfg(&dir)).unwrap();
+        assert_eq!(server.wait(id), JobState::Completed);
+        assert_eq!(server.status(id).unwrap().steps_done, 30);
+        server.shutdown();
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

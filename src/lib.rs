@@ -6,6 +6,7 @@
 
 pub use g5ic as ic;
 pub use g5pppm as pppm;
+pub use g5serve as serve;
 pub use g5tree as tree;
 pub use g5util as util;
 pub use grape5;

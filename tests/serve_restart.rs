@@ -1,0 +1,167 @@
+//! Fleet-level durability: kill the job server mid-storm with many
+//! jobs in flight, restart it over the same directory, and prove every
+//! job's final snapshot is *byte-identical* to an uninterrupted
+//! reference run — the tests/fault_recovery.rs single-run guarantee
+//! lifted to the whole fleet.
+
+use grape5_nbody::core::{snapshot_io, BackendSpec, Simulation};
+use grape5_nbody::grape5::FaultConfig;
+use grape5_nbody::serve::{job_dir_name, JobError, JobSpec, JobState, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("g5serve_restart_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// The storm fleet: mixed Plummer/Hernquist, tree and cluster
+/// backends, a fault storm armed on a subset.
+fn fleet() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for j in 0..6u64 {
+        let mut spec = if j % 2 == 0 {
+            JobSpec::plummer(96 + 16 * j as usize, 100 + j, 18 + 3 * j)
+        } else {
+            JobSpec::hernquist(80 + 8 * j as usize, 200 + j, 12 + 2 * j)
+        };
+        spec.checkpoint_every = 4;
+        if j % 3 == 0 {
+            // seeded fault storm: transient readback + j-memory
+            // corruption, healed by validate/retry
+            let storm = FaultConfig {
+                transient_rate: 0.05,
+                jmem_corrupt_rate: 0.02,
+                ..FaultConfig::none(900 + j)
+            };
+            spec.backend = spec.backend.with_fault(storm);
+        }
+        if j == 5 {
+            spec.backend = BackendSpec::cluster(spec.backend.eps, 2);
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
+/// Uninterrupted reference: same spec, no server, one unbroken run.
+fn reference_final_bytes(spec: &JobSpec, scratch: &Path) -> Vec<u8> {
+    let mut sim =
+        Simulation::try_new(spec.make_ic(), spec.backend.build(), 0.0).expect("reference init");
+    sim.try_run(spec.dt, spec.steps).expect("reference run");
+    snapshot_io::save(scratch, &sim.state, sim.time).expect("reference save");
+    std::fs::read(scratch).expect("reference read")
+}
+
+fn cfg(dir: &Path) -> ServerConfig {
+    ServerConfig { workers: 3, quantum: 5, ..ServerConfig::new(dir) }
+}
+
+#[test]
+fn fleet_survives_two_kills_byte_identically() {
+    let dir = tmpdir("two_kills");
+    let specs = fleet();
+
+    let server = Server::open(cfg(&dir)).unwrap();
+    let ids: Vec<_> = specs.iter().map(|s| server.submit(*s).unwrap()).collect();
+
+    // first kill: as soon as any job has durable progress
+    while !server.statuses().iter().any(|s| s.steps_done > 0) {
+        std::thread::yield_now();
+    }
+    server.kill();
+
+    // second kill: restart, let it run a little further, kill again
+    let server = Server::open(cfg(&dir)).unwrap();
+    let before: u64 = server.statuses().iter().map(|s| s.steps_done).sum();
+    while server.statuses().iter().map(|s| s.steps_done).sum::<u64>() <= before
+        && !server.statuses().iter().all(|s| s.state.is_terminal())
+    {
+        std::thread::yield_now();
+    }
+    server.kill();
+
+    // final restart: every job must run to completion
+    let server = Server::open(cfg(&dir)).unwrap();
+    let completed = server.wait_all();
+    assert_eq!(completed, specs.len(), "lost jobs across kills");
+    for (&id, spec) in ids.iter().zip(&specs) {
+        assert_eq!(server.wait(id), JobState::Completed);
+        let st = server.status(id).unwrap();
+        assert_eq!(st.steps_done, spec.steps, "job {id} stopped early");
+        let served = std::fs::read(dir.join(job_dir_name(id)).join("final.g5snap"))
+            .expect("final snapshot persisted");
+        let reference = reference_final_bytes(spec, &dir.join(format!("ref_{id}.g5snap")));
+        assert_eq!(served, reference, "job {id} final snapshot diverged from uninterrupted run");
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn restart_preserves_terminal_states_and_taxonomy() {
+    let dir = tmpdir("taxonomy");
+    let tight = ServerConfig {
+        workers: 1,
+        quantum: 4,
+        jmem_budget: 500,
+        resident_budget: 500,
+        ..ServerConfig::new(&dir)
+    };
+    let server = Server::open(tight.clone()).unwrap();
+    let ok = server.submit(JobSpec::plummer(64, 1, 6)).unwrap();
+    let too_big = server.submit(JobSpec::plummer(5000, 2, 6)).unwrap();
+    let doomed = server.submit(JobSpec::plummer(64, 3, 500)).unwrap();
+    assert!(server.cancel(doomed));
+    assert_eq!(server.wait(ok), JobState::Completed);
+    match server.wait(too_big) {
+        JobState::Failed(JobError::AdmissionRejected { .. }) => {}
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+    assert_eq!(server.wait(doomed), JobState::Failed(JobError::Cancelled));
+    server.shutdown();
+
+    // terminal states must survive replay — completed jobs are not
+    // re-run, failures keep their taxonomy kind
+    let server = Server::open(tight).unwrap();
+    assert_eq!(server.status(ok).unwrap().state, JobState::Completed);
+    match server.status(too_big).unwrap().state {
+        JobState::Failed(JobError::AdmissionRejected { .. }) => {}
+        other => panic!("rejection kind lost in replay: {other:?}"),
+    }
+    match server.status(doomed).unwrap().state {
+        JobState::Failed(JobError::Cancelled) => {}
+        other => panic!("cancel kind lost in replay: {other:?}"),
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn job_directories_are_collision_free_under_concurrency() {
+    let dir = tmpdir("collision");
+    let server =
+        Server::open(ServerConfig { workers: 4, quantum: 3, ..ServerConfig::new(&dir) }).unwrap();
+    let ids: Vec<_> = (0..8u64)
+        .map(|j| {
+            let mut s = JobSpec::plummer(64, 500 + j, 9);
+            s.checkpoint_every = 3;
+            server.submit(s).unwrap()
+        })
+        .collect();
+    assert_eq!(server.wait_all(), 8);
+    // every job dir holds only manifests stamped with its own id
+    for &id in &ids {
+        let name = job_dir_name(id);
+        let jobdir = dir.join(&name);
+        for entry in std::fs::read_dir(&jobdir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|x| x == "ckpt") {
+                let m = grape5_nbody::core::checkpoint::read_manifest(&p).unwrap();
+                assert_eq!(m.job_id.as_deref(), Some(name.as_str()), "foreign manifest in {name}");
+            }
+        }
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
